@@ -1,0 +1,211 @@
+// Ablation benchmarks for the co-design choices the paper highlights:
+// what each mechanism buys, measured by turning it off.
+package openvcu_test
+
+import (
+	"testing"
+	"time"
+
+	"openvcu/internal/cluster"
+	"openvcu/internal/codec"
+	"openvcu/internal/codec/rc"
+	"openvcu/internal/sim"
+	"openvcu/internal/vcu"
+	"openvcu/internal/video"
+)
+
+// BenchmarkAblation_TileColumns measures the wall-clock effect of
+// parallel tile columns (the hardware's tile organization, §3.2,
+// exploited by the software encoder for intra-frame parallelism) and the
+// compression tax tiles cost. The speedup scales with available cores
+// (~1.0x on a single-core runner; tiles encode on goroutines).
+func BenchmarkAblation_TileColumns(b *testing.B) {
+	frames := video.NewSource(video.SourceConfig{
+		Width: 512, Height: 128, Seed: 51, Detail: 0.6, Motion: 1.5, Objects: 2,
+	}).Frames(3)
+	bits := map[int]int{}
+	elapsed := map[int]time.Duration{}
+	for _, tiles := range []int{1, 4} {
+		cfg := codec.Config{Profile: codec.VP9Class, Width: 512, Height: 128,
+			TileColumns: tiles, RC: rc.Config{BaseQP: 34}}
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			res, err := codec.EncodeSequence(cfg, frames)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bits[tiles] = res.TotalBits
+		}
+		elapsed[tiles] = time.Since(start)
+	}
+	b.ReportMetric(float64(elapsed[1])/float64(elapsed[4]), "x-speedup-4tiles")
+	b.ReportMetric(float64(bits[4])/float64(bits[1])*100-100, "%-bitrate-tax-4tiles")
+}
+
+// BenchmarkAblation_FBC measures what frame buffer compression buys the
+// chip: realtime throughput with and without the reference-bandwidth
+// savings (§3.2: ~50% reference read reduction keeps 10 realtime cores
+// inside the 36 GiB/s budget).
+func BenchmarkAblation_FBC(b *testing.B) {
+	run := func(fbcBytes float64) float64 {
+		p := vcu.DefaultParams()
+		p.EncodeBytesPerPixelFBC = fbcBytes
+		// Drive the 10 encoder cores directly at realtime rate (the
+		// §3.3.1 arithmetic): without FBC their aggregate DRAM demand
+		// exceeds the 36 GiB/s budget and the fluid model throttles them.
+		eng := sim.NewEngine()
+		v := vcu.New(eng, 0, p)
+		q := v.OpenQueue()
+		var encoded int64
+		var submit func()
+		submit = func() {
+			op := &vcu.Op{Kind: vcu.OpEncode, Profile: codec.VP9Class,
+				Mode: vcu.EncodeOnePassLowLatency, Pixels: int64(p.RealtimeEncodePixRate / 10),
+				Done: func(error, bool) {
+					encoded += int64(p.RealtimeEncodePixRate / 10)
+					submit()
+				}}
+			_ = q.RunOnCore(op)
+		}
+		for i := 0; i < p.EncoderCores*2; i++ {
+			submit()
+		}
+		eng.RunUntil(30 * time.Second)
+		return float64(encoded) / 30 / 1e6
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(vcu.DefaultParams().EncodeBytesPerPixelFBC)
+		without = run(vcu.DefaultParams().EncodeBytesPerPixel)
+	}
+	b.ReportMetric(with, "Mpix/s-realtime-withFBC")
+	b.ReportMetric(without, "Mpix/s-realtime-noFBC")
+}
+
+// BenchmarkAblation_Scheduler measures the §3.3.3 scheduler change:
+// makespan of 400 live 240p streams under the legacy single-slot model
+// vs multi-dimensional bin-packing.
+func BenchmarkAblation_Scheduler(b *testing.B) {
+	run := func(legacy bool) time.Duration {
+		cfg := cluster.DefaultConfig(1)
+		cfg.LegacySingleSlot = legacy
+		c := cluster.New(cfg)
+		done := 0
+		var last time.Duration
+		for i := 0; i < 400; i++ {
+			g := cluster.BuildGraph(cluster.VideoSpec{
+				ID: i, Resolution: video.Res240p, FPS: 30, Frames: 150, ChunkFrames: 150,
+				Profile: codec.VP9Class, Mode: vcu.EncodeTwoPassLagged, Live: true}, 0)
+			g.OnDone = func(*cluster.Graph) {
+				done++
+				last = c.Eng.Now()
+			}
+			c.Submit(g)
+		}
+		c.Eng.RunUntil(time.Hour)
+		return last
+	}
+	var slot, packed time.Duration
+	for i := 0; i < b.N; i++ {
+		slot = run(true)
+		packed = run(false)
+	}
+	b.ReportMetric(slot.Seconds(), "s-makespan-singleslot")
+	b.ReportMetric(packed.Seconds(), "s-makespan-binpacking")
+}
+
+// BenchmarkAblation_ConsistentHashing measures the §4.4 future-work
+// placement: how many of 40 videos ever touch one corrupting VCU with
+// first-fit vs per-video affinity sets.
+func BenchmarkAblation_ConsistentHashing(b *testing.B) {
+	run := func(hashing bool) int {
+		cfg := cluster.DefaultConfig(1)
+		cfg.ConsistentHashing = hashing
+		cfg.GoldenCheckOnStart = false
+		cfg.AbortOnFailure = false
+		cfg.IntegrityCheckProb = 0
+		cfg.DisableFaultThreshold = 1 << 30
+		c := cluster.New(cfg)
+		bad := c.Hosts[0].VCUs[0]
+		bad.InjectFault(vcu.FaultCorrupt, 0)
+		var graphs []*cluster.Graph
+		for i := 0; i < 40; i++ {
+			i := i
+			c.Eng.Schedule(time.Duration(i)*15*time.Second, func() {
+				g := cluster.BuildGraph(cluster.VideoSpec{
+					ID: i, Resolution: video.Res1080p, FPS: 30, Frames: 600, ChunkFrames: 150,
+					Profile: codec.VP9Class, Mode: vcu.EncodeTwoPassOffline, MOT: true}, 10)
+				graphs = append(graphs, g)
+				c.Submit(g)
+			})
+		}
+		c.Eng.RunUntil(3 * time.Hour)
+		touched := 0
+		for _, g := range graphs {
+			hit := false
+			for _, s := range g.Steps {
+				for _, id := range s.RanOnVCU {
+					if id == bad.ID {
+						hit = true
+					}
+				}
+			}
+			if hit {
+				touched++
+			}
+		}
+		return touched
+	}
+	var spread, bounded int
+	for i := 0; i < b.N; i++ {
+		spread = run(false)
+		bounded = run(true)
+	}
+	b.ReportMetric(float64(spread), "videos-touched-firstfit")
+	b.ReportMetric(float64(bounded), "videos-touched-hashed")
+}
+
+// BenchmarkAblation_AltRef measures the temporal-filter alternate
+// reference on noisy content: PSNR delta at matched base QP (§3.2 calls
+// temporal filtering "an optimization that we added given the more
+// relaxed die-area constraints").
+func BenchmarkAblation_AltRef(b *testing.B) {
+	frames := video.NewSource(video.SourceConfig{
+		Width: 96, Height: 64, Seed: 14, Detail: 0.4, Motion: 0.5, Noise: 12}).Frames(10)
+	var onPSNR, offPSNR float64
+	for i := 0; i < b.N; i++ {
+		base := codec.Config{Profile: codec.VP9Class, Width: 96, Height: 64, ArfPeriod: 5,
+			RC: rc.Config{BaseQP: 36}}
+		withArf := base
+		withArf.AltRef = true
+		off, err := codec.EncodeSequence(base, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, err := codec.EncodeSequence(withArf, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		offDec, _ := codec.DecodeSequence(off.Packets)
+		onDec, _ := codec.DecodeSequence(on.Packets)
+		offPSNR = video.SequencePSNR(frames, offDec)
+		onPSNR = video.SequencePSNR(frames, onDec)
+	}
+	b.ReportMetric(onPSNR-offPSNR, "dB-altref-gain")
+}
+
+// BenchmarkAblation_PipelineFIFO measures the §3.2 FIFO-decoupling design
+// point on the encoder-core micro-model: sustained rate with lock-step
+// stages vs the production FIFO depth.
+func BenchmarkAblation_PipelineFIFO(b *testing.B) {
+	var lock, deep float64
+	for i := 0; i < b.N; i++ {
+		l := vcu.DefaultPipelineConfig()
+		l.FIFODepth = 1
+		d := vcu.DefaultPipelineConfig()
+		lock = vcu.SimulatePipeline(l, 20000).PixPerSec / 1e6
+		deep = vcu.SimulatePipeline(d, 20000).PixPerSec / 1e6
+	}
+	b.ReportMetric(lock, "Mpix/s-lockstep")
+	b.ReportMetric(deep, "Mpix/s-fifo8")
+}

@@ -1,0 +1,70 @@
+// Command balance prints the system-balance analysis of the paper's
+// Appendix A and §3.3.1: the network-derived throughput limits, Table 2
+// host-resource scaling, the VCU DRAM bandwidth budget, device-memory
+// footprints and attachment ceilings.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"openvcu/internal/balance"
+	"openvcu/internal/vcu"
+)
+
+func main() {
+	table2 := flag.Bool("table2", false, "print only Table 2")
+	dram := flag.Bool("dram", false, "print only the DRAM speeds & feeds")
+	appendix := flag.Bool("appendix", false, "print only the A.2/A.4/A.5 numbers")
+	flag.Parse()
+	all := !*table2 && !*dram && !*appendix
+	p := vcu.DefaultParams()
+
+	if all || *appendix {
+		n := balance.Network(p)
+		fmt.Println("== Appendix A.2: bandwidth as transcoding throughput ==")
+		fmt.Printf("upload density:            %.1f pixels/bit\n", n.PixelsPerBit)
+		fmt.Printf("ideal network limit:       %.0f Gpix/s   (paper: ~600)\n", n.IdealGpixPerSec)
+		fmt.Printf("effective limit:           %.0f Gpix/s   (paper: ~153)\n\n", n.EffectiveGpixPerSec)
+	}
+
+	if all || *table2 {
+		fmt.Println("== Table 2: host resources scaled for 153 Gpixel/s ==")
+		fmt.Printf("%-24s %14s %16s\n", "Use", "Logical Cores", "DRAM Bandwidth")
+		for _, r := range balance.Table2(p) {
+			fmt.Printf("%-24s %14.0f %13.0f Gbps\n", r.Use, r.LogicalCores, r.DRAMGbps)
+		}
+		cores, dramFrac := balance.HostHeadroom(p)
+		fmt.Printf("host usage: %.0f%% of cores, %.0f%% of DRAM bandwidth (paper: about half)\n\n",
+			cores*100, dramFrac*100)
+	}
+
+	if all || *dram {
+		b := balance.DRAMNeeds(p)
+		fmt.Println("== §3.3.1 VCU DRAM speeds & feeds (per core at 2160p60) ==")
+		fmt.Printf("encoder raw:               %.2f GiB/s  (paper: ~3.5)\n", b.EncoderRawGiBs)
+		fmt.Printf("encoder FBC worst:         %.2f GiB/s  (paper: ~3)\n", b.EncoderFBCWorstGiBs)
+		fmt.Printf("encoder FBC typical:       %.2f GiB/s  (paper: ~2)\n", b.EncoderFBCTypGiBs)
+		fmt.Printf("decoder:                   %.2f GiB/s  (paper: 2.2)\n", b.DecoderGiBs)
+		fmt.Printf("chip needs:                %.1f-%.1f GiB/s (paper: 27-37)\n", b.ChipTypicalGiBs, b.ChipWorstGiBs)
+		fmt.Printf("chip provides:             %.1f GiB/s  (4x 32b LPDDR4-3200)\n\n", b.ProvidedGiBs)
+	}
+
+	if all || *appendix {
+		f := balance.DeviceMemory(p)
+		fmt.Println("== Appendix A.4: VCU DRAM capacity ==")
+		fmt.Printf("2160p 10-bit references:   %.0f MiB   (paper: ~140)\n", f.RefFramesMiB)
+		fmt.Printf("MOT decode+encode:         %.0f MiB   (paper: ~420)\n", f.MOTCodecMiB)
+		fmt.Printf("15-frame lag buffer:       %.0f MiB   (paper: ~180-220)\n", f.LagBufferMiB)
+		fmt.Printf("MOT total:                 %.0f MiB   (paper: ~700) -> %d jobs per 8 GiB VCU\n",
+			f.MOTTotalMiB, f.MOTJobsPerVCU)
+		fmt.Printf("SOT total:                 %.0f MiB   (paper: ~500) -> %d jobs per 8 GiB VCU\n\n",
+			f.SOTTotalMiB, f.SOTJobsPerVCU)
+
+		c := balance.Ceilings(p)
+		fmt.Println("== Appendix A.2/A.5: attachment ceilings ==")
+		fmt.Printf("realtime ceiling:          %d VCUs/host (paper: 30)\n", c.RealtimeVCUs)
+		fmt.Printf("offline two-pass ceiling:  %d VCUs/host (paper: 150)\n", c.OfflineVCUs)
+		fmt.Printf("deployed:                  %d VCUs/host (2 trays x 5 cards x 2 VCUs)\n", c.DeployedVCUs)
+	}
+}

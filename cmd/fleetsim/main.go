@@ -1,0 +1,83 @@
+// Command fleetsim regenerates the paper's longitudinal deployment
+// figures: per-VCU production throughput (Figure 8), workload ramps
+// (Figures 9a/9b), the opportunistic software-decode flip (Figure 9c)
+// and the rate-control tuning trajectory (Figure 10).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"openvcu/internal/fleetsim"
+)
+
+func main() {
+	fig8 := flag.Bool("fig8", false, "Figure 8 only")
+	fig9a := flag.Bool("fig9a", false, "Figure 9a only")
+	fig9b := flag.Bool("fig9b", false, "Figure 9b only")
+	fig9c := flag.Bool("fig9c", false, "Figure 9c only")
+	fig10 := flag.Bool("fig10", false, "Figure 10 only")
+	flag.Parse()
+	all := !*fig8 && !*fig9a && !*fig9b && !*fig9c && !*fig10
+	cfg := fleetsim.DefaultConfig()
+
+	if all || *fig8 {
+		mot, sot := fleetsim.Figure8Production(cfg, 12)
+		fmt.Println("== Figure 8: per-VCU production throughput (Mpix/s) ==")
+		fmt.Printf("%-6s %10s %10s\n", "week", "MOT", "SOT")
+		for i := range mot {
+			fmt.Printf("%-6.0f %10.0f %10.0f\n", mot[i].Month, mot[i].Value, sot[i].Value)
+		}
+		fmt.Println("(paper: MOT ~400 flat, SOT ~250 variable)")
+		fmt.Println()
+	}
+	if all || *fig9a {
+		fmt.Println("== Figure 9a: chunked upload workload, normalized throughput ==")
+		for _, s := range fleetsim.Figure9aUploadRamp(cfg) {
+			fmt.Printf("month %2.0f: %5.1fx %s\n", s.Month, s.Value, bar(s.Value, 1.2))
+		}
+		for _, e := range fleetsim.UploadRampEvents {
+			fmt.Printf("  event @ month %.0f: x%.2f %s\n", e.Month, e.Multiplier, e.Description)
+		}
+		fmt.Println()
+	}
+	if all || *fig9b {
+		fmt.Println("== Figure 9b: live transcoding on VCU, normalized throughput ==")
+		for _, s := range fleetsim.Figure9bLiveRamp(cfg) {
+			fmt.Printf("month %2.0f: %5.1fx %s\n", s.Month, s.Value, bar(s.Value, 3))
+		}
+		fmt.Println()
+	}
+	if all || *fig9c {
+		fmt.Println("== Figure 9c: hardware decoder utilization (software decode enabled after month 6) ==")
+		for _, s := range fleetsim.Figure9cDecoderUtil(cfg) {
+			fmt.Printf("month %2.0f: %5.1f%% %s\n", s.Month, s.Value*100, bar(s.Value*40, 1))
+		}
+		fmt.Println("(paper: ~98% dropping to ~91%)")
+		fmt.Println()
+	}
+	if all || *fig10 {
+		vp9, h264 := fleetsim.Figure10Bitrate(cfg, 16)
+		fmt.Println("== Figure 10: hardware bitrate vs software at iso-quality ==")
+		fmt.Printf("%-8s %8s %8s\n", "month", "VP9", "H.264")
+		for i := range vp9 {
+			fmt.Printf("%-8.0f %+7.1f%% %+7.1f%%\n", vp9[i].Month, vp9[i].Value, h264[i].Value)
+		}
+		fmt.Println("(paper: VP9 +12% -> ~-2%; H.264 +8% -> below 0 near month 12)")
+	}
+}
+
+func bar(v, unit float64) string {
+	n := int(v / unit)
+	if n < 0 {
+		n = 0
+	}
+	if n > 60 {
+		n = 60
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,85 @@
+// Failuredrill: the §4.4 failure-management story run as a drill on the
+// simulated cluster. A VCU develops the worst failure mode — it keeps
+// "completing" work quickly but corrupts its output — while uploads
+// trickle in. The drill runs twice: once with the paper's mitigations
+// disabled (watch the black hole form) and once with them enabled
+// (worker aborts + golden-task screening + telemetry-driven disablement).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"openvcu"
+	"openvcu/internal/cluster"
+	"openvcu/internal/vcu"
+)
+
+func main() {
+	fmt.Println("== failure drill: one corrupting-but-fast VCU, 40 trickled uploads ==")
+	for _, mitigate := range []bool{false, true} {
+		stats, corrupted, touched := run(mitigate)
+		label := "mitigations OFF"
+		if mitigate {
+			label = "mitigations ON (abort + golden screening + fault scan)"
+		}
+		fmt.Printf("\n-- %s --\n", label)
+		fmt.Printf("videos with undetected corruption: %d/40\n", corrupted)
+		fmt.Printf("videos that ever touched the bad VCU: %d/40\n", touched)
+		fmt.Printf("corruptions caught by integrity checks: %d, escaped: %d\n",
+			stats.CorruptionsCaught, stats.CorruptionsEscaped)
+		fmt.Printf("worker aborts: %d, golden rejections: %d, VCUs disabled: %d\n",
+			stats.WorkerAborts, stats.GoldenRejections, stats.VCUsDisabled)
+	}
+	fmt.Println("\nThe failing VCU is *faster* than healthy ones, so without the")
+	fmt.Println("mitigations it attracts a disproportionate share of arriving work —")
+	fmt.Println("the black-holing hazard of §4.4.")
+}
+
+func run(mitigate bool) (cluster.Stats, int, int) {
+	cfg := openvcu.DefaultClusterConfig(1)
+	cfg.GoldenCheckOnStart = mitigate
+	cfg.AbortOnFailure = mitigate
+	cfg.IntegrityCheckProb = 0.5
+	if !mitigate {
+		// Telemetry-based disablement off too, to show the raw hazard.
+		cfg.DisableFaultThreshold = 1 << 30
+	}
+	c := openvcu.NewCluster(cfg)
+	bad := c.Hosts[0].VCUs[0]
+	bad.InjectFault(vcu.FaultCorrupt, 0)
+
+	var graphs []*openvcu.WorkGraph
+	for i := 0; i < 40; i++ {
+		i := i
+		c.Eng.Schedule(time.Duration(i)*20*time.Second, func() {
+			g := openvcu.BuildGraph(openvcu.VideoSpec{
+				ID: i, Resolution: openvcu.Res1080p, FPS: 30,
+				Frames: 600, ChunkFrames: 150,
+				Profile: openvcu.VP9Class, Mode: openvcu.EncodeTwoPassOffline, MOT: true,
+			}, 10)
+			graphs = append(graphs, g)
+			c.Submit(g)
+		})
+	}
+	c.Eng.RunUntil(4 * time.Hour)
+
+	corrupted, touched := 0, 0
+	for _, g := range graphs {
+		if g.Corrupted() {
+			corrupted++
+		}
+		hit := false
+		for _, s := range g.Steps {
+			for _, id := range s.RanOnVCU {
+				if id == bad.ID {
+					hit = true
+				}
+			}
+		}
+		if hit {
+			touched++
+		}
+	}
+	return c.Stats, corrupted, touched
+}

@@ -1,0 +1,94 @@
+// Tests of the public facade: the README's quickstart must actually work
+// through the openvcu package surface.
+package openvcu_test
+
+import (
+	"testing"
+	"time"
+
+	"openvcu"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	src := openvcu.NewSource(openvcu.SourceConfig{
+		Width: 64, Height: 64, FPS: 30, Seed: 1,
+		Detail: 0.5, Motion: 2, Objects: 1, ObjectMotion: 2,
+	})
+	frames := src.Frames(4)
+	res, err := openvcu.EncodeSequence(openvcu.EncoderConfig{
+		Profile: openvcu.VP9Class, Width: 64, Height: 64, FPS: 30,
+		RC: openvcu.RateControl{Mode: openvcu.RCTwoPassOffline, TargetBitrate: 200_000},
+	}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := openvcu.DecodeSequence(res.Packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr := openvcu.SequencePSNR(frames, decoded); psnr < 25 {
+		t.Fatalf("quickstart PSNR %.1f", psnr)
+	}
+}
+
+func TestFacadeTranscodeAndLadder(t *testing.T) {
+	specs := openvcu.LadderSpecs(openvcu.Res480p, openvcu.H264Class, 0.08, 30, true)
+	if len(specs) != 4 {
+		t.Fatalf("%d ladder specs", len(specs))
+	}
+	frames := openvcu.NewSource(openvcu.SourceConfig{
+		Width: 64, Height: 36, Seed: 2, Detail: 0.5}).Frames(2)
+	out, err := openvcu.SOT(frames, 30, openvcu.OutputSpec{
+		Name:       "tiny",
+		Resolution: openvcu.Resolution{Name: "tiny", Width: 64, Height: 36},
+		Profile:    openvcu.H264Class,
+		RC:         openvcu.RateControl{BaseQP: 35},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Outputs) != 1 || out.Outputs[0].TotalBits == 0 {
+		t.Fatal("SOT produced nothing")
+	}
+}
+
+func TestFacadeClusterAndRegion(t *testing.T) {
+	r := openvcu.NewRegion(openvcu.DefaultClusterConfig(1), 2)
+	done := 0
+	g := openvcu.BuildGraph(openvcu.VideoSpec{
+		ID: 1, Resolution: openvcu.Res1080p, FPS: 30, Frames: 300, ChunkFrames: 150,
+		Profile: openvcu.VP9Class, Mode: openvcu.EncodeTwoPassOffline, MOT: true}, 10)
+	g.OnDone = func(*openvcu.WorkGraph) { done++ }
+	if err := r.Submit(0, g); err != nil {
+		t.Fatal(err)
+	}
+	r.Eng.RunUntil(10 * time.Minute)
+	if done != 1 {
+		t.Fatal("region did not complete the video")
+	}
+}
+
+func TestFacadeCorpusPolicies(t *testing.T) {
+	c := openvcu.GenerateCorpus(2000, 1)
+	m := openvcu.DefaultEgressModel()
+	cpu := openvcu.ApplyPolicy(c, openvcu.PolicyCPUEra, m)
+	vcu := openvcu.ApplyPolicy(c, openvcu.PolicyVCUEra, m)
+	if vcu.EgressBits >= cpu.EgressBits {
+		t.Fatal("VCU-era policy did not reduce egress")
+	}
+}
+
+func TestFacadeVbenchAndBDRate(t *testing.T) {
+	if len(openvcu.VbenchSuite()) != 15 {
+		t.Fatal("suite size")
+	}
+	ref := []openvcu.RDPoint{{BitsPerSecond: 1e6, PSNR: 30}, {BitsPerSecond: 2e6, PSNR: 35}}
+	test := []openvcu.RDPoint{{BitsPerSecond: 0.8e6, PSNR: 30}, {BitsPerSecond: 1.6e6, PSNR: 35}}
+	bd, err := openvcu.BDRate(ref, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd > -15 || bd < -25 {
+		t.Fatalf("BD-rate %.1f, want ~-20", bd)
+	}
+}

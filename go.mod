@@ -1,0 +1,3 @@
+module openvcu
+
+go 1.22

@@ -1,0 +1,128 @@
+package balance
+
+import (
+	"testing"
+
+	"openvcu/internal/vcu"
+)
+
+func near(got, want, tol float64) bool {
+	return got >= want-tol && got <= want+tol
+}
+
+func TestNetworkLimitsA2(t *testing.T) {
+	n := Network(vcu.DefaultParams())
+	if !near(n.IdealGpixPerSec, 610, 15) {
+		t.Errorf("ideal limit %.0f Gpix/s, Appendix A.2 says ~600", n.IdealGpixPerSec)
+	}
+	if !near(n.EffectiveGpixPerSec, 153, 5) {
+		t.Errorf("effective limit %.0f Gpix/s, Appendix A.2 says ~153", n.EffectiveGpixPerSec)
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	rows := Table2(vcu.DefaultParams())
+	byUse := map[string]HostRow{}
+	for _, r := range rows {
+		byUse[r.Use] = r
+	}
+	tr := byUse["Transcoding overheads"]
+	if !near(tr.LogicalCores, 42, 2) || !near(tr.DRAMGbps, 214, 10) {
+		t.Errorf("transcoding overheads %0.f cores / %.0f Gbps, Table 2 says 42 / 214",
+			tr.LogicalCores, tr.DRAMGbps)
+	}
+	net := byUse["Network & RPC"]
+	if !near(net.LogicalCores, 13, 1) || !near(net.DRAMGbps, 300, 10) {
+		t.Errorf("network %0.f cores / %.0f Gbps, Table 2 says 13 / 300",
+			net.LogicalCores, net.DRAMGbps)
+	}
+	total := byUse["Total"]
+	if !near(total.LogicalCores, 55, 3) || !near(total.DRAMGbps, 712, 25) {
+		t.Errorf("total %.0f cores / %.0f Gbps, Table 2 says 55 / 712",
+			total.LogicalCores, total.DRAMGbps)
+	}
+}
+
+func TestHostHeadroomIsAboutHalf(t *testing.T) {
+	cores, dram := HostHeadroom(vcu.DefaultParams())
+	if cores < 0.4 || cores > 0.65 {
+		t.Errorf("core usage fraction %.2f, paper says about half", cores)
+	}
+	if dram < 0.35 || dram > 0.6 {
+		t.Errorf("DRAM usage fraction %.2f, paper says about half", dram)
+	}
+}
+
+func TestDRAMSpeedsAndFeeds(t *testing.T) {
+	b := DRAMNeeds(vcu.DefaultParams())
+	if !near(b.EncoderRawGiBs, 3.5, 0.2) {
+		t.Errorf("raw encoder bandwidth %.2f GiB/s, §3.3.1 says ~3.5", b.EncoderRawGiBs)
+	}
+	if !near(b.EncoderFBCWorstGiBs, 3.0, 0.2) {
+		t.Errorf("FBC worst %.2f GiB/s, §3.3.1 says ~3", b.EncoderFBCWorstGiBs)
+	}
+	if !near(b.EncoderFBCTypGiBs, 2.0, 0.2) {
+		t.Errorf("FBC typical %.2f GiB/s, §3.3.1 says ~2", b.EncoderFBCTypGiBs)
+	}
+	if !near(b.DecoderGiBs, 2.2, 0.2) {
+		t.Errorf("decoder %.2f GiB/s, §3.3.1 says 2.2", b.DecoderGiBs)
+	}
+	// "the VCU needs ~27-37 GiB/s of DRAM bandwidth"
+	if !near(b.ChipTypicalGiBs, 27, 2) {
+		t.Errorf("chip typical %.1f GiB/s, want ~27", b.ChipTypicalGiBs)
+	}
+	if !near(b.ChipWorstGiBs, 37, 2) {
+		t.Errorf("chip worst %.1f GiB/s, want ~37", b.ChipWorstGiBs)
+	}
+	if !near(b.ProvidedGiBs, 36, 1) {
+		t.Errorf("provided %.1f GiB/s, want 36", b.ProvidedGiBs)
+	}
+	// FBC is what makes the worst case fit the provided bandwidth.
+	rawWorstChip := 10*b.EncoderRawGiBs + 3*b.DecoderGiBs
+	if rawWorstChip <= b.ProvidedGiBs {
+		t.Errorf("without FBC the chip would still fit (%.1f <= %.1f): model lost the motivation for FBC",
+			rawWorstChip, b.ProvidedGiBs)
+	}
+}
+
+func TestDeviceMemoryA4(t *testing.T) {
+	f := DeviceMemory(vcu.DefaultParams())
+	if !near(f.RefFramesMiB, 140, 15) {
+		t.Errorf("reference frames %.0f MiB, A.4 says ~140", f.RefFramesMiB)
+	}
+	if !near(f.MOTCodecMiB, 420, 40) {
+		t.Errorf("MOT codec footprint %.0f MiB, A.4 says ~420", f.MOTCodecMiB)
+	}
+	if f.LagBufferMiB < 180 || f.LagBufferMiB > 240 {
+		t.Errorf("lag buffer %.0f MiB, A.4 says ~180-220", f.LagBufferMiB)
+	}
+	if !near(f.MOTTotalMiB, 700, 60) {
+		t.Errorf("MOT total %.0f MiB, A.4 says ~700", f.MOTTotalMiB)
+	}
+	if !near(f.SOTTotalMiB, 500, 60) {
+		t.Errorf("SOT total %.0f MiB, A.4 says ~500", f.SOTTotalMiB)
+	}
+	// 8 GiB must fit ~11 MOTs / ~16 SOTs; 4 GiB "would be insufficient".
+	if f.MOTJobsPerVCU < 10 || f.MOTJobsPerVCU > 12 {
+		t.Errorf("MOT jobs per VCU %d", f.MOTJobsPerVCU)
+	}
+	if f.SOTJobsPerVCU < 14 || f.SOTJobsPerVCU > 17 {
+		t.Errorf("SOT jobs per VCU %d", f.SOTJobsPerVCU)
+	}
+}
+
+func TestAttachmentCeilingsA5(t *testing.T) {
+	c := Ceilings(vcu.DefaultParams())
+	if c.RealtimeVCUs < 28 || c.RealtimeVCUs > 33 {
+		t.Errorf("realtime ceiling %d VCUs, A.2 says 30", c.RealtimeVCUs)
+	}
+	if c.OfflineVCUs < 140 || c.OfflineVCUs > 165 {
+		t.Errorf("offline ceiling %d VCUs, A.2 says 150", c.OfflineVCUs)
+	}
+	if c.DeployedVCUs != 20 {
+		t.Errorf("deployed %d VCUs, production uses 20", c.DeployedVCUs)
+	}
+	if c.DeployedVCUs >= c.RealtimeVCUs {
+		t.Error("deployment should sit under the realtime ceiling (headroom, A.5)")
+	}
+}

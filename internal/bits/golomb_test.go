@@ -1,0 +1,107 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xffff, 16)
+	w.WriteBits(0, 5)
+	w.WriteBits(0x12345678, 32)
+	data := w.Bytes()
+	r := NewBitReader(data)
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Fatalf("got %b", got)
+	}
+	if got := r.ReadBits(16); got != 0xffff {
+		t.Fatalf("got %x", got)
+	}
+	if got := r.ReadBits(5); got != 0 {
+		t.Fatalf("got %d", got)
+	}
+	if got := r.ReadBits(32); got != 0x12345678 {
+		t.Fatalf("got %x", got)
+	}
+	if r.Overrun() {
+		t.Fatal("unexpected overrun")
+	}
+}
+
+func TestRiceRoundTripProperty(t *testing.T) {
+	f := func(vals []uint32, kseed uint8) bool {
+		k := uint(kseed % 8)
+		w := NewBitWriter()
+		for _, v := range vals {
+			w.WriteRice(v%100000, k)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vals {
+			if r.ReadRice(k) != v%100000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnaryLongRun(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteUnary(1000)
+	w.WriteUnary(0)
+	w.WriteUnary(77)
+	r := NewBitReader(w.Bytes())
+	for _, want := range []uint32{1000, 0, 77} {
+		if got := r.ReadUnary(); got != want {
+			t.Fatalf("unary got %d want %d", got, want)
+		}
+	}
+}
+
+func TestRiceCompressesSmallValues(t *testing.T) {
+	// Geometric-ish small residuals should code well below 8 bits/value.
+	rng := rand.New(rand.NewSource(5))
+	w := NewBitWriter()
+	n := 10000
+	for i := 0; i < n; i++ {
+		v := uint32(0)
+		for rng.Intn(3) != 0 { // geometric with mean 2
+			v++
+		}
+		w.WriteRice(v, 1)
+	}
+	bitsPerVal := float64(w.BitLen()) / float64(n)
+	if bitsPerVal > 4.5 {
+		t.Errorf("rice coding used %.2f bits/value, want < 4.5", bitsPerVal)
+	}
+}
+
+func TestBitReaderOverrun(t *testing.T) {
+	r := NewBitReader([]byte{0xff})
+	r.ReadBits(8)
+	if r.Overrun() {
+		t.Fatal("premature overrun")
+	}
+	r.ReadBits(1)
+	if !r.Overrun() {
+		t.Fatal("overrun not detected")
+	}
+}
+
+func TestUECostMatchesEncoding(t *testing.T) {
+	for _, v := range []uint32{0, 1, 2, 3, 7, 100, 12345} {
+		e := NewEncoder()
+		e.PutUE(v)
+		gotBools := e.Bools()
+		wantBits := int(UECost(v) / 256)
+		if gotBools != wantBits {
+			t.Errorf("UE(%d): coded %d bools, cost model says %d", v, gotBools, wantBits)
+		}
+	}
+}

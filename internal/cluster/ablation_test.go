@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/vcu"
+	"openvcu/internal/video"
+)
+
+// TestBinPackingBeatsSingleSlotOnLiveStreams is the scheduler ablation
+// behind §3.3.3: the paper replaced the "single slot per graph step"
+// model with multi-dimensional bin-packing. Live 240p streams consume a
+// tiny fraction of a VCU but run for their full wall duration, so the
+// slot model strands nearly the whole device: a 20-VCU cluster can hold
+// only slots×20 concurrent streams, while bin-packing admits streams by
+// their true resource shares.
+func TestBinPackingBeatsSingleSlotOnLiveStreams(t *testing.T) {
+	const streams = 400
+	run := func(legacy bool) time.Duration {
+		cfg := DefaultConfig(1)
+		cfg.LegacySingleSlot = legacy
+		c := New(cfg)
+		done := 0
+		var lastDone time.Duration
+		for i := 0; i < streams; i++ {
+			g := BuildGraph(VideoSpec{
+				ID: i, Resolution: video.Res240p, FPS: 30, Frames: 150, ChunkFrames: 150,
+				Profile: codec.VP9Class, Mode: vcu.EncodeTwoPassLagged, MOT: false, Live: true}, 0)
+			g.OnDone = func(*Graph) {
+				done++
+				lastDone = c.Eng.Now()
+			}
+			c.Submit(g)
+		}
+		c.Eng.RunUntil(time.Hour)
+		if done != streams {
+			t.Fatalf("legacy=%v completed %d/%d streams", legacy, done, streams)
+		}
+		return lastDone
+	}
+	slotMakespan := run(true)
+	packedMakespan := run(false)
+	t.Logf("makespan for %d live 240p chunks: single-slot=%v bin-packing=%v",
+		streams, slotMakespan, packedMakespan)
+	if packedMakespan*2 >= slotMakespan {
+		t.Fatalf("bin-packing (%v) should cut the single-slot makespan (%v) at least in half",
+			packedMakespan, slotMakespan)
+	}
+}
+
+// TestSingleSlotOverAdmitsIntoMemoryExhaustion shows the other failure
+// mode: with slots sized for light steps, heavy full-ladder MOTs get
+// over-admitted past the 8 GiB device memory and fail at allocation —
+// exactly the hard limit the bin-packing DRAM dimension encodes.
+func TestSingleSlotOverAdmitsIntoMemoryExhaustion(t *testing.T) {
+	run := func(legacy bool) Stats {
+		cfg := DefaultConfig(1)
+		cfg.LegacySingleSlot = legacy
+		cfg.LegacySlots = 16 // sized for light steps
+		cfg.StepTargetSeconds = 30
+		c := New(cfg)
+		done := 0
+		const videos = 40
+		for i := 0; i < videos; i++ {
+			g := BuildGraph(VideoSpec{
+				ID: i, Resolution: video.Res2160p, FPS: 30, Frames: 600, ChunkFrames: 150,
+				Profile: codec.VP9Class, Mode: vcu.EncodeTwoPassOffline, MOT: true}, 30)
+			g.OnDone = func(*Graph) { done++ }
+			c.Submit(g)
+		}
+		c.Eng.RunUntil(2 * time.Hour)
+		if done != videos {
+			t.Fatalf("legacy=%v completed %d/%d", legacy, done, videos)
+		}
+		return c.Stats
+	}
+	legacy := run(true)
+	packed := run(false)
+	if legacy.MemoryExhaustions == 0 {
+		t.Error("single-slot over-admission never hit device memory limits")
+	}
+	if packed.MemoryExhaustions != 0 {
+		t.Errorf("bin-packing admitted past device memory %d times", packed.MemoryExhaustions)
+	}
+	t.Logf("memory exhaustions: single-slot=%d bin-packing=%d",
+		legacy.MemoryExhaustions, packed.MemoryExhaustions)
+}

@@ -1,0 +1,700 @@
+// Package cluster implements the cluster-level control plane of the video
+// processing platform (paper §2.2, §3.3.3, §4.4): a global work queue of
+// step dependency graphs, dispatch onto VCU workers through the
+// multi-dimensional bin-packing scheduler, chunk fan-out and assembly,
+// retry on failure (another VCU, then software), and failure management —
+// telemetry-driven VCU disabling, capped repair queues, golden-task
+// screening and black-holing mitigation.
+//
+// The cluster runs entirely inside a sim.Engine, so experiments are
+// deterministic and fast.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/sched"
+	"openvcu/internal/sim"
+	"openvcu/internal/vcu"
+)
+
+// StepKind is the type of work a step performs. Transcoding runs on VCU
+// workers; the other kinds are the CPU work of §3.3.3 ("thumbnail
+// extraction, generating search signals, fingerprinting, notifications").
+type StepKind int
+
+// Step kinds.
+const (
+	StepTranscode StepKind = iota
+	StepThumbnail
+	StepFingerprint
+	StepNotify
+	StepAssemble
+)
+
+// StepState is a step's lifecycle state.
+type StepState int
+
+// Step states.
+const (
+	StepPending StepState = iota
+	StepReady
+	StepRunning
+	StepDone
+	StepFailed
+)
+
+// Step is one node in a video's work graph.
+type Step struct {
+	ID      int
+	Kind    StepKind
+	Request *sched.StepRequest
+	Deps    []*Step
+
+	State    StepState
+	Attempts int
+	// triedVCUs are devices this step failed on: excluded from placement
+	// (§4.4 "retried at the cluster level ... assigned to a different
+	// VCU").
+	triedVCUs map[int]bool
+	// RanOnVCU records where the step executed, "for fault correlation".
+	RanOnVCU []int
+	// escapeCounted dedupes escaped-corruption accounting.
+	escapeCounted bool
+	// Corrupted marks silent output corruption that escaped detection so
+	// far (in real-pixels mode: the bitstream was actually tampered).
+	Corrupted bool
+	// Software marks execution on the CPU fallback path.
+	Software bool
+	// Packets holds the step's real encoded output in real-pixels mode.
+	Packets []codec.Packet
+
+	graph *Graph
+}
+
+// Graph is one video's acyclic task dependency graph (§2.2).
+type Graph struct {
+	ID    int
+	Steps []*Step
+	// OnDone fires when every step has completed.
+	OnDone func(*Graph)
+	remain int
+}
+
+// Corrupted reports whether any step carries undetected corruption — the
+// §4.4 blast-radius condition.
+func (g *Graph) Corrupted() bool {
+	for _, s := range g.Steps {
+		if s.Corrupted {
+			return true
+		}
+	}
+	return false
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	Params vcu.Params
+	Hosts  int
+	// GoldenCheckOnStart runs golden transcoding tasks before a worker
+	// accepts work on a VCU (§4.4 mitigation).
+	GoldenCheckOnStart bool
+	// AbortOnFailure makes a worker abort all VCU work on the first
+	// hardware failure rather than keep grinding (§4.4 mitigation).
+	AbortOnFailure bool
+	// IntegrityCheckProb is the probability a corrupted chunk is caught
+	// by the high-level integrity checks ("detect and prevent most
+	// corruption" — most, not all).
+	IntegrityCheckProb float64
+	// MaxHostsInRepair caps simultaneous repairs "to protect against
+	// faulty repair signals causing large scale capacity loss".
+	MaxHostsInRepair int
+	// FaultScanPeriod is the failure-management sweep interval.
+	FaultScanPeriod time.Duration
+	// DisableFaultThreshold is the telemetry fault count that disables a
+	// VCU.
+	DisableFaultThreshold int64
+	// StepTargetSeconds is the nominal step latency target used by the
+	// cost model.
+	StepTargetSeconds float64
+	// LegacySingleSlot replaces the multi-dimensional bin-packing cost
+	// model with the prior "single slot per graph step" model (§3.3.3):
+	// each VCU worker advertises a fixed slot count and every step costs
+	// one slot regardless of its real resource shape. Exists for the
+	// scheduler ablation experiments.
+	LegacySingleSlot bool
+	// LegacySlots is the slot count per worker in legacy mode (default 3).
+	LegacySlots int
+	// EnablePools splits the cluster's VCU workers into "upload" and
+	// "live" logical pools (§3.3.3). Live steps only place on live-pool
+	// workers and vice versa; a periodic rebalancer moves idle workers
+	// toward the pool with backlog, "maximizing cluster-wide VCU
+	// utilization".
+	EnablePools bool
+	// LiveShare is the initial fraction of VCUs in the live pool.
+	LiveShare float64
+	// RebalancePeriod is the pool-rebalancing sweep interval.
+	RebalancePeriod time.Duration
+	// ConsistentHashing places each video's chunks on a small per-video
+	// affinity set of VCUs (the §4.4 future-work enhancement), bounding
+	// how many videos one faulty device can touch.
+	ConsistentHashing bool
+	// AffinitySize is the per-video VCU set size (default 4).
+	AffinitySize int
+	// RealPixels runs actual encodes for transcode steps, actual byte
+	// corruption for faulty VCUs, and actual decode/length verification
+	// at assembly (replacing IntegrityCheckProb with emergent behavior).
+	RealPixels RealPixelsConfig
+	// Seed drives the deterministic pseudo-random integrity sampling.
+	Seed uint64
+}
+
+// DefaultConfig returns a production-like configuration with all §4.4
+// mitigations enabled.
+func DefaultConfig(hosts int) Config {
+	return Config{
+		Params:                vcu.DefaultParams(),
+		Hosts:                 hosts,
+		GoldenCheckOnStart:    true,
+		AbortOnFailure:        true,
+		IntegrityCheckProb:    0.9,
+		MaxHostsInRepair:      2,
+		FaultScanPeriod:       30 * time.Second,
+		DisableFaultThreshold: 8,
+		StepTargetSeconds:     10,
+		Seed:                  1,
+	}
+}
+
+// Stats counts cluster-level outcomes.
+type Stats struct {
+	StepsCompleted     int64
+	StepsFailed        int64
+	Retries            int64
+	SoftwareFallbacks  int64
+	AffinityOverflows  int64
+	MemoryExhaustions  int64
+	CorruptionsCaught  int64
+	CorruptionsEscaped int64
+	VCUsDisabled       int64
+	HostsSentToRepair  int64
+	RepairsDeferred    int64
+	GoldenRejections   int64
+	WorkerAborts       int64
+	PoolRebalances     int64
+}
+
+// Cluster is one data center cell: hosts full of VCUs, a worker per VCU,
+// a scheduler, and the work queue.
+type Cluster struct {
+	Eng   *sim.Engine
+	cfg   Config
+	Hosts []*vcu.Host
+
+	workerType *sched.WorkerType
+	scheduler  *sched.Scheduler
+	workers    []*clusterWorker
+	byVCU      map[int]*clusterWorker
+
+	queue  []*Step
+	nextID int
+	rng    uint64
+	ring   *hashRing
+	// poolOf assigns each VCU to a logical pool when pools are enabled.
+	poolOf map[int]sched.UseCase
+
+	hostsInRepair int
+
+	Stats Stats
+}
+
+// clusterWorker binds a scheduler worker to a VCU.
+type clusterWorker struct {
+	sw      *sched.Worker
+	vcu     *vcu.VCU
+	host    *vcu.Host
+	queueFW *vcu.Queue
+	// refused marks workers whose golden check failed: the VCU is
+	// quarantined until fault management disables it.
+	refused bool
+	// generation counts worker restarts on this VCU.
+	generation int
+}
+
+// New builds a cluster with cfg.Hosts hosts on a fresh engine.
+func New(cfg Config) *Cluster {
+	return buildCluster(cfg, sim.NewEngine())
+}
+
+// buildCluster assembles a cluster on the given engine (regions share one
+// engine across clusters).
+func buildCluster(cfg Config, eng *sim.Engine) *Cluster {
+	c := &Cluster{Eng: eng, cfg: cfg, byVCU: map[int]*clusterWorker{}, rng: cfg.Seed*2 + 1}
+	if cfg.LegacySingleSlot {
+		slots := cfg.LegacySlots
+		if slots <= 0 {
+			slots = 3
+		}
+		c.workerType = sched.NewWorkerType("transcode-vcu-legacy",
+			sched.CPUWorkerCapacity(slots), sched.NewCPUCostModel())
+	} else {
+		c.workerType = sched.NewWorkerType("transcode-vcu",
+			sched.VCUWorkerCapacity(cfg.Params), sched.NewVCUCostModel(cfg.Params))
+	}
+	c.scheduler = sched.NewScheduler(64)
+	for h := 0; h < cfg.Hosts; h++ {
+		host := vcu.NewHost(eng, h, cfg.Params)
+		c.Hosts = append(c.Hosts, host)
+		for _, v := range host.VCUs {
+			cw := &clusterWorker{sw: sched.NewWorker(v.ID, c.workerType), vcu: v, host: host}
+			c.startWorker(cw)
+			c.scheduler.AddWorker(cw.sw)
+			c.workers = append(c.workers, cw)
+			c.byVCU[v.ID] = cw
+		}
+	}
+	if cfg.ConsistentHashing {
+		var ids []int
+		for _, cw := range c.workers {
+			ids = append(ids, cw.vcu.ID)
+		}
+		c.ring = newHashRing(ids)
+	}
+	if cfg.EnablePools {
+		c.poolOf = map[int]sched.UseCase{}
+		liveN := int(cfg.LiveShare * float64(len(c.workers)))
+		for i, cw := range c.workers {
+			if i < liveN {
+				c.poolOf[cw.vcu.ID] = sched.UseLive
+			} else {
+				c.poolOf[cw.vcu.ID] = sched.UseUpload
+			}
+		}
+		period := cfg.RebalancePeriod
+		if period <= 0 {
+			period = 30 * time.Second
+		}
+		var rebalance func()
+		rebalance = func() {
+			c.rebalancePools()
+			c.Eng.Schedule(period, rebalance)
+		}
+		c.Eng.Schedule(period, rebalance)
+	}
+	c.scheduleFaultScan()
+	return c
+}
+
+// stepPool classifies a step's pool by its request.
+func stepPool(s *Step) sched.UseCase {
+	if s.Request != nil && s.Request.Realtime {
+		return sched.UseLive
+	}
+	return sched.UseUpload
+}
+
+// rebalancePools moves idle workers from backlog-free pools to starved
+// ones (§3.3.3: idle workers "may be stopped and reallocated to other
+// pools in the cluster").
+func (c *Cluster) rebalancePools() {
+	backlog := map[sched.UseCase]int{}
+	for _, s := range c.queue {
+		if s.Kind == StepTranscode {
+			backlog[stepPool(s)]++
+		}
+	}
+	for pool, need := range backlog {
+		if need == 0 {
+			continue
+		}
+		moved := 0
+		for _, cw := range c.workers {
+			if moved >= need {
+				break
+			}
+			if c.poolOf[cw.vcu.ID] == pool || !cw.sw.Idle() || cw.refused || cw.vcu.Disabled() {
+				continue
+			}
+			// Only take from a pool with no backlog of its own.
+			if backlog[c.poolOf[cw.vcu.ID]] > 0 {
+				continue
+			}
+			c.poolOf[cw.vcu.ID] = pool
+			c.Stats.PoolRebalances++
+			moved++
+		}
+	}
+	c.dispatch()
+}
+
+// startWorker (re)starts the worker process on its VCU, running the
+// golden screening when configured.
+func (c *Cluster) startWorker(cw *clusterWorker) {
+	cw.generation++
+	cw.refused = false
+	if c.cfg.GoldenCheckOnStart && !cw.vcu.GoldenCheck() {
+		cw.refused = true
+		c.Stats.GoldenRejections++
+		return
+	}
+	cw.queueFW = cw.vcu.OpenQueue()
+}
+
+// rand returns a deterministic pseudo-random float in [0, 1).
+func (c *Cluster) rand() float64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return float64(c.rng%1e9) / 1e9
+}
+
+// Submit enqueues a graph; steps with no dependencies become ready.
+func (c *Cluster) Submit(g *Graph) {
+	g.remain = len(g.Steps)
+	for _, s := range g.Steps {
+		s.graph = g
+		if s.triedVCUs == nil {
+			s.triedVCUs = map[int]bool{}
+		}
+		if len(s.Deps) == 0 {
+			c.enqueue(s)
+		}
+	}
+	c.dispatch()
+}
+
+func (c *Cluster) enqueue(s *Step) {
+	s.State = StepReady
+	c.queue = append(c.queue, s)
+}
+
+// QueueLen returns the ready-queue length.
+func (c *Cluster) QueueLen() int { return len(c.queue) }
+
+// dispatch drains the ready queue onto workers, first fit in queue order.
+func (c *Cluster) dispatch() {
+	var rest []*Step
+	for _, s := range c.queue {
+		if !c.tryPlace(s) {
+			rest = append(rest, s)
+		}
+	}
+	c.queue = rest
+}
+
+// tryPlace attempts to place one step.
+func (c *Cluster) tryPlace(s *Step) bool {
+	if s.Kind != StepTranscode {
+		// CPU steps: modeled as a fixed-latency host-side task. In
+		// real-pixels mode the assemble step runs the actual integrity
+		// checks before completing.
+		s.State = StepRunning
+		c.Eng.Schedule(2*time.Second, func() {
+			if c.cfg.RealPixels.Enabled && s.Kind == StepAssemble {
+				if c.assembleVerify(s) {
+					return // bad chunks re-opened; assemble waits again
+				}
+			}
+			c.completeStep(s, nil, false)
+		})
+		return true
+	}
+	if s.Attempts >= 2 {
+		// Second retry falls back to software transcoding (§3.3.3 "the
+		// work is rescheduled on another VCU or with software
+		// transcoding").
+		s.Software = true
+		s.State = StepRunning
+		c.Stats.SoftwareFallbacks++
+		dur := time.Duration(s.Request.TargetSeconds*8) * time.Second
+		c.Eng.Schedule(dur, func() { c.completeStep(s, nil, false) })
+		return true
+	}
+	req := s.Request
+	need := c.workerType.Cost(req)
+	baseExclude := func(w *sched.Worker) bool {
+		cw := c.byVCU[w.ID]
+		if cw == nil || cw.refused || cw.vcu.Disabled() || cw.host.Disabled() || s.triedVCUs[w.ID] {
+			return true
+		}
+		if c.poolOf != nil && c.poolOf[w.ID] != stepPool(s) {
+			return true
+		}
+		return false
+	}
+	var a *sched.Assignment
+	var err error
+	if c.ring != nil {
+		// Prefer the video's consistent-hash affinity set; overflow to
+		// any VCU only when the set has no capacity (affinity reduces
+		// blast radius, it must not strand work).
+		k := c.cfg.AffinitySize
+		if k <= 0 {
+			k = 4
+		}
+		affinity := c.ring.AffinitySet(s.graph.ID, k)
+		a, err = c.scheduler.Schedule(need, func(w *sched.Worker) bool {
+			return baseExclude(w) || !affinity[w.ID]
+		})
+		if err != nil {
+			c.Stats.AffinityOverflows++
+		}
+	}
+	if a == nil {
+		a, err = c.scheduler.Schedule(need, baseExclude)
+		if err != nil {
+			return false
+		}
+	}
+	cw := c.byVCU[a.Worker.ID]
+	s.State = StepRunning
+	s.RanOnVCU = append(s.RanOnVCU, cw.vcu.ID)
+	c.runTranscode(s, cw, a)
+	return true
+}
+
+// runTranscode executes the step's ops on the worker's VCU through the
+// firmware queue: one decode, then the output encodes. The step's
+// worst-case frame footprint is allocated from device DRAM up front — the
+// hard limit the bin-packing DRAM dimension exists to respect (a
+// single-slot scheduler can over-admit into this and fail here).
+func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment) {
+	req := s.Request
+	frames := req.ChunkFrames
+	if frames <= 0 {
+		frames = 150
+	}
+	inPixels := int64(frames) * int64(req.InputRes.Pixels())
+	gen := cw.generation
+
+	outs := make([]int64, len(req.Outputs))
+	for i, o := range req.Outputs {
+		outs[i] = int64(o.Pixels())
+	}
+	footprint := c.cfg.Params.JobFootprint(int64(req.InputRes.Pixels()), outs)
+	if err := cw.vcu.AllocMemory(footprint); err != nil {
+		c.Stats.MemoryExhaustions++
+		a.Release()
+		c.failStep(s, cw, err)
+		return
+	}
+
+	finished := false
+	finish := func(err error, corrupted bool) {
+		if finished {
+			return
+		}
+		finished = true
+		cw.vcu.FreeMemory(footprint)
+		a.Release()
+		if gen != cw.generation && err == nil {
+			err = fmt.Errorf("worker restarted under step")
+		}
+		if err != nil {
+			c.failStep(s, cw, err)
+			return
+		}
+		c.completeStep(s, cw, corrupted)
+		c.dispatch()
+	}
+
+	// Live steps pace at the chunk's wall duration: completion cannot
+	// fire before the stream has actually played out.
+	startedAt := c.Eng.Now()
+	wallFloor := time.Duration(0)
+	if req.Realtime && req.FPS > 0 {
+		wallFloor = time.Duration(float64(frames) / float64(req.FPS) * float64(time.Second))
+	}
+	gated := func(err error, corrupted bool) {
+		elapsed := c.Eng.Now() - startedAt
+		if err == nil && elapsed < wallFloor {
+			c.Eng.Schedule(wallFloor-elapsed, func() { finish(err, corrupted) })
+			return
+		}
+		finish(err, corrupted)
+	}
+
+	encodeAll := func(corruptedSoFar bool) {
+		remaining := len(req.Outputs)
+		if remaining == 0 {
+			gated(nil, corruptedSoFar)
+			return
+		}
+		anyCorrupt := corruptedSoFar
+		var anyErr error
+		for _, out := range req.Outputs {
+			op := &vcu.Op{Kind: vcu.OpEncode, Profile: req.Profile, Mode: req.Mode,
+				Pixels: int64(frames) * int64(out.Pixels()),
+				Done: func(err error, corr bool) {
+					if err != nil {
+						anyErr = err
+					}
+					anyCorrupt = anyCorrupt || corr
+					remaining--
+					if remaining == 0 {
+						gated(anyErr, anyCorrupt)
+					}
+				}}
+			if err := cw.queueFW.RunOnCore(op); err != nil {
+				finish(err, false)
+				return
+			}
+		}
+	}
+
+	decode := &vcu.Op{Kind: vcu.OpDecode, Mode: req.Mode, Pixels: inPixels,
+		Done: func(err error, corr bool) {
+			if err != nil {
+				finish(err, false)
+				return
+			}
+			encodeAll(corr)
+		}}
+	if err := cw.queueFW.RunOnCore(decode); err != nil {
+		finish(err, false)
+	}
+}
+
+// assembleVerify runs the real §4.4 integrity checks: decode every chunk
+// and compare its length to the input. Failing chunks are re-opened for
+// retry and the assemble step goes back to waiting on them. Returns true
+// when verification found problems.
+func (c *Cluster) assembleVerify(s *Step) bool {
+	bad := c.verifyChunks(s.graph)
+	if len(bad) == 0 {
+		// Tampered chunks that still decode to the right shape escape.
+		for _, st := range s.graph.Steps {
+			if st.Kind == StepTranscode && st.Corrupted && !st.escapeCounted {
+				st.escapeCounted = true
+				c.Stats.CorruptionsEscaped++
+			}
+		}
+		return false
+	}
+	c.Stats.CorruptionsCaught += int64(len(bad))
+	for _, b := range bad {
+		b.Corrupted = false // caught: will be redone
+		s.graph.remain++    // re-open a previously-completed step
+		var cw *clusterWorker
+		if len(b.RanOnVCU) > 0 {
+			cw = c.byVCU[b.RanOnVCU[len(b.RanOnVCU)-1]]
+		}
+		c.failStep(b, cw, fmt.Errorf("chunk failed integrity verification"))
+	}
+	s.State = StepPending // assemble re-arms once the chunks are redone
+	c.dispatch()
+	return true
+}
+
+// completeStep finishes a step, applying the integrity check to corrupted
+// outputs.
+func (c *Cluster) completeStep(s *Step, cw *clusterWorker, corrupted bool) {
+	if c.cfg.RealPixels.Enabled && s.Kind == StepTranscode && !s.Software {
+		// Really encode the chunk; a faulty VCU really tampers with it.
+		// Detection happens at assembly via real decodes.
+		if err := c.realEncode(s, corrupted); err != nil {
+			c.failStep(s, cw, err)
+			return
+		}
+		s.Corrupted = corrupted
+	} else if corrupted {
+		if c.rand() < c.cfg.IntegrityCheckProb {
+			// Caught: treat as a failure and retry elsewhere.
+			c.Stats.CorruptionsCaught++
+			c.failStep(s, cw, fmt.Errorf("integrity check failed"))
+			return
+		}
+		c.Stats.CorruptionsEscaped++
+		s.Corrupted = true
+	}
+	s.State = StepDone
+	c.Stats.StepsCompleted++
+	g := s.graph
+	g.remain--
+	for _, other := range g.Steps {
+		if other.State != StepPending {
+			continue
+		}
+		ready := true
+		for _, d := range other.Deps {
+			if d.State != StepDone {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			c.enqueue(other)
+		}
+	}
+	if g.remain == 0 && g.OnDone != nil {
+		g.OnDone(g)
+	}
+	c.dispatch()
+}
+
+// failStep handles a step failure: exclude the VCU, apply the §4.4
+// mitigations and requeue.
+func (c *Cluster) failStep(s *Step, cw *clusterWorker, err error) {
+	c.Stats.StepsFailed++
+	s.Attempts++
+	c.Stats.Retries++
+	if cw != nil {
+		s.triedVCUs[cw.vcu.ID] = true
+		if c.cfg.AbortOnFailure {
+			// "A transcoding worker, upon encountering a hardware
+			// failure, immediately aborts all work on the VCU."
+			c.Stats.WorkerAborts++
+			cw.queueFW.Close()
+			c.Eng.Schedule(time.Second, func() { c.startWorker(cw) })
+		}
+	}
+	c.enqueue(s)
+	c.dispatch()
+}
+
+// scheduleFaultScan installs the periodic failure-management sweep.
+func (c *Cluster) scheduleFaultScan() {
+	c.Eng.Schedule(c.cfg.FaultScanPeriod, func() {
+		c.faultScan()
+		c.scheduleFaultScan()
+	})
+}
+
+// faultScan disables VCUs whose telemetry crossed the fault threshold and
+// sends hosts with too many dead VCUs to repair, respecting the repair
+// cap.
+func (c *Cluster) faultScan() {
+	for _, cw := range c.workers {
+		t := cw.vcu.Telemetry
+		faults := t.OpsFailed + t.OpsCorrupted + t.ECCErrors
+		if !cw.vcu.Disabled() && faults >= c.cfg.DisableFaultThreshold {
+			cw.vcu.Disable()
+			c.Stats.VCUsDisabled++
+		}
+	}
+	for _, h := range c.Hosts {
+		if h.Disabled() {
+			continue
+		}
+		dead := 0
+		for _, v := range h.VCUs {
+			if v.Disabled() {
+				dead++
+			}
+		}
+		// "It is not cost effective to send a system to repair when a
+		// small fraction of the VCUs have failed."
+		if dead*4 >= len(h.VCUs) {
+			if c.hostsInRepair >= c.cfg.MaxHostsInRepair {
+				c.Stats.RepairsDeferred++
+				continue
+			}
+			h.Disable()
+			c.hostsInRepair++
+			c.Stats.HostsSentToRepair++
+		}
+	}
+	c.dispatch()
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/vcu"
+	"openvcu/internal/video"
+)
+
+func uploadSpec(id int) VideoSpec {
+	return VideoSpec{
+		ID: id, Resolution: video.Res1080p, FPS: 30, Frames: 600, ChunkFrames: 150,
+		Profile: codec.VP9Class, Mode: vcu.EncodeTwoPassOffline, MOT: true,
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	g := BuildGraph(uploadSpec(1), 10)
+	// 4 chunks + thumbnail + fingerprint + assemble + notify = 8 steps.
+	if len(g.Steps) != 8 {
+		t.Fatalf("%d steps", len(g.Steps))
+	}
+	var transcodes, withDeps int
+	for _, s := range g.Steps {
+		if s.Kind == StepTranscode {
+			transcodes++
+			if len(s.Request.Outputs) != 6 {
+				t.Fatalf("MOT ladder has %d rungs", len(s.Request.Outputs))
+			}
+		}
+		if len(s.Deps) > 0 {
+			withDeps++
+		}
+	}
+	if transcodes != 4 {
+		t.Fatalf("%d transcode steps", transcodes)
+	}
+	if withDeps != 2 { // assemble + notify
+		t.Fatalf("%d dependent steps", withDeps)
+	}
+}
+
+func TestHappyPathVideoCompletes(t *testing.T) {
+	c := New(DefaultConfig(1))
+	done := 0
+	g := BuildGraph(uploadSpec(1), 10)
+	g.OnDone = func(*Graph) { done++ }
+	c.Submit(g)
+	c.Eng.RunUntil(10 * time.Minute)
+	if done != 1 {
+		t.Fatalf("video not completed; queue=%d stats=%+v", c.QueueLen(), c.Stats)
+	}
+	if g.Corrupted() {
+		t.Fatal("healthy run produced corruption")
+	}
+	if c.Stats.StepsCompleted != 8 {
+		t.Fatalf("steps completed %d", c.Stats.StepsCompleted)
+	}
+	// Dependency ordering: notify ran after assemble after transcodes.
+	for _, s := range g.Steps {
+		if s.State != StepDone {
+			t.Fatalf("step %d kind %d not done", s.ID, s.Kind)
+		}
+	}
+}
+
+func TestParallelChunksUseMultipleVCUs(t *testing.T) {
+	c := New(DefaultConfig(1))
+	// A tight latency target makes each chunk need a large VCU share, so
+	// the chunks must fan out across devices.
+	g := BuildGraph(uploadSpec(1), 2)
+	c.Submit(g)
+	c.Eng.RunUntil(10 * time.Minute)
+	used := map[int]bool{}
+	for _, s := range g.Steps {
+		for _, v := range s.RanOnVCU {
+			used[v] = true
+		}
+	}
+	if len(used) < 2 {
+		t.Fatalf("chunks used %d VCUs, expected parallel spread", len(used))
+	}
+}
+
+func TestFailStopVCURetriesElsewhere(t *testing.T) {
+	cfg := DefaultConfig(1)
+	c := New(cfg)
+	// Make VCU 0 fail-stop immediately.
+	c.Hosts[0].VCUs[0].InjectFault(vcu.FaultStop, 0)
+	done := 0
+	for i := 0; i < 4; i++ {
+		g := BuildGraph(uploadSpec(i), 10)
+		g.OnDone = func(*Graph) { done++ }
+		c.Submit(g)
+	}
+	c.Eng.RunUntil(30 * time.Minute)
+	if done != 4 {
+		t.Fatalf("completed %d/4 videos; stats %+v", done, c.Stats)
+	}
+	if c.Stats.Retries == 0 {
+		t.Fatal("no retries recorded despite faulty VCU")
+	}
+}
+
+func TestFaultManagementDisablesBadVCU(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.GoldenCheckOnStart = false // let it keep hurting until telemetry trips
+	cfg.AbortOnFailure = false
+	c := New(cfg)
+	bad := c.Hosts[0].VCUs[0]
+	bad.InjectFault(vcu.FaultStop, 0)
+	for i := 0; i < 8; i++ {
+		c.Submit(BuildGraph(uploadSpec(i), 10))
+	}
+	c.Eng.RunUntil(time.Hour)
+	if !bad.Disabled() {
+		t.Fatalf("faulty VCU never disabled; telemetry %+v", bad.Telemetry)
+	}
+	if c.Stats.VCUsDisabled == 0 {
+		t.Fatal("disable not counted")
+	}
+}
+
+func TestRepairCapBoundsCapacityLoss(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.MaxHostsInRepair = 1
+	c := New(cfg)
+	// Break most VCUs on three hosts.
+	for h := 0; h < 3; h++ {
+		for i := 0; i < 12; i++ {
+			c.Hosts[h].VCUs[i].InjectFault(vcu.FaultStop, 0)
+			c.Hosts[h].VCUs[i].Disable()
+		}
+	}
+	c.Eng.RunUntil(5 * time.Minute)
+	if c.Stats.HostsSentToRepair != 1 {
+		t.Fatalf("hosts in repair %d, cap is 1", c.Stats.HostsSentToRepair)
+	}
+	if c.Stats.RepairsDeferred == 0 {
+		t.Fatal("deferred repairs not counted")
+	}
+}
+
+// TestBlackHolingMitigation reproduces the §4.4 experiment: a failing-
+// but-fast VCU attracts work and corrupts many videos unless the
+// mitigation (abort + golden screening) is on.
+func TestBlackHolingMitigation(t *testing.T) {
+	run := func(mitigate bool) (corrupted int, stats Stats) {
+		cfg := DefaultConfig(1)
+		cfg.GoldenCheckOnStart = mitigate
+		cfg.AbortOnFailure = mitigate
+		cfg.IntegrityCheckProb = 0.5 // weaker end-to-end checks to expose the effect
+		c := New(cfg)
+		c.Hosts[0].VCUs[0].InjectFault(vcu.FaultCorrupt, 0)
+		var graphs []*Graph
+		for i := 0; i < 20; i++ {
+			g := BuildGraph(uploadSpec(i), 10)
+			graphs = append(graphs, g)
+			c.Submit(g)
+		}
+		c.Eng.RunUntil(2 * time.Hour)
+		for _, g := range graphs {
+			if g.Corrupted() {
+				corrupted++
+			}
+		}
+		return corrupted, c.Stats
+	}
+	bad, _ := run(false)
+	good, goodStats := run(true)
+	if good >= bad {
+		t.Fatalf("mitigation did not reduce corrupted videos: %d -> %d", bad, good)
+	}
+	if goodStats.GoldenRejections == 0 && goodStats.WorkerAborts == 0 {
+		t.Fatal("mitigation path never exercised")
+	}
+}
+
+func TestSoftwareFallbackAfterRepeatedFailures(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.GoldenCheckOnStart = false
+	c := New(cfg)
+	// Break every VCU: all transcodes must fall back to software.
+	for _, h := range c.Hosts {
+		for _, v := range h.VCUs {
+			v.InjectFault(vcu.FaultStop, 0)
+		}
+	}
+	done := 0
+	g := BuildGraph(uploadSpec(1), 10)
+	g.OnDone = func(*Graph) { done++ }
+	c.Submit(g)
+	c.Eng.RunUntil(3 * time.Hour)
+	if done != 1 {
+		t.Fatalf("video did not complete via software fallback; stats %+v", c.Stats)
+	}
+	if c.Stats.SoftwareFallbacks == 0 {
+		t.Fatal("software fallback not used")
+	}
+	for _, s := range g.Steps {
+		if s.Kind == StepTranscode && !s.Software {
+			t.Fatal("transcode step completed on broken hardware")
+		}
+	}
+}
+
+func TestFaultCorrelationRecordsVCUs(t *testing.T) {
+	c := New(DefaultConfig(1))
+	g := BuildGraph(uploadSpec(1), 10)
+	c.Submit(g)
+	c.Eng.RunUntil(10 * time.Minute)
+	for _, s := range g.Steps {
+		if s.Kind == StepTranscode && len(s.RanOnVCU) == 0 {
+			t.Fatal("transcode step has no VCU record (fault correlation impossible)")
+		}
+	}
+}
+
+func TestThroughputUnderLoad(t *testing.T) {
+	// A loaded cluster should keep all transcode steps flowing and
+	// complete videos at a sustained rate.
+	c := New(DefaultConfig(1))
+	done := 0
+	for i := 0; i < 10; i++ {
+		g := BuildGraph(uploadSpec(i), 10)
+		g.OnDone = func(*Graph) { done++ }
+		c.Submit(g)
+	}
+	c.Eng.RunUntil(20 * time.Minute)
+	if done != 10 {
+		t.Fatalf("completed %d/10 under load; queue=%d", done, c.QueueLen())
+	}
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import "sort"
+
+// hashRing is a consistent-hash ring over VCU IDs, implementing the §4.4
+// future-work enhancement: "use consistent hashing to reduce the number
+// of VCUs on which a given video is processed". All chunks of one video
+// hash to the same small affinity set of VCUs, so a single faulty device
+// can only ever touch videos whose affinity set contains it — bounding
+// the blast radius — while virtual nodes keep load balanced.
+type hashRing struct {
+	points []ringPoint // sorted by position
+}
+
+type ringPoint struct {
+	pos uint64
+	vcu int
+}
+
+// virtualNodes per VCU; more points smooth the load distribution.
+const virtualNodes = 16
+
+// newHashRing builds a ring over the given VCU IDs.
+func newHashRing(vcuIDs []int) *hashRing {
+	r := &hashRing{}
+	for _, id := range vcuIDs {
+		for v := 0; v < virtualNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				pos: mix64(uint64(id)*0x9e3779b97f4a7c15 + uint64(v)*0xc2b2ae3d27d4eb4f),
+				vcu: id,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].vcu < r.points[j].vcu
+	})
+	return r
+}
+
+// AffinitySet returns the first k distinct VCUs clockwise from the
+// video's hash position. Every chunk of the video gets the same set.
+func (r *hashRing) AffinitySet(videoID, k int) map[int]bool {
+	set := make(map[int]bool, k)
+	if len(r.points) == 0 || k <= 0 {
+		return set
+	}
+	h := mix64(uint64(videoID)*0xff51afd7ed558ccd + 0x2545f4914f6cdd1d)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	for i := 0; len(set) < k && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		set[p.vcu] = true
+	}
+	return set
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}

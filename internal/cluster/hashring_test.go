@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/vcu"
+	"openvcu/internal/video"
+)
+
+func TestRingAffinityDeterministic(t *testing.T) {
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r1 := newHashRing(ids)
+	r2 := newHashRing(ids)
+	for v := 0; v < 20; v++ {
+		a := r1.AffinitySet(v, 3)
+		b := r2.AffinitySet(v, 3)
+		if len(a) != 3 {
+			t.Fatalf("video %d affinity size %d", v, len(a))
+		}
+		for id := range a {
+			if !b[id] {
+				t.Fatalf("video %d affinity not deterministic", v)
+			}
+		}
+	}
+}
+
+func TestRingBalancesLoad(t *testing.T) {
+	ids := make([]int, 20)
+	for i := range ids {
+		ids[i] = i
+	}
+	r := newHashRing(ids)
+	counts := map[int]int{}
+	const videos = 2000
+	for v := 0; v < videos; v++ {
+		for id := range r.AffinitySet(v, 4) {
+			counts[id]++
+		}
+	}
+	// Expected 400 per VCU; accept a generous spread.
+	for id, n := range counts {
+		if n < 150 || n > 750 {
+			t.Errorf("VCU %d got %d video affinities, want ~400", id, n)
+		}
+	}
+	if len(counts) != 20 {
+		t.Errorf("only %d VCUs ever selected", len(counts))
+	}
+}
+
+func TestRingDifferentVideosDifferentSets(t *testing.T) {
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = i
+	}
+	r := newHashRing(ids)
+	identical := 0
+	const pairs = 100
+	for v := 0; v < pairs; v++ {
+		a := r.AffinitySet(v, 4)
+		b := r.AffinitySet(v+pairs, 4)
+		same := true
+		for id := range a {
+			if !b[id] {
+				same = false
+				break
+			}
+		}
+		if same {
+			identical++
+		}
+	}
+	if identical > pairs/4 {
+		t.Errorf("%d/%d video pairs share identical affinity sets", identical, pairs)
+	}
+}
+
+// TestConsistentHashingBoundsBlastRadius runs the §4.4 future-work
+// experiment: with a silently-corrupting VCU and weak integrity checks,
+// per-video affinity placement confines the damage to the videos whose
+// affinity set contains the bad device.
+func TestConsistentHashingBoundsBlastRadius(t *testing.T) {
+	run := func(hashing bool) (touched int) {
+		cfg := DefaultConfig(1)
+		cfg.ConsistentHashing = hashing
+		cfg.AffinitySize = 4
+		// Neutralize the orthogonal mitigations so placement is isolated.
+		cfg.GoldenCheckOnStart = false
+		cfg.AbortOnFailure = false
+		cfg.IntegrityCheckProb = 0
+		cfg.DisableFaultThreshold = 1 << 30
+		c := New(cfg)
+		bad := c.Hosts[0].VCUs[0]
+		bad.InjectFault(vcu.FaultCorrupt, 0)
+		var graphs []*Graph
+		for i := 0; i < 40; i++ {
+			i := i
+			c.Eng.Schedule(time.Duration(i)*15*time.Second, func() {
+				g := BuildGraph(VideoSpec{
+					ID: i, Resolution: video.Res1080p, FPS: 30, Frames: 600, ChunkFrames: 150,
+					Profile: codec.VP9Class, Mode: vcu.EncodeTwoPassOffline, MOT: true}, 10)
+				graphs = append(graphs, g)
+				c.Submit(g)
+			})
+		}
+		c.Eng.RunUntil(3 * time.Hour)
+		for _, g := range graphs {
+			hit := false
+			for _, s := range g.Steps {
+				for _, id := range s.RanOnVCU {
+					if id == bad.ID {
+						hit = true
+					}
+				}
+			}
+			if hit {
+				touched++
+			}
+		}
+		return touched
+	}
+	spread := run(false)
+	bounded := run(true)
+	if bounded*2 >= spread {
+		t.Fatalf("consistent hashing did not bound blast radius: %d -> %d videos touched the bad VCU",
+			spread, bounded)
+	}
+	// With 20 VCUs and affinity 4, roughly 4/20 of videos should include
+	// the bad device.
+	if bounded > 16 {
+		t.Errorf("bounded blast radius %d/40 videos, expected ~8", bounded)
+	}
+}
+
+func TestAffinityOverflowKeepsWorkFlowing(t *testing.T) {
+	// Saturate the affinity sets: work must overflow rather than queue
+	// forever.
+	cfg := DefaultConfig(1)
+	cfg.ConsistentHashing = true
+	cfg.AffinitySize = 1 // absurdly tight on purpose
+	c := New(cfg)
+	done := 0
+	for i := 0; i < 6; i++ {
+		g := BuildGraph(VideoSpec{
+			ID:         7, // all videos collide on the same single-VCU affinity set
+			Resolution: video.Res1080p, FPS: 30, Frames: 600, ChunkFrames: 150,
+			Profile: codec.VP9Class, Mode: vcu.EncodeTwoPassOffline, MOT: true}, 2)
+		g.OnDone = func(*Graph) { done++ }
+		c.Submit(g)
+	}
+	c.Eng.RunUntil(30 * time.Minute)
+	if done != 6 {
+		t.Fatalf("completed %d/6 videos with tight affinity", done)
+	}
+	if c.Stats.AffinityOverflows == 0 {
+		t.Error("no overflow recorded despite 1-VCU affinity set")
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+
+	"openvcu/internal/sim"
+)
+
+// Region is a set of clusters sharing one simulation clock, with the
+// global routing behavior of §2.2: "a video is generally processed
+// geographically close to the uploader but the global scheduler can send
+// it further away when local capacity is unavailable."
+type Region struct {
+	Eng      *sim.Engine
+	Clusters []*Cluster
+
+	// OverflowQueueThreshold is the home-cluster ready-queue depth above
+	// which new videos are routed away.
+	OverflowQueueThreshold int
+
+	// Routed counts placements per cluster; Overflowed counts videos that
+	// left their home cluster.
+	Routed     []int64
+	Overflowed int64
+}
+
+// NewRegion builds n clusters with the given per-cluster config, all on
+// one engine.
+func NewRegion(cfg Config, n int) *Region {
+	eng := sim.NewEngine()
+	r := &Region{Eng: eng, OverflowQueueThreshold: 8, Routed: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		ccfg := cfg
+		ccfg.Seed = cfg.Seed + uint64(i)*97
+		c := newWithEngine(ccfg, eng)
+		r.Clusters = append(r.Clusters, c)
+	}
+	return r
+}
+
+// newWithEngine builds a cluster on an existing engine (regions share a
+// clock so cross-cluster routing decisions are consistent).
+func newWithEngine(cfg Config, eng *sim.Engine) *Cluster {
+	c := buildCluster(cfg, eng)
+	return c
+}
+
+// Submit routes a video's graph: the home cluster when it has headroom,
+// otherwise the least-loaded cluster in the region.
+func (r *Region) Submit(home int, g *Graph) error {
+	if home < 0 || home >= len(r.Clusters) {
+		return fmt.Errorf("cluster: no cluster %d in region of %d", home, len(r.Clusters))
+	}
+	target := home
+	if r.loadOf(home) > r.OverflowQueueThreshold {
+		best := home
+		bestLoad := r.loadOf(home)
+		for i := range r.Clusters {
+			if l := r.loadOf(i); l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		if best != home {
+			target = best
+			r.Overflowed++
+		}
+	}
+	r.Routed[target]++
+	r.Clusters[target].Submit(g)
+	return nil
+}
+
+// loadOf is the routing load signal: ready-queue depth.
+func (r *Region) loadOf(i int) int { return r.Clusters[i].QueueLen() }
+
+// Stats aggregates cluster stats across the region.
+func (r *Region) Stats() Stats {
+	var total Stats
+	for _, c := range r.Clusters {
+		s := c.Stats
+		total.StepsCompleted += s.StepsCompleted
+		total.StepsFailed += s.StepsFailed
+		total.Retries += s.Retries
+		total.SoftwareFallbacks += s.SoftwareFallbacks
+		total.AffinityOverflows += s.AffinityOverflows
+		total.CorruptionsCaught += s.CorruptionsCaught
+		total.CorruptionsEscaped += s.CorruptionsEscaped
+		total.VCUsDisabled += s.VCUsDisabled
+		total.HostsSentToRepair += s.HostsSentToRepair
+		total.RepairsDeferred += s.RepairsDeferred
+		total.GoldenRejections += s.GoldenRejections
+		total.WorkerAborts += s.WorkerAborts
+	}
+	return total
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"openvcu/internal/codec"
+	"openvcu/internal/sched"
+	"openvcu/internal/vcu"
+	"openvcu/internal/video"
+)
+
+// VideoSpec describes one uploaded video to process.
+type VideoSpec struct {
+	ID          int
+	Resolution  video.Resolution
+	FPS         int
+	Frames      int
+	ChunkFrames int
+	Profile     codec.Profile
+	Mode        vcu.EncodeMode
+	// MOT produces the full ladder per chunk; otherwise one SOT per rung.
+	MOT bool
+	// Live marks a real-time stream: steps pace at chunk wall duration.
+	Live bool
+}
+
+// BuildGraph expands a video into its work graph: per-chunk transcode
+// steps fanned out in parallel, the usual CPU side-steps (thumbnail,
+// fingerprint), an assembly step depending on every transcode, and a
+// notification step at the end (§2.2, §3.3.3).
+func BuildGraph(spec VideoSpec, stepTargetSeconds float64) *Graph {
+	if spec.ChunkFrames <= 0 {
+		spec.ChunkFrames = 150
+	}
+	if spec.Frames <= 0 {
+		spec.Frames = spec.ChunkFrames
+	}
+	nChunks := (spec.Frames + spec.ChunkFrames - 1) / spec.ChunkFrames
+	g := &Graph{ID: spec.ID}
+	id := 0
+	add := func(kind StepKind, req *sched.StepRequest, deps ...*Step) *Step {
+		s := &Step{ID: id, Kind: kind, Request: req, Deps: deps, triedVCUs: map[int]bool{}}
+		id++
+		g.Steps = append(g.Steps, s)
+		return s
+	}
+
+	outputs := []video.Resolution{spec.Resolution}
+	if spec.MOT {
+		outputs = video.LadderBelow(spec.Resolution)
+	}
+	var transcodes []*Step
+	for cidx := 0; cidx < nChunks; cidx++ {
+		frames := spec.ChunkFrames
+		if last := spec.Frames - cidx*spec.ChunkFrames; last < frames {
+			frames = last
+		}
+		req := &sched.StepRequest{
+			InputRes:      spec.Resolution,
+			FPS:           spec.FPS,
+			ChunkFrames:   frames,
+			Outputs:       outputs,
+			Profile:       spec.Profile,
+			Mode:          spec.Mode,
+			Realtime:      spec.Live,
+			TargetSeconds: stepTargetSeconds,
+		}
+		if spec.Live && spec.FPS > 0 {
+			// A live step's resource shares are its sustained streaming
+			// rates over the chunk's wall duration.
+			req.TargetSeconds = float64(frames) / float64(spec.FPS)
+		}
+		transcodes = append(transcodes, add(StepTranscode, req))
+	}
+	add(StepThumbnail, nil)
+	add(StepFingerprint, nil)
+	assemble := add(StepAssemble, nil, transcodes...)
+	add(StepNotify, nil, assemble)
+	return g
+}

@@ -1,0 +1,93 @@
+package codec
+
+import (
+	"testing"
+
+	"openvcu/internal/codec/rc"
+	"openvcu/internal/video"
+)
+
+func TestAV1ClassRoundTrip(t *testing.T) {
+	// 150x90: forces 128-superblock boundary handling in both axes.
+	frames := video.NewSource(video.SourceConfig{
+		Width: 150, Height: 90, Seed: 31, Detail: 0.5, Motion: 1.5, Objects: 1}).Frames(5)
+	cfg := Config{Profile: AV1Class, Width: 150, Height: 90, RC: rc.Config{BaseQP: 32}}
+	res, err := EncodeSequence(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSequence(res.Packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(frames) {
+		t.Fatalf("decoded %d/%d", len(dec), len(frames))
+	}
+	if psnr := video.SequencePSNR(frames, dec); psnr < 28 {
+		t.Errorf("AV1Class PSNR %.2f too low", psnr)
+	}
+}
+
+func TestAV1RejectsHardwareMode(t *testing.T) {
+	if _, err := NewEncoder(Config{Profile: AV1Class, Width: 64, Height: 64, Hardware: true}); err == nil {
+		t.Fatal("the VCU predates AV1; hardware mode must reject it")
+	}
+}
+
+func TestAV1RestorationEngagesAtLowBitrate(t *testing.T) {
+	// Heavy quantization leaves artifacts that loop restoration smooths:
+	// at high QP, at least one frame should pick a nonzero weight, and
+	// quality must beat the same encode with restoration forced off (we
+	// proxy "off" with the VP9 profile at identical settings and assert
+	// AV1 is not worse).
+	frames := video.NewSource(video.SourceConfig{
+		Width: 128, Height: 128, Seed: 32, Detail: 0.7, Motion: 1, Noise: 2}).Frames(4)
+	av1 := Config{Profile: AV1Class, Width: 128, Height: 128, RC: rc.Config{BaseQP: 48}}
+	vp9 := Config{Profile: VP9Class, Width: 128, Height: 128, RC: rc.Config{BaseQP: 48}}
+	resA, err := EncodeSequence(av1, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resV, err := EncodeSequence(vp9, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decA, err := DecodeSequence(resA.Packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decV, err := DecodeSequence(resV.Packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnrA := video.SequencePSNR(frames, decA)
+	psnrV := video.SequencePSNR(frames, decV)
+	if psnrA < psnrV-0.2 {
+		t.Errorf("AV1Class %.2f dB clearly below VP9Class %.2f at heavy quantization", psnrA, psnrV)
+	}
+}
+
+func TestAV1AltRefAndCompound(t *testing.T) {
+	// AV1Class inherits the VP9 toolset: noisy content should produce
+	// alt-ref packets under AltRef just like VP9Class.
+	frames := video.NewSource(video.SourceConfig{
+		Width: 128, Height: 64, Seed: 33, Detail: 0.5, Noise: 10}).Frames(8)
+	cfg := Config{Profile: AV1Class, Width: 128, Height: 64, AltRef: true, ArfPeriod: 4,
+		RC: rc.Config{BaseQP: 34}}
+	res, err := EncodeSequence(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonShown := 0
+	for _, p := range res.Packets {
+		if !p.Show {
+			nonShown++
+		}
+	}
+	if nonShown == 0 {
+		t.Fatal("AV1Class alt-ref never engaged")
+	}
+	if _, err := DecodeSequence(res.Packets); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+package codec
+
+import (
+	"openvcu/internal/codec/entropy"
+	"openvcu/internal/codec/motion"
+	"openvcu/internal/codec/predict"
+	"openvcu/internal/codec/transform"
+	"openvcu/internal/video"
+)
+
+// blockChoice is one prediction decision for a leaf block.
+type blockChoice struct {
+	inter     bool
+	skip      bool // inter, predicted MV, no residual
+	intraMode predict.IntraMode
+	compound  bool // average LAST and GOLDEN predictions
+	ref       int
+	mv        motion.MV
+}
+
+// mvGridSize is the granularity of the motion-vector context grid.
+const mvGridSize = 16
+
+// frameShared is the per-frame state common to encoding and decoding:
+// the reconstruction target, reference frames, and the motion-vector
+// context grid. Both sides must mutate it identically.
+type frameShared struct {
+	profile Profile
+	pw, ph  int
+	// vw, vh bound the coded region: the display dimensions rounded up
+	// to the minimum partition. Blocks beyond it carry no bits (see
+	// blockKind).
+	vw, vh int
+	// tileX0, tileX1 bound this tile column in pixels. Prediction state
+	// (intra neighbors, MV contexts) never crosses the left tile edge,
+	// which is what makes tiles independently codable.
+	tileX0, tileX1 int
+	qp             int
+	keyframe       bool
+
+	recon    *video.Frame
+	refs     [numRefSlots]*video.Frame
+	refValid [numRefSlots]bool
+
+	model *entropy.Model
+
+	gw, gh  int
+	mvGrid  []motion.MV
+	refGrid []int8 // reference slot, -1 = intra or unset
+}
+
+// newFrameShared builds per-frame coding state. carried, when non-nil and
+// the frame is not a keyframe, continues an adaptive entropy model from
+// the previous frame (VP9-class cross-frame probability adaptation);
+// keyframes and non-adaptive profiles always start fresh.
+func newFrameShared(profile Profile, pw, ph, dispW, dispH, qp int, keyframe bool,
+	refs [numRefSlots]*video.Frame, refValid [numRefSlots]bool, recon *video.Frame,
+	carried *entropy.Model) *frameShared {
+	model := carried
+	if model == nil || keyframe || !profile.Adaptive() {
+		model = entropy.NewModel(profile.Adaptive())
+	}
+	gw, gh := pw/mvGridSize, ph/mvGridSize
+	fs := &frameShared{
+		profile: profile, pw: pw, ph: ph,
+		vw:     padDim(dispW, profile.MinPartition()),
+		vh:     padDim(dispH, profile.MinPartition()),
+		tileX0: 0, tileX1: pw,
+		qp: qp, keyframe: keyframe,
+		recon: recon, refs: refs, refValid: refValid,
+		model: model,
+		gw:    gw, gh: gh,
+		mvGrid:  make([]motion.MV, gw*gh),
+		refGrid: make([]int8, gw*gh),
+	}
+	for i := range fs.refGrid {
+		fs.refGrid[i] = -1
+	}
+	return fs
+}
+
+// blockKind classifies a block against the coded-region boundary. Both
+// encoder and decoder derive it from the frame header, so none of it is
+// signaled:
+//
+//   - blockOutside: entirely beyond the display region — zero bits; the
+//     reconstruction is deterministic edge extension (reconOutside).
+//   - blockImplicitSplit: straddles the boundary with room to split — the
+//     split is implied, no partition flag is coded (VP9's boundary
+//     behavior).
+//   - blockNormal: coded normally.
+type blockKindT int
+
+const (
+	blockNormal blockKindT = iota
+	blockImplicitSplit
+	blockOutside
+)
+
+func (fs *frameShared) blockKind(x, y, s int) blockKindT {
+	if x >= fs.vw || y >= fs.vh {
+		return blockOutside
+	}
+	if s > fs.profile.MinPartition() && (x+s > fs.vw || y+s > fs.vh) {
+		return blockImplicitSplit
+	}
+	return blockNormal
+}
+
+// reconOutside reconstructs an uncoded out-of-region block by clamped
+// copy from the nearest coded pixels. Raster coding order guarantees the
+// source pixels are already reconstructed, so encoder and decoder produce
+// identical padding — required because motion compensation and intra
+// neighbors may read these pixels through reference frames.
+func (fs *frameShared) reconOutside(x, y, s int) {
+	fillClamped := func(plane []uint8, stride, px, py, ps, limW, limH int) {
+		for r := 0; r < ps; r++ {
+			sy := py + r
+			cy := sy
+			if cy > limH-1 {
+				cy = limH - 1
+			}
+			for c := 0; c < ps; c++ {
+				sx := px + c
+				cx := sx
+				if cx > limW-1 {
+					cx = limW - 1
+				}
+				plane[sy*stride+sx] = plane[cy*stride+cx]
+			}
+		}
+	}
+	fillClamped(fs.recon.Y, fs.pw, x, y, s, fs.vw, fs.vh)
+	cw, _ := video.ChromaDims(fs.pw, fs.ph)
+	fillClamped(fs.recon.U, cw, x/2, y/2, s/2, fs.vw/2, fs.vh/2)
+	fillClamped(fs.recon.V, cw, x/2, y/2, s/2, fs.vw/2, fs.vh/2)
+}
+
+// compoundAvailable reports whether compound prediction can be coded in
+// this frame. Encoder and decoder derive it from the same state.
+func (fs *frameShared) compoundAvailable() bool {
+	return fs.profile.Compound() && fs.refValid[RefLast] && fs.refValid[RefGolden]
+}
+
+// predMV returns the motion-vector prediction for the block at (x, y).
+// Neighbor cells outside this tile column are unavailable.
+func (fs *frameShared) predMV(x, y int) motion.MV {
+	gx, gy := x/mvGridSize, y/mvGridSize
+	tg0, tg1 := fs.tileX0/mvGridSize, fs.tileX1/mvGridSize
+	var left, above, ar motion.MV
+	var hasL, hasA, hasAR bool
+	if gx > tg0 && fs.refGrid[gy*fs.gw+gx-1] >= 0 {
+		left = fs.mvGrid[gy*fs.gw+gx-1]
+		hasL = true
+	}
+	if gy > 0 {
+		if fs.refGrid[(gy-1)*fs.gw+gx] >= 0 {
+			above = fs.mvGrid[(gy-1)*fs.gw+gx]
+			hasA = true
+		}
+		if gx+1 < tg1 && fs.refGrid[(gy-1)*fs.gw+gx+1] >= 0 {
+			ar = fs.mvGrid[(gy-1)*fs.gw+gx+1]
+			hasAR = true
+		}
+	}
+	return motion.PredictMV(left, above, ar, hasL, hasA, hasAR)
+}
+
+// gatherTileNeighbors collects intra neighbors with the left edge clipped
+// at the tile boundary (the bounded gather never reads across it — the
+// neighboring tile may be encoding concurrently).
+func (fs *frameShared) gatherTileNeighbors(plane []uint8, w, h, x, y, n, tx0 int) predict.Neighbors {
+	return predict.GatherNeighborsBounded(plane, w, h, x, y, n, tx0)
+}
+
+// setGrid records the decision for all grid cells covered by the block.
+func (fs *frameShared) setGrid(x, y, s int, mv motion.MV, ref int8) {
+	for gy := y / mvGridSize; gy < (y+s)/mvGridSize && gy < fs.gh; gy++ {
+		for gx := x / mvGridSize; gx < (x+s)/mvGridSize && gx < fs.gw; gx++ {
+			fs.mvGrid[gy*fs.gw+gx] = mv
+			fs.refGrid[gy*fs.gw+gx] = ref
+		}
+	}
+}
+
+// lumaTx returns the luma transform size for a leaf of size s.
+func (fs *frameShared) lumaTx(s int) int {
+	tx := fs.profile.MaxTransform()
+	if s < tx {
+		tx = s
+	}
+	return tx
+}
+
+// chromaTx returns the chroma transform size for a leaf of size s.
+func (fs *frameShared) chromaTx(s int) int {
+	tx := s / 2
+	if tx > fs.profile.MaxTransform() {
+		tx = fs.profile.MaxTransform()
+	}
+	if tx < 4 {
+		tx = 4
+	}
+	return tx
+}
+
+// predictLuma fills dst (s×s) with the prediction for the choice.
+func (fs *frameShared) predictLuma(ch blockChoice, x, y, s int, dst []uint8) {
+	if ch.inter {
+		sharp := fs.profile.SharpFilter()
+		if ch.compound {
+			lastRef := motion.Ref{Pix: fs.refs[RefLast].Y, W: fs.pw, H: fs.ph, Sharp: sharp}
+			goldRef := motion.Ref{Pix: fs.refs[RefGolden].Y, W: fs.pw, H: fs.ph, Sharp: sharp}
+			motion.SampleCompound(lastRef, ch.mv, goldRef, ch.mv, x, y, dst, s)
+			return
+		}
+		ref := motion.Ref{Pix: fs.refs[ch.ref].Y, W: fs.pw, H: fs.ph, Sharp: sharp}
+		motion.SampleBlock(ref, x, y, ch.mv, dst, s)
+		return
+	}
+	nb := fs.gatherTileNeighbors(fs.recon.Y, fs.pw, fs.ph, x, y, s, fs.tileX0)
+	predict.Predict(ch.intraMode, nb, dst, s)
+}
+
+// predictChromaPlane fills dst (cs×cs) for one chroma plane.
+func (fs *frameShared) predictChromaPlane(ch blockChoice, plane video.Plane, x, y, s int, dst []uint8) {
+	cs := s / 2
+	cw, chh := video.ChromaDims(fs.pw, fs.ph)
+	cx, cy := x/2, y/2
+	cmv := motion.MV{X: ch.mv.X / 2, Y: ch.mv.Y / 2}
+	if ch.inter {
+		sharp := fs.profile.SharpFilter()
+		pick := func(f *video.Frame) []uint8 {
+			if plane == video.PlaneU {
+				return f.U
+			}
+			return f.V
+		}
+		if ch.compound {
+			motion.SampleCompound(
+				motion.Ref{Pix: pick(fs.refs[RefLast]), W: cw, H: chh, Sharp: sharp}, cmv,
+				motion.Ref{Pix: pick(fs.refs[RefGolden]), W: cw, H: chh, Sharp: sharp}, cmv,
+				cx, cy, dst, cs)
+			return
+		}
+		ref := motion.Ref{Pix: pick(fs.refs[ch.ref]), W: cw, H: chh, Sharp: sharp}
+		motion.SampleBlock(ref, cx, cy, cmv, dst, cs)
+		return
+	}
+	var reconPlane []uint8
+	if plane == video.PlaneU {
+		reconPlane = fs.recon.U
+	} else {
+		reconPlane = fs.recon.V
+	}
+	nb := fs.gatherTileNeighbors(reconPlane, cw, chh, cx, cy, cs, fs.tileX0/2)
+	predict.Predict(ch.intraMode, nb, dst, cs)
+}
+
+// storeBlock writes an s×s pixel block into a plane.
+func storeBlock(plane []uint8, stride, x, y int, blk []uint8, s int) {
+	for r := 0; r < s; r++ {
+		copy(plane[(y+r)*stride+x:(y+r)*stride+x+s], blk[r*s:(r+1)*s])
+	}
+}
+
+// applyTxBlock reconstructs one transform block: dequantize the scanned
+// levels, inverse transform, add the prediction (pred is the leaf-sized
+// prediction buffer with stride predStride, offset to the tx block), and
+// write the clamped result into the plane at (x, y). It is the single
+// reconstruction path shared by encoder and decoder, guaranteeing their
+// reference frames stay bit-identical.
+func applyTxBlock(scanned []int32, n, qp int, pred []uint8, predStride, predOff int,
+	plane []uint8, stride, x, y int) {
+	blk := make([]int32, n*n)
+	transform.ScanInverse(scanned, blk, n)
+	transform.Dequantize(blk, qp)
+	transform.Inverse(blk, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			v := int32(pred[predOff+r*predStride+c]) + blk[r*n+c]
+			plane[(y+r)*stride+x+c] = video.ClampU8(v)
+		}
+	}
+}
+
+// sse accumulates squared error between a source region and a block.
+func sseRegion(src []uint8, stride, x, y int, blk []uint8, n int) int64 {
+	var sum int64
+	for r := 0; r < n; r++ {
+		srow := src[(y+r)*stride+x:]
+		brow := blk[r*n:]
+		for c := 0; c < n; c++ {
+			d := int64(srow[c]) - int64(brow[c])
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// ssePlanes accumulates squared error between two plane regions.
+func ssePlanes(a []uint8, b []uint8, stride, x, y, n int) int64 {
+	var sum int64
+	for r := 0; r < n; r++ {
+		off := (y+r)*stride + x
+		for c := 0; c < n; c++ {
+			d := int64(a[off+c]) - int64(b[off+c])
+			sum += d * d
+		}
+	}
+	return sum
+}

@@ -1,0 +1,502 @@
+package codec
+
+import (
+	"openvcu/internal/bits"
+	"openvcu/internal/codec/entropy"
+	"openvcu/internal/codec/motion"
+	"openvcu/internal/codec/predict"
+	"openvcu/internal/codec/transform"
+	"openvcu/internal/video"
+)
+
+// encFrame encodes one frame: it owns the rate-distortion trials, the
+// bounded recursive partition search (paper §3.2) and the commit path that
+// writes syntax and reconstruction.
+type encFrame struct {
+	*frameShared
+	enc    *Encoder
+	src    *video.Frame // padded source
+	w      *bits.Encoder
+	lambda float64
+	sp     motion.SearchParams
+}
+
+// newEncFrame builds the coder for one tile of one frame. recon is shared
+// across tiles (each tile writes only its own columns); carried is the
+// cross-frame entropy model, nil for fresh contexts.
+func newEncFrame(e *Encoder, src, recon *video.Frame, qp int, keyframe bool,
+	tileX0, tileX1 int, carried *entropy.Model) *encFrame {
+	refs := e.refs
+	valid := e.refValid
+	if keyframe {
+		valid = [numRefSlots]bool{}
+	}
+	fs := newFrameShared(e.cfg.Profile, e.pw, e.ph, e.cfg.Width, e.cfg.Height, qp, keyframe, refs, valid, recon, carried)
+	fs.tileX0, fs.tileX1 = tileX0, tileX1
+	fc := &encFrame{
+		frameShared: fs,
+		enc:         e,
+		src:         src,
+		w:           bits.NewEncoder(),
+		lambda:      e.rc.Lambda(qp),
+	}
+	fc.sp = fc.searchParams()
+	return fc
+}
+
+func (fc *encFrame) searchParams() motion.SearchParams {
+	p := motion.SearchParams{LambdaMVCost: 2, SubPelDepth: fc.profile.SubPelDepth()}
+	switch fc.enc.cfg.Speed {
+	case 0:
+		p.RangeX, p.RangeY = 24, 24
+	case 1:
+		p.RangeX, p.RangeY = 16, 16
+	default:
+		p.RangeX, p.RangeY = 8, 8
+		p.SubPelDepth = 1
+	}
+	// The hardware search window is bounded by the reference store but is
+	// exhaustive within its multi-resolution schedule; the diamond search
+	// models the same quality class at software cost.
+	return p
+}
+
+// encodeBlocks runs the superblock loop over this tile's columns.
+func (fc *encFrame) encodeBlocks() {
+	sb := fc.profile.SuperblockSize()
+	for y := 0; y < fc.ph; y += sb {
+		for x := fc.tileX0; x < fc.tileX1; x += sb {
+			_, tree := fc.trialTree(x, y, sb, 0)
+			fc.commitTree(x, y, sb, 0, tree)
+		}
+	}
+}
+
+// partTree is the outcome of the partition search for one block.
+type partTree struct {
+	split   bool
+	outside bool
+	choice  blockChoice
+	kids    *[4]partTree
+}
+
+// trialTree performs the bounded recursive partition search: evaluate the
+// best whole-block choice, and only descend into a split when the block's
+// RD cost is high enough to plausibly benefit — "a bounded recursive
+// search algorithm is used for partitioning" (paper §3.2). Hardware mode
+// bounds the search more tightly (fewer RDO rounds fit the pipeline).
+func (fc *encFrame) trialTree(x, y, s, depth int) (float64, partTree) {
+	switch fc.blockKind(x, y, s) {
+	case blockOutside:
+		return 0, partTree{outside: true}
+	case blockImplicitSplit:
+		half := s / 2
+		kids := new([4]partTree)
+		var sum float64
+		for i, off := range [4][2]int{{0, 0}, {half, 0}, {0, half}, {half, half}} {
+			c, t := fc.trialTree(x+off[0], y+off[1], half, depth+1)
+			sum += c
+			kids[i] = t
+		}
+		return sum, partTree{split: true, kids: kids}
+	}
+	choice, leafCost := fc.bestChoice(x, y, s)
+	leafTotal := leafCost
+	minPart := fc.profile.MinPartition()
+	if s <= minPart {
+		return leafTotal, partTree{choice: choice}
+	}
+	leafTotal += fc.lambda * float64(fc.model.SplitCost(depth, false)) / 256
+	if fc.shouldTrySplit(leafCost, s) {
+		half := s / 2
+		sum := fc.lambda * float64(fc.model.SplitCost(depth, true)) / 256
+		kids := new([4]partTree)
+		for i, off := range [4][2]int{{0, 0}, {half, 0}, {0, half}, {half, half}} {
+			c, t := fc.trialTree(x+off[0], y+off[1], half, depth+1)
+			sum += c
+			kids[i] = t
+		}
+		if sum < leafTotal {
+			return sum, partTree{split: true, kids: kids}
+		}
+	}
+	return leafTotal, partTree{choice: choice}
+}
+
+// shouldTrySplit is the bound of the partition search.
+func (fc *encFrame) shouldTrySplit(leafCost float64, s int) bool {
+	perPix := 25.0 + 25.0*float64(fc.enc.cfg.Speed)
+	if fc.enc.cfg.Hardware {
+		perPix *= 1.6
+	}
+	return leafCost > perPix*float64(s*s)
+}
+
+func (fc *encFrame) commitTree(x, y, s, depth int, t partTree) {
+	switch fc.blockKind(x, y, s) {
+	case blockOutside:
+		fc.reconOutside(x, y, s)
+		return
+	case blockImplicitSplit:
+		half := s / 2
+		for i, off := range [4][2]int{{0, 0}, {half, 0}, {0, half}, {half, half}} {
+			fc.commitTree(x+off[0], y+off[1], half, depth+1, t.kids[i])
+		}
+		return
+	}
+	if s > fc.profile.MinPartition() {
+		fc.model.WriteSplit(fc.w, depth, t.split)
+	}
+	if t.split {
+		half := s / 2
+		for i, off := range [4][2]int{{0, 0}, {half, 0}, {0, half}, {half, half}} {
+			fc.commitTree(x+off[0], y+off[1], half, depth+1, t.kids[i])
+		}
+		return
+	}
+	fc.commitLeaf(x, y, s, t.choice)
+}
+
+// --- candidate generation ---------------------------------------------------
+
+// bestChoice evaluates the candidate set for a leaf and returns the lowest
+// RD-cost choice. Trials never mutate entropy contexts or committed
+// reconstruction.
+func (fc *encFrame) bestChoice(x, y, s int) (blockChoice, float64) {
+	best := blockChoice{}
+	bestCost := 1e30
+	try := func(ch blockChoice) {
+		if c := fc.evalChoice(x, y, s, ch); c < bestCost {
+			bestCost = c
+			best = ch
+		}
+	}
+
+	// TrueMotion is a VP8/VP9 tool; the H.264-class profile has no
+	// equivalent predictor.
+	intraModes := []predict.IntraMode{predict.IntraDC, predict.IntraH, predict.IntraV, predict.IntraTM}
+	if fc.profile == H264Class {
+		intraModes = intraModes[:3]
+	}
+	if fc.enc.cfg.Speed >= 2 {
+		intraModes = []predict.IntraMode{predict.IntraDC, predict.IntraTM}
+		if fc.profile == H264Class {
+			intraModes = []predict.IntraMode{predict.IntraDC, predict.IntraV}
+		}
+	}
+	if fc.keyframe {
+		for _, m := range intraModes {
+			try(blockChoice{intraMode: m})
+		}
+		return best, bestCost
+	}
+
+	// Skip candidate: LAST reference at the predicted MV, no residual.
+	if fc.refValid[RefLast] {
+		try(blockChoice{inter: true, skip: true, ref: RefLast, mv: fc.predMV(x, y)})
+	}
+	// Intra candidates.
+	for _, m := range intraModes {
+		try(blockChoice{intraMode: m})
+	}
+	// Inter candidates: motion search per valid reference.
+	pred := fc.predMV(x, y)
+	maxRefs := fc.profile.MaxRefs()
+	if fc.enc.cfg.Speed >= 2 {
+		maxRefs = 1
+	}
+	var bestInter blockChoice
+	bestInterSet := false
+	for ref := 0; ref < maxRefs; ref++ {
+		if !fc.refValid[ref] {
+			continue
+		}
+		r := motion.Ref{Pix: fc.refs[ref].Y, W: fc.pw, H: fc.ph, Sharp: fc.profile.SharpFilter()}
+		res := motion.Search(fc.src.Y[y*fc.pw+x:], fc.pw, r, x, y, pred, s, fc.sp)
+		if fc.enc.cfg.Speed == 0 {
+			// Quality mode: re-refine the fractional vector under SATD,
+			// the transform-domain cost SAD mispredicts at sub-pel.
+			res = motion.RefineSubPelSATD(fc.src.Y[y*fc.pw+x:], fc.pw, r, x, y, res, s, fc.sp)
+		}
+		ch := blockChoice{inter: true, ref: ref, mv: res.MV}
+		try(ch)
+		if !bestInterSet || ch.ref == RefLast {
+			bestInter = ch
+			bestInterSet = true
+		}
+	}
+	// Compound candidate: LAST+GOLDEN averaged at the LAST vector.
+	if fc.compoundAvailable() && bestInterSet && fc.enc.cfg.Speed <= 1 {
+		ch := bestInter
+		ch.compound = true
+		ch.ref = RefLast
+		try(ch)
+	}
+	return best, bestCost
+}
+
+// --- RD evaluation ----------------------------------------------------------
+
+// modeRate returns the syntax cost (1/256 bits) of coding the choice's
+// mode decision, excluding coefficients.
+func (fc *encFrame) modeRate(ch blockChoice, x, y int) uint32 {
+	m := fc.model
+	if fc.keyframe {
+		return m.IntraModeCost(int(ch.intraMode))
+	}
+	if ch.skip {
+		return m.SkipCost(true)
+	}
+	r := m.SkipCost(false) + m.IsInterCost(ch.inter)
+	if ch.inter {
+		if fc.compoundAvailable() {
+			r += m.CompoundCost(ch.compound)
+		}
+		if !ch.compound && fc.profile.MaxRefs() > 1 {
+			r += m.RefCost(ch.ref)
+		}
+		d := ch.mv.Sub(fc.predMV(x, y))
+		r += m.MVDiffCost(int32(d.X), int32(d.Y))
+	} else {
+		r += m.IntraModeCost(int(ch.intraMode))
+	}
+	return r
+}
+
+// evalChoice computes the luma RD cost of a candidate without committing.
+func (fc *encFrame) evalChoice(x, y, s int, ch blockChoice) float64 {
+	pred := make([]uint8, s*s)
+	fc.predictLuma(ch, x, y, s, pred)
+	rate := fc.modeRate(ch, x, y)
+	if ch.skip {
+		sse := sseRegion(fc.src.Y, fc.pw, x, y, pred, s)
+		return float64(sse) + fc.lambda*float64(rate)/256
+	}
+	tx := fc.lumaTx(s)
+	var sse int64
+	scanned := make([]int32, tx*tx)
+	orig := make([]int32, tx*tx)
+	resid := make([]int32, tx*tx)
+	reconBlk := make([]uint8, tx*tx)
+	for by := 0; by < s; by += tx {
+		for bx := 0; bx < s; bx += tx {
+			fc.buildResidual(fc.src.Y, fc.pw, x+bx, y+by, pred, s, bx, by, resid, tx)
+			fc.quantizeScan(resid, tx, 0, scanned, orig)
+			rate += fc.model.CoeffCost(0, scanned, tx)
+			// reconstruct into a scratch block to measure distortion
+			reconTxBlock(scanned, tx, fc.qp, pred, s, by*s+bx, reconBlk)
+			sse += sseRegion(fc.src.Y, fc.pw, x+bx, y+by, reconBlk, tx)
+		}
+	}
+	return float64(sse) + fc.lambda*float64(rate)/256
+}
+
+// quantizeScan runs the forward transform, quantization, scan and the
+// software-only RDOQ pass, leaving quantized levels in scanned and the
+// unquantized coefficients (scan order) in origScan.
+func (fc *encFrame) quantizeScan(resid []int32, tx, plane int, scanned, origScan []int32) {
+	transform.Forward(resid, tx)
+	transform.ScanForward(resid, origScan, tx)
+	transform.Quantize(resid, fc.qp, fc.deadzone())
+	transform.ScanForward(resid, scanned, tx)
+	fc.optimizeCoeffs(scanned, origScan, tx, plane)
+}
+
+// deadzone returns the quantizer rounding bias in 1/8 steps.
+func (fc *encFrame) deadzone() int32 { return 3 }
+
+// optimizeCoeffs is the software-only rate-distortion-optimized
+// quantization pass, two decisions the VCU pipeline cannot afford per
+// macroblock (paper §4.1 names Trellis quantization as a tool the
+// hardware lacks):
+//
+//  1. zero the trailing run of ±1 levels when the measured rate saving
+//     beats the exact distortion increase, and
+//  2. zero the entire block when the end-of-block code is cheaper than
+//     the coefficients are worth.
+//
+// orig carries the unquantized coefficients (scan order) so distortion
+// deltas are exact rather than worst-case.
+func (fc *encFrame) optimizeCoeffs(scanned, orig []int32, n int, plane int) {
+	if fc.enc.cfg.Hardware {
+		return
+	}
+	step := float64(transform.QStep(fc.qp)) / 16.0
+	// ΔD of zeroing one level: err goes from (c-d)² to c².
+	zeroDelta := func(i int) float64 {
+		c := float64(orig[i])
+		d := float64(scanned[i]) * step
+		return c*c - (c-d)*(c-d)
+	}
+
+	last := -1
+	for i := n*n - 1; i >= 0; i-- {
+		if scanned[i] != 0 {
+			last = i
+			break
+		}
+	}
+	if last < 0 {
+		return
+	}
+
+	// Pass 1: trailing ±1 run.
+	if last >= 1 && (scanned[last] == 1 || scanned[last] == -1) {
+		runStart := last
+		for runStart >= 1 && (scanned[runStart] == 1 || scanned[runStart] == -1) {
+			runStart--
+		}
+		runStart++
+		costBefore := fc.model.CoeffCost(plane, scanned, n)
+		var distIncrease float64
+		saved := make([]int32, last-runStart+1)
+		copy(saved, scanned[runStart:last+1])
+		for i := runStart; i <= last; i++ {
+			distIncrease += zeroDelta(i)
+			scanned[i] = 0
+		}
+		costAfter := fc.model.CoeffCost(plane, scanned, n)
+		if fc.lambda*float64(costBefore-costAfter)/256 <= distIncrease {
+			copy(scanned[runStart:last+1], saved)
+		} else {
+			last = -1
+			for i := runStart - 1; i >= 0; i-- {
+				if scanned[i] != 0 {
+					last = i
+					break
+				}
+			}
+		}
+	}
+	if last < 0 {
+		return
+	}
+
+	// Pass 2: whole-block zero candidate.
+	var distIncrease float64
+	for i := 0; i <= last; i++ {
+		if scanned[i] != 0 {
+			distIncrease += zeroDelta(i)
+		}
+	}
+	costCur := fc.model.CoeffCost(plane, scanned, n)
+	costZero := fc.model.CoeffCost(plane, make([]int32, n*n), n)
+	if fc.lambda*float64(costCur-costZero)/256 > distIncrease {
+		for i := 0; i <= last; i++ {
+			scanned[i] = 0
+		}
+	}
+}
+
+// buildResidual computes src − pred for a tx block.
+func (fc *encFrame) buildResidual(src []uint8, stride, sx, sy int,
+	pred []uint8, predStride, px, py int, out []int32, n int) {
+	for r := 0; r < n; r++ {
+		srow := src[(sy+r)*stride+sx:]
+		prow := pred[(py+r)*predStride+px:]
+		for c := 0; c < n; c++ {
+			out[r*n+c] = int32(srow[c]) - int32(prow[c])
+		}
+	}
+}
+
+// reconTxBlock reconstructs a tx block into out (n×n) from scanned levels
+// and the prediction (leaf-sized, predStride, offset predOff).
+func reconTxBlock(scanned []int32, n, qp int, pred []uint8, predStride, predOff int, out []uint8) {
+	blk := make([]int32, n*n)
+	transform.ScanInverse(scanned, blk, n)
+	transform.Dequantize(blk, qp)
+	transform.Inverse(blk, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			out[r*n+c] = video.ClampU8(int32(pred[predOff+r*predStride+c]) + blk[r*n+c])
+		}
+	}
+}
+
+// --- commit -----------------------------------------------------------------
+
+// commitLeaf writes the chosen leaf's syntax and coefficients and updates
+// the reconstruction and context grids. It recomputes prediction and
+// residuals against the committed neighborhood so the bitstream decodes to
+// exactly the reconstruction stored here.
+func (fc *encFrame) commitLeaf(x, y, s int, ch blockChoice) {
+	m := fc.model
+	if ch.skip {
+		ch.mv = fc.predMV(x, y) // commit-time prediction
+	}
+	// Syntax.
+	if fc.keyframe {
+		m.WriteIntraMode(fc.w, int(ch.intraMode))
+	} else {
+		m.WriteSkip(fc.w, ch.skip)
+		if !ch.skip {
+			m.WriteIsInter(fc.w, ch.inter)
+			if ch.inter {
+				if fc.compoundAvailable() {
+					m.WriteCompound(fc.w, ch.compound)
+				}
+				if !ch.compound && fc.profile.MaxRefs() > 1 {
+					m.WriteRef(fc.w, ch.ref)
+				}
+				d := ch.mv.Sub(fc.predMV(x, y))
+				m.WriteMVDiff(fc.w, int32(d.X), int32(d.Y))
+			} else {
+				m.WriteIntraMode(fc.w, int(ch.intraMode))
+			}
+		}
+	}
+
+	// Luma.
+	pred := make([]uint8, s*s)
+	fc.predictLuma(ch, x, y, s, pred)
+	if ch.skip {
+		storeBlock(fc.recon.Y, fc.pw, x, y, pred, s)
+	} else {
+		fc.commitPlaneResidual(fc.src.Y, fc.recon.Y, fc.pw, x, y, pred, s, fc.lumaTx(s), 0)
+	}
+
+	// Chroma.
+	cs := s / 2
+	cw, _ := video.ChromaDims(fc.pw, fc.ph)
+	cpred := make([]uint8, cs*cs)
+	for pi, plane := range []video.Plane{video.PlaneU, video.PlaneV} {
+		_ = pi
+		fc.predictChromaPlane(ch, plane, x, y, s, cpred)
+		var srcPlane, reconPlane []uint8
+		if plane == video.PlaneU {
+			srcPlane, reconPlane = fc.src.U, fc.recon.U
+		} else {
+			srcPlane, reconPlane = fc.src.V, fc.recon.V
+		}
+		if ch.skip {
+			storeBlock(reconPlane, cw, x/2, y/2, cpred, cs)
+		} else {
+			fc.commitPlaneResidual(srcPlane, reconPlane, cw, x/2, y/2, cpred, cs, fc.chromaTx(s), 1)
+		}
+	}
+
+	// Context grid.
+	if ch.inter {
+		fc.setGrid(x, y, s, ch.mv, int8(ch.ref))
+	} else {
+		fc.setGrid(x, y, s, motion.Zero, -1)
+	}
+}
+
+// commitPlaneResidual transforms, quantizes, entropy-codes and
+// reconstructs all tx blocks of one plane of a leaf.
+func (fc *encFrame) commitPlaneResidual(src, recon []uint8, stride, x, y int,
+	pred []uint8, s, tx, planeClass int) {
+	scanned := make([]int32, tx*tx)
+	orig := make([]int32, tx*tx)
+	resid := make([]int32, tx*tx)
+	for by := 0; by < s; by += tx {
+		for bx := 0; bx < s; bx += tx {
+			fc.buildResidual(src, stride, x+bx, y+by, pred, s, bx, by, resid, tx)
+			fc.quantizeScan(resid, tx, planeClass, scanned, orig)
+			fc.model.WriteCoeffs(fc.w, planeClass, scanned, tx)
+			applyTxBlock(scanned, tx, fc.qp, pred, s, by*s+bx, recon, stride, x+bx, y+by)
+		}
+	}
+}

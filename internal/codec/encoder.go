@@ -1,0 +1,411 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+
+	"openvcu/internal/codec/entropy"
+	"openvcu/internal/codec/filter"
+	"openvcu/internal/codec/motion"
+	"openvcu/internal/codec/rc"
+	"openvcu/internal/codec/transform"
+	"openvcu/internal/video"
+)
+
+// Encoder encodes a sequence of frames. It is a streaming encoder: Encode
+// may buffer frames (alt-ref lookahead) and return zero or more packets;
+// Flush drains the lookahead. An Encoder is not safe for concurrent use —
+// the system runs a process per transcode instead (paper §3.1).
+type Encoder struct {
+	cfg    Config
+	pw, ph int
+
+	refs     [numRefSlots]*video.Frame
+	refValid [numRefSlots]bool
+
+	// model carries the adaptive entropy contexts across inter frames
+	// (VP9-class behavior: probabilities persist within a GOP and reset
+	// on keyframes; the H.264-class profile re-initializes per frame).
+	model *entropy.Model
+
+	rc        *rc.Controller
+	frameIdx  int // display index of the next frame accepted by Encode
+	lookahead []laFrame
+	// sceneCuts marks display indices that must start a new closed GOP
+	// (scene changes found by the first pass): "frame type ... decisions"
+	// are what two-pass statistics exist to improve (§2.1).
+	sceneCuts map[int]bool
+	// groupQPBias raises member-frame QP inside an alt-ref group: the
+	// group leans on its high-quality filtered reference, so ordinary
+	// frames can afford coarser quantization (pyramid bit allocation).
+	groupQPBias int
+
+	// EncodedPixels accumulates source luma pixels encoded, for
+	// throughput accounting.
+	EncodedPixels int64
+}
+
+type laFrame struct {
+	frame *video.Frame
+	idx   int
+}
+
+// NewEncoder validates the config and returns a ready Encoder.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sb := c.Profile.SuperblockSize()
+	return &Encoder{
+		cfg: c,
+		pw:  padDim(c.Width, sb),
+		ph:  padDim(c.Height, sb),
+		rc:  rc.NewController(c.RC),
+	}, nil
+}
+
+// Config returns the encoder's effective (defaulted) configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// RateController exposes the rate controller (for stats installation in
+// two-pass flows).
+func (e *Encoder) RateController() *rc.Controller { return e.rc }
+
+// Encode accepts the next display frame and returns any packets that
+// became ready. With alt-ref lookahead enabled, packets arrive in groups.
+func (e *Encoder) Encode(f *video.Frame) ([]Packet, error) {
+	if f.Width != e.cfg.Width || f.Height != e.cfg.Height {
+		return nil, fmt.Errorf("codec: frame %dx%d does not match configured %dx%d",
+			f.Width, f.Height, e.cfg.Width, e.cfg.Height)
+	}
+	idx := e.frameIdx
+	e.frameIdx++
+	if !e.cfg.AltRef {
+		pkt, err := e.encodeOne(f, idx, e.isKeyframe(idx), true, false)
+		if err != nil {
+			return nil, err
+		}
+		return []Packet{pkt}, nil
+	}
+	e.lookahead = append(e.lookahead, laFrame{f, idx})
+	// Close the group at the alt-ref period or just before a keyframe.
+	if len(e.lookahead) >= e.cfg.ArfPeriod || e.isKeyframe(idx+1) {
+		return e.flushGroup()
+	}
+	return nil, nil
+}
+
+// Flush drains buffered lookahead frames and returns their packets.
+func (e *Encoder) Flush() ([]Packet, error) {
+	if len(e.lookahead) == 0 {
+		return nil, nil
+	}
+	return e.flushGroup()
+}
+
+// SetSceneCuts installs first-pass scene-change positions; those frames
+// encode as keyframes regardless of the GOP cadence.
+func (e *Encoder) SetSceneCuts(cuts []int) {
+	e.sceneCuts = map[int]bool{}
+	for _, c := range cuts {
+		e.sceneCuts[c] = true
+	}
+}
+
+func (e *Encoder) isKeyframe(idx int) bool {
+	return idx%e.cfg.GOPLength == 0 || e.sceneCuts[idx]
+}
+
+// flushGroup encodes one alt-ref group: an optional leading keyframe, a
+// non-displayed temporally-filtered alternate reference synthesized from
+// the group's frames, then the group's frames in display order.
+func (e *Encoder) flushGroup() ([]Packet, error) {
+	group := e.lookahead
+	e.lookahead = nil
+	var packets []Packet
+
+	rest := group
+	if e.isKeyframe(group[0].idx) {
+		pkt, err := e.encodeOne(group[0].frame, group[0].idx, true, true, false)
+		if err != nil {
+			return nil, err
+		}
+		packets = append(packets, pkt)
+		rest = group[1:]
+	}
+	if len(rest) == 0 {
+		return packets, nil
+	}
+	if len(rest) >= 2 {
+		frames := make([]*video.Frame, len(rest))
+		for i, lf := range rest {
+			frames[i] = lf.frame
+		}
+		// An alternate reference costs a full extra encode; it pays for
+		// itself only when the temporal filter can remove noise that
+		// single-frame references carry (clean content predicts from
+		// LAST just as well). Production encoders make the same
+		// content-adaptive decision.
+		if groupNoise(frames) > arfNoiseThreshold {
+			tf := filter.DefaultTemporalFilter
+			arf := filter.TemporalFilter(frames, len(frames)/2, tf)
+			pkt, err := e.encodeOne(arf, rest[len(rest)/2].idx, false, false, true)
+			if err != nil {
+				return nil, err
+			}
+			pkt.DisplayIdx = -1
+			packets = append(packets, pkt)
+			e.groupQPBias = 4
+		}
+	}
+	for _, lf := range rest {
+		pkt, err := e.encodeOne(lf.frame, lf.idx, false, true, false)
+		if err != nil {
+			return nil, err
+		}
+		packets = append(packets, pkt)
+	}
+	e.groupQPBias = 0
+	return packets, nil
+}
+
+// encodeOne encodes a single frame with the given role. The packet is an
+// envelope: a length-prefixed header block, one length-prefixed substream
+// per tile column (encoded in parallel when TileColumns > 1), and an
+// optional trailing restoration byte.
+func (e *Encoder) encodeOne(f *video.Frame, displayIdx int, keyframe, show, altref bool) (Packet, error) {
+	qp := e.rc.FrameQP(displayIdx, keyframe, altref)
+	if !keyframe && !altref {
+		qp += e.groupQPBias
+		if qp > transform.MaxQP {
+			qp = transform.MaxQP
+		}
+	}
+	src := padFrame(f, e.pw, e.ph)
+	sb := e.cfg.Profile.SuperblockSize()
+	numSBCols := e.pw / sb
+	tiles := e.cfg.TileColumns
+	for tiles > numSBCols {
+		tiles /= 2
+	}
+	if tiles < 1 {
+		tiles = 1
+	}
+	log2Tiles := 0
+	for 1<<log2Tiles < tiles {
+		log2Tiles++
+	}
+
+	hdr := frameHeader{
+		profile:   e.cfg.Profile,
+		keyframe:  keyframe,
+		show:      show,
+		width:     e.cfg.Width,
+		height:    e.cfg.Height,
+		qp:        qp,
+		deblock:   deblockStrength(qp),
+		log2Tiles: log2Tiles,
+	}
+	hdr.refresh[RefLast] = show || keyframe
+	hdr.refresh[RefGolden] = keyframe || (show && displayIdx%e.cfg.GoldenPeriod == 0)
+	hdr.refresh[RefAltRef] = keyframe || altref
+	hdrBytes := writeHeader(hdr)
+
+	recon := src.Clone()
+	tileData := make([][]byte, tiles)
+	var carriedOut *entropy.Model
+	if tiles == 1 {
+		fc := newEncFrame(e, src, recon, qp, keyframe, 0, e.pw, e.model)
+		fc.encodeBlocks()
+		tileData[0] = fc.w.Bytes()
+		carriedOut = fc.model
+	} else {
+		// Tiles are independent: fresh entropy contexts each, prediction
+		// clipped at tile edges, disjoint recon columns — safe to encode
+		// concurrently.
+		var wg sync.WaitGroup
+		for t := 0; t < tiles; t++ {
+			t := t
+			x0 := t * numSBCols / tiles * sb
+			x1 := (t + 1) * numSBCols / tiles * sb
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fc := newEncFrame(e, src, recon, qp, keyframe, x0, x1, nil)
+				fc.encodeBlocks()
+				tileData[t] = fc.w.Bytes()
+			}()
+		}
+		wg.Wait()
+	}
+	e.model = carriedOut
+
+	filter.Deblock(recon, e.cfg.Profile.MinPartition(), hdr.deblock)
+	restByte := -1
+	if e.cfg.Profile.Restoration() {
+		// Loop restoration (AV1-class): pick the SSE-minimizing blend
+		// against the source and signal it after the tile data.
+		w := filter.BestRestorationWeight(recon, src)
+		filter.Restore(recon, w)
+		restByte = w
+	}
+	data := assembleEnvelope(hdrBytes, tileData, restByte)
+	for slot, r := range hdr.refresh {
+		if r {
+			e.refs[slot] = recon
+			e.refValid[slot] = true
+		}
+	}
+	e.rc.Update(displayIdx, qp, len(data)*8)
+	e.EncodedPixels += int64(f.Width) * int64(f.Height)
+
+	pkt := Packet{Data: data, Show: show, Keyframe: keyframe, DisplayIdx: displayIdx, QP: qp}
+	if !show {
+		pkt.DisplayIdx = -1
+	}
+	return pkt, nil
+}
+
+// arfNoiseThreshold is the motion-compensated residual (SAD per pixel)
+// above which an alt-ref group is worth its extra encode.
+const arfNoiseThreshold = 1.0
+
+// groupNoise estimates the temporal noise of a frame group: the mean
+// motion-compensated SAD per pixel between the center frame and its
+// neighbor, sampled on a sparse block grid. Pure translation or static
+// content scores near zero; sensor noise and flicker score high.
+func groupNoise(frames []*video.Frame) float64 {
+	if len(frames) < 2 {
+		return 0
+	}
+	cur := frames[len(frames)/2]
+	prev := frames[len(frames)/2-1]
+	ref := motion.Ref{Pix: prev.Y, W: prev.Width, H: prev.Height}
+	const n = 16
+	var sad, pixels int64
+	for by := 0; by+n <= cur.Height; by += n * 2 {
+		for bx := 0; bx+n <= cur.Width; bx += n * 2 {
+			res := motion.Search(cur.Y[by*cur.Width+bx:], cur.Width, ref, bx, by,
+				motion.Zero, n, motion.SearchParams{RangeX: 8, RangeY: 8, SubPelDepth: 1})
+			sad += res.SAD
+			pixels += n * n
+		}
+	}
+	if pixels == 0 {
+		return 0
+	}
+	return float64(sad) / float64(pixels)
+}
+
+// FirstPassAnalyze computes cheap per-frame complexity statistics for
+// two-pass rate control: block SAD against the frame's own DC (intra cost)
+// and against the previous frame (inter cost), with scene cuts marked as
+// keyframes. This is the "first pass" of §2.1 at a fraction of encode cost.
+func FirstPassAnalyze(frames []*video.Frame) []rc.FrameStats {
+	stats := make([]rc.FrameStats, len(frames))
+	const n = 16
+	for i, f := range frames {
+		var intra, inter int64
+		var prev *video.Frame
+		if i > 0 {
+			prev = frames[i-1]
+		}
+		for by := 0; by+n <= f.Height; by += n {
+			for bx := 0; bx+n <= f.Width; bx += n {
+				var sum int64
+				for y := 0; y < n; y++ {
+					row := f.Y[(by+y)*f.Width+bx:]
+					for x := 0; x < n; x++ {
+						sum += int64(row[x])
+					}
+				}
+				dc := uint8(sum / (n * n))
+				var ic, pc int64
+				for y := 0; y < n; y++ {
+					row := f.Y[(by+y)*f.Width+bx:]
+					var prow []uint8
+					if prev != nil {
+						prow = prev.Y[(by+y)*f.Width+bx:]
+					}
+					for x := 0; x < n; x++ {
+						d := int64(row[x]) - int64(dc)
+						if d < 0 {
+							d = -d
+						}
+						ic += d
+						if prev != nil {
+							pd := int64(row[x]) - int64(prow[x])
+							if pd < 0 {
+								pd = -pd
+							}
+							pc += pd
+						}
+					}
+				}
+				intra += ic
+				inter += pc
+			}
+		}
+		if prev == nil {
+			inter = intra
+		}
+		stats[i] = rc.FrameStats{IntraCost: intra, InterCost: inter,
+			Keyframe: i == 0 || (inter > intra*9/10 && intra > 0)}
+	}
+	return stats
+}
+
+// SequenceResult is the outcome of EncodeSequence.
+type SequenceResult struct {
+	Packets   []Packet
+	TotalBits int
+	// AvgQP is the mean QP over shown frames.
+	AvgQP float64
+}
+
+// EncodeSequence is the batch entry point: it runs first-pass analysis if
+// the rate-control mode needs it, encodes all frames, and flushes.
+func EncodeSequence(cfg Config, frames []*video.Frame) (*SequenceResult, error) {
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RC.Mode.TwoPass() {
+		stats := FirstPassAnalyze(frames)
+		enc.RateController().SetFirstPassStats(stats)
+		var cuts []int
+		for i, st := range stats {
+			if i > 0 && st.Keyframe {
+				cuts = append(cuts, i)
+			}
+		}
+		enc.SetSceneCuts(cuts)
+	}
+	res := &SequenceResult{}
+	collect := func(pkts []Packet) {
+		for _, p := range pkts {
+			res.Packets = append(res.Packets, p)
+			res.TotalBits += p.Bits()
+			if p.Show {
+				res.AvgQP += float64(p.QP)
+			}
+		}
+	}
+	for _, f := range frames {
+		pkts, err := enc.Encode(f)
+		if err != nil {
+			return nil, err
+		}
+		collect(pkts)
+	}
+	pkts, err := enc.Flush()
+	if err != nil {
+		return nil, err
+	}
+	collect(pkts)
+	if len(frames) > 0 {
+		res.AvgQP /= float64(len(frames))
+	}
+	return res, nil
+}

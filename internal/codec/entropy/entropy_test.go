@@ -1,0 +1,230 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+
+	"openvcu/internal/bits"
+)
+
+func TestModeSyntaxRoundTrip(t *testing.T) {
+	enc := NewModel(true)
+	e := bits.NewEncoder()
+	type blk struct {
+		split  bool
+		skip   bool
+		inter  bool
+		mode   int
+		ref    int
+		comp   bool
+		dx, dy int32
+	}
+	rng := rand.New(rand.NewSource(1))
+	blocks := make([]blk, 500)
+	for i := range blocks {
+		blocks[i] = blk{
+			split: rng.Intn(3) == 0,
+			skip:  rng.Intn(4) == 0,
+			inter: rng.Intn(2) == 0,
+			mode:  rng.Intn(4),
+			ref:   rng.Intn(3),
+			comp:  rng.Intn(5) == 0,
+			dx:    int32(rng.Intn(65) - 32),
+			dy:    int32(rng.Intn(65) - 32),
+		}
+	}
+	for _, b := range blocks {
+		enc.WriteSplit(e, 1, b.split)
+		enc.WriteSkip(e, b.skip)
+		enc.WriteIsInter(e, b.inter)
+		enc.WriteIntraMode(e, b.mode)
+		enc.WriteRef(e, b.ref)
+		enc.WriteCompound(e, b.comp)
+		enc.WriteMVDiff(e, b.dx, b.dy)
+	}
+	dec := NewModel(true)
+	d := bits.NewDecoder(e.Bytes())
+	for i, b := range blocks {
+		if dec.ReadSplit(d, 1) != b.split {
+			t.Fatalf("block %d split mismatch", i)
+		}
+		if dec.ReadSkip(d) != b.skip {
+			t.Fatalf("block %d skip mismatch", i)
+		}
+		if dec.ReadIsInter(d) != b.inter {
+			t.Fatalf("block %d inter mismatch", i)
+		}
+		if got := dec.ReadIntraMode(d); got != b.mode {
+			t.Fatalf("block %d mode %d want %d", i, got, b.mode)
+		}
+		if got := dec.ReadRef(d); got != b.ref {
+			t.Fatalf("block %d ref %d want %d", i, got, b.ref)
+		}
+		if dec.ReadCompound(d) != b.comp {
+			t.Fatalf("block %d compound mismatch", i)
+		}
+		dx, dy := dec.ReadMVDiff(d)
+		if dx != b.dx || dy != b.dy {
+			t.Fatalf("block %d mv (%d,%d) want (%d,%d)", i, dx, dy, b.dx, b.dy)
+		}
+	}
+	if d.Overrun() {
+		t.Fatal("decoder overran")
+	}
+}
+
+func randomCoeffs(rng *rand.Rand, n int, density float64) []int32 {
+	c := make([]int32, n*n)
+	for i := range c {
+		if rng.Float64() < density/float64(1+i/4) {
+			c[i] = int32(rng.Intn(41) - 20)
+		}
+	}
+	return c
+}
+
+func TestCoeffRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 8, 16, 32} {
+		enc := NewModel(true)
+		dec := NewModel(true)
+		e := bits.NewEncoder()
+		var all [][]int32
+		for trial := 0; trial < 60; trial++ {
+			c := randomCoeffs(rng, n, 0.5)
+			all = append(all, c)
+			enc.WriteCoeffs(e, trial%2, c, n)
+		}
+		d := bits.NewDecoder(e.Bytes())
+		got := make([]int32, n*n)
+		for trial, want := range all {
+			dec.ReadCoeffs(d, trial%2, got, n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d trial=%d coeff %d: got %d want %d", n, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCoeffAllZeros(t *testing.T) {
+	enc := NewModel(true)
+	e := bits.NewEncoder()
+	zeros := make([]int32, 64)
+	enc.WriteCoeffs(e, 0, zeros, 8)
+	before := e.Bools()
+	if before != 1 {
+		t.Errorf("all-zero block used %d bools, want 1 (just EOB)", before)
+	}
+	dec := NewModel(true)
+	d := bits.NewDecoder(e.Bytes())
+	got := make([]int32, 64)
+	got[5] = 99 // must be cleared
+	dec.ReadCoeffs(d, 0, got, 8)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("coeff %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestCoeffLargeMagnitudes(t *testing.T) {
+	enc := NewModel(false)
+	dec := NewModel(false)
+	e := bits.NewEncoder()
+	c := make([]int32, 16)
+	c[0] = 30000
+	c[1] = -30000
+	c[15] = 7
+	enc.WriteCoeffs(e, 0, c, 4)
+	d := bits.NewDecoder(e.Bytes())
+	got := make([]int32, 16)
+	dec.ReadCoeffs(d, 0, got, 4)
+	for i := range c {
+		if got[i] != c[i] {
+			t.Fatalf("coeff %d: got %d want %d", i, got[i], c[i])
+		}
+	}
+}
+
+func TestCoeffCostTracksActual(t *testing.T) {
+	// Cost estimate (static contexts) should be within 15% of actual bits.
+	rng := rand.New(rand.NewSource(3))
+	enc := NewModel(false) // static so cost model is exact per call
+	e := bits.NewEncoder()
+	var est uint32
+	for i := 0; i < 200; i++ {
+		c := randomCoeffs(rng, 8, 0.4)
+		est += enc.CoeffCost(0, c, 8)
+		enc.WriteCoeffs(e, 0, c, 8)
+	}
+	actual := uint32(e.Bools()) // not exact bits, but cost is per-symbol
+	_ = actual
+	actualBits := len(e.Bytes()) * 8
+	estBits := int(est / 256)
+	diff := actualBits - estBits
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > actualBits*15/100+64 {
+		t.Errorf("estimated %d bits, actual %d", estBits, actualBits)
+	}
+}
+
+func TestAdaptiveModelsStayInSync(t *testing.T) {
+	// After coding identical data, encoder and decoder models must be
+	// bitwise identical — the invariant backward adaptation rests on.
+	rng := rand.New(rand.NewSource(4))
+	enc := NewModel(true)
+	e := bits.NewEncoder()
+	var seqs [][]int32
+	for i := 0; i < 50; i++ {
+		c := randomCoeffs(rng, 8, 0.6)
+		seqs = append(seqs, c)
+		enc.WriteCoeffs(e, 0, c, 8)
+	}
+	dec := NewModel(true)
+	d := bits.NewDecoder(e.Bytes())
+	buf := make([]int32, 64)
+	for range seqs {
+		dec.ReadCoeffs(d, 0, buf, 8)
+	}
+	if *enc != *dec {
+		t.Fatal("encoder and decoder models diverged")
+	}
+}
+
+func TestStaticModelDoesNotAdapt(t *testing.T) {
+	m := NewModel(false)
+	initial := m.Skip.P
+	e := bits.NewEncoder()
+	for i := 0; i < 100; i++ {
+		m.WriteSkip(e, true)
+	}
+	if m.Skip.P != initial {
+		t.Fatalf("static context adapted: %d -> %d", initial, m.Skip.P)
+	}
+}
+
+func TestAdaptiveCompressesBetterOnSkewedCoeffs(t *testing.T) {
+	// Realistic sparse coefficients: adaptation should beat static
+	// contexts once the models learn the local statistics.
+	rng := rand.New(rand.NewSource(5))
+	var seqs [][]int32
+	for i := 0; i < 400; i++ {
+		seqs = append(seqs, randomCoeffs(rng, 8, 0.15))
+	}
+	run := func(adaptive bool) int {
+		m := NewModel(adaptive)
+		e := bits.NewEncoder()
+		for _, c := range seqs {
+			m.WriteCoeffs(e, 0, c, 8)
+		}
+		return len(e.Bytes())
+	}
+	static, adapt := run(false), run(true)
+	if adapt >= static {
+		t.Errorf("adaptive (%dB) not better than static (%dB)", adapt, static)
+	}
+}

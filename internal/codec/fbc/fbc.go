@@ -1,0 +1,136 @@
+// Package fbc implements lossless reference frame buffer compression
+// (paper §3.2): every reconstructed macroblock is compressed before being
+// written to device DRAM and decompressed when the motion search reads it
+// back, roughly halving reference-read bandwidth ("reduces reference frame
+// memory read bandwidth by approximately 50%") at a ~5% capacity premium
+// (paper §A.4).
+//
+// The scheme is a hardware-plausible one: per 16×16 tile, pixels are
+// predicted from the left neighbor (first column from the pixel above),
+// and the prediction residuals are Rice-coded with a per-tile adaptive k
+// parameter. It is strictly lossless, which the codec requires — references
+// must be bit-exact or encoder and decoder reconstructions diverge.
+package fbc
+
+import (
+	"fmt"
+
+	"openvcu/internal/bits"
+)
+
+// TileSize is the compression granularity in pixels.
+const TileSize = 16
+
+// CompressPlane compresses a w×h plane. The returned buffer decompresses
+// to exactly the input.
+func CompressPlane(pix []uint8, w, h int) []byte {
+	bw := bits.NewBitWriter()
+	bw.WriteBits(uint32(w), 16)
+	bw.WriteBits(uint32(h), 16)
+	for ty := 0; ty < h; ty += TileSize {
+		for tx := 0; tx < w; tx += TileSize {
+			compressTile(bw, pix, w, h, tx, ty)
+		}
+	}
+	return bw.Bytes()
+}
+
+func compressTile(bw *bits.BitWriter, pix []uint8, w, h, tx, ty int) {
+	tw := minInt(TileSize, w-tx)
+	th := minInt(TileSize, h-ty)
+	residuals := make([]uint32, 0, tw*th)
+	var sum uint64
+	for y := 0; y < th; y++ {
+		for x := 0; x < tw; x++ {
+			r := tileResidual(pix, w, tx, ty, x, y)
+			residuals = append(residuals, r)
+			sum += uint64(r)
+		}
+	}
+	// Pick the Rice parameter from the mean residual magnitude.
+	mean := sum / uint64(len(residuals))
+	k := uint(0)
+	for (uint64(1)<<k) < mean && k < 7 {
+		k++
+	}
+	bw.WriteBits(uint32(k), 3)
+	for _, r := range residuals {
+		bw.WriteRice(r, k)
+	}
+}
+
+// tileResidual returns the zigzag-mapped prediction residual for pixel
+// (x, y) within the tile at (tx, ty). Prediction is from the left neighbor
+// within the tile; the first column predicts from above; the corner is
+// predicted from 128. Tiles are self-contained so any macroblock can be
+// decompressed independently — the property that lets the DRAM reader
+// fetch an arbitrary search window.
+func tileResidual(pix []uint8, w, tx, ty, x, y int) uint32 {
+	cur := int32(pix[(ty+y)*w+tx+x])
+	return zigzag(cur - int32(tilePrediction(pix, w, tx, ty, x, y)))
+}
+
+func tilePrediction(pix []uint8, w, tx, ty, x, y int) uint8 {
+	switch {
+	case x > 0:
+		return pix[(ty+y)*w+tx+x-1]
+	case y > 0:
+		return pix[(ty+y-1)*w+tx]
+	default:
+		return 128
+	}
+}
+
+func zigzag(v int32) uint32   { return uint32((v << 1) ^ (v >> 31)) }
+func unzigzag(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }
+
+// DecompressPlane reverses CompressPlane. It returns an error if the
+// stream is truncated or the header is inconsistent with the expected
+// dimensions (expectW/expectH of 0 skip the check).
+func DecompressPlane(data []byte, expectW, expectH int) ([]uint8, int, int, error) {
+	br := bits.NewBitReader(data)
+	w := int(br.ReadBits(16))
+	h := int(br.ReadBits(16))
+	if w <= 0 || h <= 0 {
+		return nil, 0, 0, fmt.Errorf("fbc: invalid dimensions %dx%d", w, h)
+	}
+	if expectW != 0 && (w != expectW || h != expectH) {
+		return nil, 0, 0, fmt.Errorf("fbc: dimensions %dx%d, want %dx%d", w, h, expectW, expectH)
+	}
+	pix := make([]uint8, w*h)
+	for ty := 0; ty < h; ty += TileSize {
+		for tx := 0; tx < w; tx += TileSize {
+			tw := minInt(TileSize, w-tx)
+			th := minInt(TileSize, h-ty)
+			k := uint(br.ReadBits(3))
+			for y := 0; y < th; y++ {
+				for x := 0; x < tw; x++ {
+					r := unzigzag(br.ReadRice(k))
+					p := int32(tilePrediction(pix, w, tx, ty, x, y))
+					v := p + r
+					if v < 0 || v > 255 {
+						return nil, 0, 0, fmt.Errorf("fbc: residual out of range at (%d,%d)", tx+x, ty+y)
+					}
+					pix[(ty+y)*w+tx+x] = uint8(v)
+				}
+			}
+		}
+	}
+	if br.Overrun() {
+		return nil, 0, 0, fmt.Errorf("fbc: truncated stream")
+	}
+	return pix, w, h, nil
+}
+
+// Ratio returns compressed size over raw size for a plane — the bandwidth
+// model consumes this to discount reference-read traffic.
+func Ratio(pix []uint8, w, h int) float64 {
+	return float64(len(CompressPlane(pix, w, h))) / float64(len(pix))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

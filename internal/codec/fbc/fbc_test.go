@@ -1,0 +1,113 @@
+package fbc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"openvcu/internal/video"
+)
+
+func TestLosslessRoundTripNaturalContent(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		f := video.NewSource(video.SourceConfig{Width: 80, Height: 48, Seed: seed, Detail: 0.6, Objects: 1}).Frame(0)
+		data := CompressPlane(f.Y, f.Width, f.Height)
+		got, w, h, err := DecompressPlane(data, f.Width, f.Height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != f.Width || h != f.Height {
+			t.Fatalf("dims %dx%d", w, h)
+		}
+		if video.MSE(got, f.Y) != 0 {
+			t.Fatal("fbc is not lossless")
+		}
+	}
+}
+
+func TestLosslessRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 8 + rng.Intn(57) // deliberately not multiples of TileSize
+		h := 8 + rng.Intn(41)
+		pix := make([]uint8, w*h)
+		for i := range pix {
+			pix[i] = uint8(rng.Intn(256))
+		}
+		data := CompressPlane(pix, w, h)
+		got, _, _, err := DecompressPlane(data, w, h)
+		if err != nil {
+			return false
+		}
+		for i := range pix {
+			if got[i] != pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatioOnSmoothContent(t *testing.T) {
+	// Paper: FBC reduces reference read bandwidth by ~50%. Reconstructed
+	// (quantized, deblocked) frames are smooth; our smooth procedural
+	// content must compress to well under 70% of raw.
+	f := video.NewSource(video.SourceConfig{Width: 256, Height: 144, Seed: 4, Detail: 0.3}).Frame(0)
+	r := Ratio(f.Y, f.Width, f.Height)
+	if r > 0.7 {
+		t.Errorf("smooth content ratio %.2f, want < 0.70", r)
+	}
+	if r < 0.05 {
+		t.Errorf("suspiciously good ratio %.2f", r)
+	}
+}
+
+func TestRandomNoiseDoesNotExplode(t *testing.T) {
+	// Worst case (white noise) must stay bounded: hardware guarantees the
+	// compressed tile never exceeds raw size by more than the k header.
+	rng := rand.New(rand.NewSource(9))
+	w, h := 64, 64
+	pix := make([]uint8, w*h)
+	for i := range pix {
+		pix[i] = uint8(rng.Intn(256))
+	}
+	data := CompressPlane(pix, w, h)
+	if float64(len(data)) > float64(len(pix))*1.6 {
+		t.Errorf("white-noise expansion %.2fx too large", float64(len(data))/float64(len(pix)))
+	}
+	got, _, _, err := DecompressPlane(data, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if video.MSE(got, pix) != 0 {
+		t.Fatal("white noise round trip failed")
+	}
+}
+
+func TestDecompressDimensionMismatch(t *testing.T) {
+	f := video.NewFrame(32, 32)
+	data := CompressPlane(f.Y, 32, 32)
+	if _, _, _, err := DecompressPlane(data, 64, 64); err == nil {
+		t.Fatal("dimension mismatch not detected")
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	f := video.NewSource(video.SourceConfig{Width: 64, Height: 64, Seed: 1, Detail: 0.9, Noise: 30}).Frame(0)
+	data := CompressPlane(f.Y, 64, 64)
+	if _, _, _, err := DecompressPlane(data[:len(data)/3], 64, 64); err == nil {
+		t.Fatal("truncated stream not detected")
+	}
+}
+
+func BenchmarkCompress1080pTile(b *testing.B) {
+	f := video.NewSource(video.SourceConfig{Width: 256, Height: 256, Seed: 2, Detail: 0.5}).Frame(0)
+	b.SetBytes(int64(len(f.Y)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CompressPlane(f.Y, f.Width, f.Height)
+	}
+}

@@ -1,0 +1,259 @@
+// Package filter implements the final pipeline stage of the encoder core
+// (paper Fig. 4 "Reconstruction"): the in-loop deblocking filter applied to
+// reconstructed frames before they become references, and the
+// motion-compensated temporal filter used to build VP9's synthetic
+// alternate reference frames (paper §3.2).
+package filter
+
+import (
+	"openvcu/internal/codec/motion"
+	"openvcu/internal/video"
+)
+
+// DeblockPlane smooths the block-grid edges of a reconstructed plane in
+// place. blockSize is the transform grid (edges every blockSize pixels);
+// strength grows with QP — heavier quantization leaves larger
+// discontinuities to hide.
+func DeblockPlane(pix []uint8, w, h, blockSize, strength int) {
+	if strength <= 0 {
+		return
+	}
+	thresh := int32(2 + strength)
+	// Vertical edges.
+	for x := blockSize; x < w; x += blockSize {
+		for y := 0; y < h; y++ {
+			row := y * w
+			p1 := int32(pix[row+x-2])
+			p0 := int32(pix[row+x-1])
+			q0 := int32(pix[row+x])
+			q1 := int32(pix[row+x+minInt(1, w-1-x)])
+			filterEdge(&p1, &p0, &q0, &q1, thresh)
+			pix[row+x-1] = uint8(p0)
+			pix[row+x] = uint8(q0)
+		}
+	}
+	// Horizontal edges.
+	for y := blockSize; y < h; y += blockSize {
+		for x := 0; x < w; x++ {
+			p1 := int32(pix[(y-2)*w+x])
+			p0 := int32(pix[(y-1)*w+x])
+			q0 := int32(pix[y*w+x])
+			ny := y + 1
+			if ny >= h {
+				ny = h - 1
+			}
+			q1 := int32(pix[ny*w+x])
+			filterEdge(&p1, &p0, &q0, &q1, thresh)
+			pix[(y-1)*w+x] = uint8(p0)
+			pix[y*w+x] = uint8(q0)
+		}
+	}
+}
+
+// filterEdge applies a 4-tap smoothing across one edge sample if the step
+// looks like a quantization artifact (small discontinuity over an otherwise
+// smooth neighborhood) rather than a real image edge.
+func filterEdge(p1, p0, q0, q1 *int32, thresh int32) {
+	d := *q0 - *p0
+	if d < 0 {
+		d = -d
+	}
+	if d == 0 || d > thresh {
+		return // flat already, or a real edge to preserve
+	}
+	// neighborhood flatness check
+	dp := *p0 - *p1
+	if dp < 0 {
+		dp = -dp
+	}
+	dq := *q1 - *q0
+	if dq < 0 {
+		dq = -dq
+	}
+	if dp > thresh || dq > thresh {
+		return
+	}
+	avg := (*p0 + *q0 + 1) >> 1
+	*p0 = (*p0*2 + avg + 1) / 3
+	*q0 = (*q0*2 + avg + 1) / 3
+}
+
+// Deblock applies the loop filter to all three planes of a frame.
+func Deblock(f *video.Frame, blockSize, strength int) {
+	DeblockPlane(f.Y, f.Width, f.Height, blockSize, strength)
+	cw, ch := video.ChromaDims(f.Width, f.Height)
+	cb := maxInt(blockSize/2, 4)
+	DeblockPlane(f.U, cw, ch, cb, strength)
+	DeblockPlane(f.V, cw, ch, cb, strength)
+}
+
+// TemporalFilterConfig controls alt-ref synthesis.
+type TemporalFilterConfig struct {
+	// BlockSize for motion alignment (hardware uses 16, paper §3.2).
+	BlockSize int
+	// SearchRange for the alignment motion search, full pels.
+	SearchRange int
+	// Strength scales how aggressively neighbor frames are blended:
+	// 0 disables blending (output = center frame).
+	Strength int
+}
+
+// DefaultTemporalFilter mirrors the hardware configuration: 16×16 blocks
+// from 3 frames.
+var DefaultTemporalFilter = TemporalFilterConfig{BlockSize: 16, SearchRange: 8, Strength: 3}
+
+// TemporalFilter builds a denoised synthetic frame from a window of source
+// frames centered on frames[center]. Each 16×16 block of each neighbor
+// frame is motion-aligned to the center frame and blended with per-pixel
+// weights that fall off with pixel difference — the paper's non-local-mean
+// style filter producing alternate reference frames with low temporal
+// noise. The filter can be applied iteratively to cover more frames.
+func TemporalFilter(frames []*video.Frame, center int, cfg TemporalFilterConfig) *video.Frame {
+	out := frames[center].Clone()
+	if cfg.Strength <= 0 || len(frames) == 1 {
+		return out
+	}
+	n := cfg.BlockSize
+	if n == 0 {
+		n = 16
+	}
+	w, h := out.Width, out.Height
+	cur := frames[center].Y
+	acc := make([]int32, w*h)
+	wgt := make([]int32, w*h)
+	const centerWeight = 4
+	for i := range cur {
+		acc[i] = int32(cur[i]) * centerWeight
+		wgt[i] = centerWeight
+	}
+	pred := make([]uint8, n*n)
+	for fi, f := range frames {
+		if fi == center {
+			continue
+		}
+		ref := motion.Ref{Pix: f.Y, W: w, H: h}
+		for by := 0; by < h; by += n {
+			for bx := 0; bx < w; bx += n {
+				bw := minInt(n, w-bx)
+				bh := minInt(n, h-by)
+				if bw < n || bh < n {
+					continue // skip partial border blocks
+				}
+				res := motion.Search(cur[by*w+bx:], w, ref, bx, by, motion.Zero, n,
+					motion.SearchParams{RangeX: cfg.SearchRange, RangeY: cfg.SearchRange, SubPelDepth: 1})
+				motion.SampleBlock(ref, bx, by, res.MV, pred, n)
+				for y := 0; y < n; y++ {
+					for x := 0; x < n; x++ {
+						idx := (by+y)*w + bx + x
+						d := int32(cur[idx]) - int32(pred[y*n+x])
+						if d < 0 {
+							d = -d
+						}
+						// weight falls from Strength to 0 as |diff| grows
+						wg := int32(cfg.Strength) - d/4
+						if wg <= 0 {
+							continue
+						}
+						acc[idx] += int32(pred[y*n+x]) * wg
+						wgt[idx] += wg
+					}
+				}
+			}
+		}
+	}
+	for i := range out.Y {
+		out.Y[i] = uint8((acc[i] + wgt[i]/2) / wgt[i])
+	}
+	return out
+}
+
+// RestorationWeights are the signalable blend weights (in 1/8ths) of the
+// frame-level loop-restoration filter: the reconstructed frame is blended
+// with its 3x3 box-smoothed version. Index is the 2-bit syntax element.
+var RestorationWeights = [4]int32{0, 2, 4, 6}
+
+// Restore applies loop restoration with the given weight index in place:
+// out = ((8-w)*recon + w*smooth(recon)) / 8. Weight 0 is the identity.
+// This is the AV1-class "loop restoration" stage, run after deblocking.
+func Restore(f *video.Frame, weightIdx int) {
+	w := RestorationWeights[weightIdx&3]
+	if w == 0 {
+		return
+	}
+	restorePlane(f.Y, f.Width, f.Height, w)
+	cw, ch := video.ChromaDims(f.Width, f.Height)
+	restorePlane(f.U, cw, ch, w)
+	restorePlane(f.V, cw, ch, w)
+}
+
+func restorePlane(pix []uint8, w, h int, weight int32) {
+	smooth := boxSmooth(pix, w, h)
+	for i := range pix {
+		pix[i] = uint8((int32(pix[i])*(8-weight) + int32(smooth[i])*weight + 4) >> 3)
+	}
+}
+
+// boxSmooth returns the 3x3 box filter of the plane (edge-clamped).
+func boxSmooth(pix []uint8, w, h int) []uint8 {
+	out := make([]uint8, len(pix))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum int32
+			for dy := -1; dy <= 1; dy++ {
+				sy := y + dy
+				if sy < 0 {
+					sy = 0
+				}
+				if sy >= h {
+					sy = h - 1
+				}
+				for dx := -1; dx <= 1; dx++ {
+					sx := x + dx
+					if sx < 0 {
+						sx = 0
+					}
+					if sx >= w {
+						sx = w - 1
+					}
+					sum += int32(pix[sy*w+sx])
+				}
+			}
+			out[y*w+x] = uint8((sum + 4) / 9)
+		}
+	}
+	return out
+}
+
+// BestRestorationWeight picks the weight index minimizing luma SSE
+// against the source — the encoder-side search whose result is signaled
+// to the decoder.
+func BestRestorationWeight(recon, src *video.Frame) int {
+	smooth := boxSmooth(recon.Y, recon.Width, recon.Height)
+	best, bestSSE := 0, int64(-1)
+	for idx, w := range RestorationWeights {
+		var sse int64
+		for i := range recon.Y {
+			v := (int32(recon.Y[i])*(8-w) + int32(smooth[i])*w + 4) >> 3
+			d := int64(v) - int64(src.Y[i])
+			sse += d * d
+		}
+		if bestSSE < 0 || sse < bestSSE {
+			best, bestSSE = idx, sse
+		}
+	}
+	return best
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package codec
+
+import (
+	"fmt"
+
+	"openvcu/internal/bits"
+)
+
+// frameHeader carries the uncompressed per-frame parameters. It is coded
+// as raw literals at the front of each frame's boolean partition.
+type frameHeader struct {
+	profile  Profile
+	keyframe bool
+	show     bool
+	width    int // display dimensions; coding dimensions are padded
+	height   int
+	qp       int
+	refresh  [numRefSlots]bool
+	deblock  int // loop filter strength, 0..31
+	// log2Tiles is the tile-column count exponent (0..3 -> 1..8 tiles).
+	// Tile columns bound the reference-store working set in hardware
+	// (paper §3.2) and are independently entropy-coded, enabling
+	// intra-frame parallel encoding.
+	log2Tiles int
+}
+
+const headerMagic = 0xA7
+
+// writeHeader serializes the header as raw bits (the fields are
+// uncompressed parameters; arithmetic coding would only add flush
+// padding).
+func writeHeader(h frameHeader) []byte {
+	w := bits.NewBitWriter()
+	w.WriteBits(headerMagic, 8)
+	w.WriteBits(uint32(h.profile), 2)
+	w.WriteBits(uint32(b2i(h.keyframe)), 1)
+	w.WriteBits(uint32(b2i(h.show)), 1)
+	w.WriteBits(uint32(h.width), 13)
+	w.WriteBits(uint32(h.height), 13)
+	w.WriteBits(uint32(h.qp), 6)
+	for _, r := range h.refresh {
+		w.WriteBits(uint32(b2i(r)), 1)
+	}
+	w.WriteBits(uint32(h.deblock), 5)
+	w.WriteBits(uint32(h.log2Tiles), 2)
+	return w.Bytes()
+}
+
+func readHeader(data []byte) (frameHeader, error) {
+	d := bits.NewBitReader(data)
+	var h frameHeader
+	if m := d.ReadBits(8); m != headerMagic {
+		return h, fmt.Errorf("codec: bad frame magic 0x%02x", m)
+	}
+	h.profile = Profile(d.ReadBits(2))
+	h.keyframe = d.ReadBits(1) == 1
+	h.show = d.ReadBits(1) == 1
+	h.width = int(d.ReadBits(13))
+	h.height = int(d.ReadBits(13))
+	h.qp = int(d.ReadBits(6))
+	for i := range h.refresh {
+		h.refresh[i] = d.ReadBits(1) == 1
+	}
+	h.deblock = int(d.ReadBits(5))
+	h.log2Tiles = int(d.ReadBits(2))
+	if d.Overrun() {
+		return h, fmt.Errorf("codec: truncated header")
+	}
+	if h.profile > AV1Class {
+		return h, fmt.Errorf("codec: unknown profile %d", h.profile)
+	}
+	if h.width <= 0 || h.height <= 0 {
+		return h, fmt.Errorf("codec: invalid frame dimensions %dx%d", h.width, h.height)
+	}
+	return h, nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// deblockStrength maps a frame QP to a loop filter strength: coarser
+// quantization needs stronger smoothing.
+func deblockStrength(qp int) int {
+	s := (qp - 16) / 3
+	if s < 0 {
+		s = 0
+	}
+	if s > 31 {
+		s = 31
+	}
+	return s
+}
+
+// assembleEnvelope builds the packet layout: u8 header length, the header
+// block, the first n-1 tile substreams each with a u24 length prefix, the
+// last tile unprefixed (it extends to the end), and an optional trailing
+// restoration byte (restByte < 0 omits it). Overhead for the common
+// single-tile packet is one byte.
+func assembleEnvelope(hdr []byte, tiles [][]byte, restByte int) []byte {
+	size := 1 + len(hdr)
+	for i, t := range tiles {
+		if i < len(tiles)-1 {
+			size += 3
+		}
+		size += len(t)
+	}
+	if restByte >= 0 {
+		size++
+	}
+	out := make([]byte, 0, size)
+	out = append(out, byte(len(hdr)))
+	out = append(out, hdr...)
+	for i, t := range tiles {
+		if i < len(tiles)-1 {
+			out = append(out, byte(len(t)>>16), byte(len(t)>>8), byte(len(t)))
+		}
+		out = append(out, t...)
+	}
+	if restByte >= 0 {
+		out = append(out, byte(restByte))
+	}
+	return out
+}
+
+// parseEnvelope splits a packet into its header block and tile substreams
+// and returns the trailing restoration byte (-1 when absent). wantRest
+// tells the parser whether the profile appends one; it is discovered by
+// parsing the header first, so parseEnvelope is called in two phases via
+// splitHeader.
+func splitHeader(data []byte) (hdr, rest []byte, err error) {
+	if len(data) < 1 {
+		return nil, nil, fmt.Errorf("codec: packet too short for envelope")
+	}
+	hl := int(data[0])
+	if 1+hl > len(data) {
+		return nil, nil, fmt.Errorf("codec: header length %d exceeds packet", hl)
+	}
+	return data[1 : 1+hl], data[1+hl:], nil
+}
+
+// splitTiles cuts the post-header bytes into n tile substreams plus the
+// optional restoration byte.
+func splitTiles(data []byte, n int, wantRest bool) (tiles [][]byte, restByte int, err error) {
+	restByte = -1
+	end := len(data)
+	if wantRest {
+		if end < 1 {
+			return nil, -1, fmt.Errorf("codec: missing restoration byte")
+		}
+		restByte = int(data[end-1]) & 3
+		end--
+	}
+	off := 0
+	for i := 0; i < n-1; i++ {
+		if off+3 > end {
+			return nil, -1, fmt.Errorf("codec: truncated tile %d length", i)
+		}
+		l := int(data[off])<<16 | int(data[off+1])<<8 | int(data[off+2])
+		off += 3
+		if off+l > end {
+			return nil, -1, fmt.Errorf("codec: tile %d length %d exceeds packet", i, l)
+		}
+		tiles = append(tiles, data[off:off+l])
+		off += l
+	}
+	if off > end {
+		return nil, -1, fmt.Errorf("codec: truncated final tile")
+	}
+	tiles = append(tiles, data[off:end])
+	return tiles, restByte, nil
+}

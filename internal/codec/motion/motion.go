@@ -1,0 +1,400 @@
+// Package motion implements the motion estimation and compensation stage of
+// the encoder core (paper Fig. 4): multi-reference block search over a
+// bounded window (the SRAM reference store), diamond and exhaustive search,
+// sub-pel refinement down to 1/8-pel by bilinear interpolation, and
+// compound (two-reference averaged) prediction for the VP9-class profile.
+package motion
+
+// MV is a motion vector in 1/8-pel units.
+type MV struct{ X, Y int16 }
+
+// Zero is the null motion vector.
+var Zero = MV{}
+
+// Add returns a + b saturating to int16.
+func (a MV) Add(b MV) MV { return MV{a.X + b.X, a.Y + b.Y} }
+
+// Sub returns a - b.
+func (a MV) Sub(b MV) MV { return MV{a.X - b.X, a.Y - b.Y} }
+
+// FullPel reports whether the vector has no fractional component.
+func (a MV) FullPel() bool { return a.X&7 == 0 && a.Y&7 == 0 }
+
+// Ref is a reference plane for motion search.
+type Ref struct {
+	Pix  []uint8
+	W, H int
+	// Sharp selects the 4-tap (Catmull-Rom) sub-pel interpolation filter
+	// instead of bilinear. The VP9-class profile uses the sharp filter
+	// (VP9's 8-tap family); the H.264-class profile keeps the simpler
+	// one — sub-pel prediction quality is one of the newer codec's tools.
+	Sharp bool
+}
+
+// catmullTaps[f] are the 4 integer taps (sum 64) of the Catmull-Rom
+// interpolator at fractional phase f/8, applied to samples at offsets
+// -1, 0, +1, +2.
+var catmullTaps = buildCatmullTaps()
+
+func buildCatmullTaps() [8][4]int32 {
+	var t [8][4]int32
+	for f := 0; f < 8; f++ {
+		x := float64(f) / 8
+		w0 := -0.5*x + x*x - 0.5*x*x*x
+		w1 := 1 - 2.5*x*x + 1.5*x*x*x
+		w2 := 0.5*x + 2*x*x - 1.5*x*x*x
+		w3 := -0.5*x*x + 0.5*x*x*x
+		t[f][0] = int32(mathRound(w0 * 64))
+		t[f][1] = int32(mathRound(w1 * 64))
+		t[f][2] = int32(mathRound(w2 * 64))
+		t[f][3] = int32(mathRound(w3 * 64))
+		// Renormalize rounding drift so the taps sum to exactly 64.
+		sum := t[f][0] + t[f][1] + t[f][2] + t[f][3]
+		t[f][1] += 64 - sum
+	}
+	return t
+}
+
+// mathRound avoids importing math for one call.
+func mathRound(v float64) float64 {
+	if v >= 0 {
+		return float64(int64(v + 0.5))
+	}
+	return float64(int64(v - 0.5))
+}
+
+// clampCoord performs edge extension.
+func clampCoord(v, max int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= max {
+		return max - 1
+	}
+	return v
+}
+
+// SampleBlock fills dst (n×n row-major) with the motion-compensated
+// prediction for the block whose top-left is (bx, by), displaced by mv.
+// Fractional positions use bilinear interpolation; out-of-frame positions
+// use edge extension.
+func SampleBlock(ref Ref, bx, by int, mv MV, dst []uint8, n int) {
+	// Absolute position in 1/8-pel units; floor-divide so the fractional
+	// part is always non-negative regardless of the vector's sign.
+	px := bx*8 + int(mv.X)
+	py := by*8 + int(mv.Y)
+	ix := px >> 3 // arithmetic shift == floor division by 8
+	iy := py >> 3
+	fx := px - ix*8
+	fy := py - iy*8
+	if fx == 0 && fy == 0 {
+		for y := 0; y < n; y++ {
+			sy := clampCoord(iy+y, ref.H)
+			for x := 0; x < n; x++ {
+				sx := clampCoord(ix+x, ref.W)
+				dst[y*n+x] = ref.Pix[sy*ref.W+sx]
+			}
+		}
+		return
+	}
+	if ref.Sharp {
+		sampleSharp(ref, ix, iy, fx, fy, dst, n)
+		return
+	}
+	for y := 0; y < n; y++ {
+		sy0 := clampCoord(iy+y, ref.H)
+		sy1 := clampCoord(iy+y+1, ref.H)
+		for x := 0; x < n; x++ {
+			sx0 := clampCoord(ix+x, ref.W)
+			sx1 := clampCoord(ix+x+1, ref.W)
+			p00 := int32(ref.Pix[sy0*ref.W+sx0])
+			p01 := int32(ref.Pix[sy0*ref.W+sx1])
+			p10 := int32(ref.Pix[sy1*ref.W+sx0])
+			p11 := int32(ref.Pix[sy1*ref.W+sx1])
+			top := p00*int32(8-fx) + p01*int32(fx)
+			bot := p10*int32(8-fx) + p11*int32(fx)
+			dst[y*n+x] = uint8((top*int32(8-fy) + bot*int32(fy) + 32) >> 6)
+		}
+	}
+}
+
+// sampleSharp applies the separable 4-tap Catmull-Rom interpolator at
+// phase (fx, fy)/8 with edge extension. Weights are Q6 per axis (Q12
+// combined).
+func sampleSharp(ref Ref, ix, iy, fx, fy int, dst []uint8, n int) {
+	tx := catmullTaps[fx]
+	ty := catmullTaps[fy]
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			var acc int32
+			for r := 0; r < 4; r++ {
+				sy := clampCoord(iy+y+r-1, ref.H)
+				row := ref.Pix[sy*ref.W:]
+				var h int32
+				for c := 0; c < 4; c++ {
+					sx := clampCoord(ix+x+c-1, ref.W)
+					h += tx[c] * int32(row[sx])
+				}
+				acc += ty[r] * h
+			}
+			v := (acc + 1<<11) >> 12
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			dst[y*n+x] = uint8(v)
+		}
+	}
+}
+
+// SampleCompound fills dst with the average of two single-reference
+// predictions (VP9 compound prediction).
+func SampleCompound(refA Ref, mvA MV, refB Ref, mvB MV, bx, by int, dst []uint8, n int) {
+	tmp := make([]uint8, n*n)
+	SampleBlock(refA, bx, by, mvA, dst, n)
+	SampleBlock(refB, bx, by, mvB, tmp, n)
+	for i := range dst[:n*n] {
+		dst[i] = uint8((int32(dst[i]) + int32(tmp[i]) + 1) >> 1)
+	}
+}
+
+// blockSAD computes the SAD between the current block (cur with stride
+// curStride at origin) and the full-pel reference block at (ix, iy).
+func blockSAD(cur []uint8, curStride int, ref Ref, ix, iy, n int, best int64) int64 {
+	var sad int64
+	inBounds := ix >= 0 && iy >= 0 && ix+n <= ref.W && iy+n <= ref.H
+	if inBounds {
+		for y := 0; y < n; y++ {
+			crow := cur[y*curStride:]
+			rrow := ref.Pix[(iy+y)*ref.W+ix:]
+			for x := 0; x < n; x++ {
+				d := int32(crow[x]) - int32(rrow[x])
+				if d < 0 {
+					d = -d
+				}
+				sad += int64(d)
+			}
+			if sad >= best {
+				return sad // early exit
+			}
+		}
+		return sad
+	}
+	for y := 0; y < n; y++ {
+		sy := clampCoord(iy+y, ref.H)
+		for x := 0; x < n; x++ {
+			sx := clampCoord(ix+x, ref.W)
+			d := int32(cur[y*curStride+x]) - int32(ref.Pix[sy*ref.W+sx])
+			if d < 0 {
+				d = -d
+			}
+			sad += int64(d)
+		}
+		if sad >= best {
+			return sad
+		}
+	}
+	return sad
+}
+
+// subPelSAD computes SAD for an arbitrary (possibly fractional) mv.
+func subPelSAD(cur []uint8, curStride int, ref Ref, bx, by int, mv MV, n int, scratch []uint8) int64 {
+	SampleBlock(ref, bx, by, mv, scratch, n)
+	var sad int64
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			d := int32(cur[y*curStride+x]) - int32(scratch[y*n+x])
+			if d < 0 {
+				d = -d
+			}
+			sad += int64(d)
+		}
+	}
+	return sad
+}
+
+// SearchParams bound the motion search. They model the hardware reference
+// store: the search window is what fits in the 768×192-pixel SRAM (paper
+// footnote 4), i.e. ±128 horizontally and ±64 vertically of full-pel range,
+// with most searches using a much smaller diamond refinement.
+type SearchParams struct {
+	// RangeX/RangeY are full-pel window half-widths.
+	RangeX, RangeY int
+	// SubPelDepth: 0 = full-pel only, 1 = half, 2 = quarter, 3 = eighth.
+	SubPelDepth int
+	// Exhaustive scans the full window instead of diamond search. The
+	// hardware performs an exhaustive multi-resolution search (paper
+	// §3.2); software speed settings use the diamond.
+	Exhaustive bool
+	// LambdaMVCost, if nonzero, adds an MV-magnitude penalty (in SAD units
+	// per 1/8-pel step) approximating the rate cost of coding the vector.
+	LambdaMVCost int64
+}
+
+// HardwareWindow is the reference-store-limited search window of the VCU
+// encoder core.
+var HardwareWindow = SearchParams{RangeX: 128, RangeY: 64, SubPelDepth: 3, Exhaustive: false, LambdaMVCost: 2}
+
+// Result is the outcome of a motion search.
+type Result struct {
+	MV  MV
+	SAD int64 // SAD including MV cost penalty
+}
+
+// Search finds the best motion vector for the n×n block at (bx, by) of the
+// current plane (cur, stride curStride addresses the block's top-left
+// pixel). pred is the predicted vector used both as a search start and as
+// the rate-cost origin.
+func Search(cur []uint8, curStride int, ref Ref, bx, by int, pred MV, n int, p SearchParams) Result {
+	mvCost := func(mv MV) int64 {
+		if p.LambdaMVCost == 0 {
+			return 0
+		}
+		d := mv.Sub(pred)
+		ax, ay := int64(d.X), int64(d.Y)
+		if ax < 0 {
+			ax = -ax
+		}
+		if ay < 0 {
+			ay = -ay
+		}
+		return p.LambdaMVCost * (ax + ay)
+	}
+
+	best := Result{MV: Zero, SAD: 1 << 62}
+	tryFull := func(dx, dy int) {
+		mv := MV{int16(dx * 8), int16(dy * 8)}
+		cost := mvCost(mv)
+		if cost >= best.SAD {
+			return
+		}
+		sad := blockSAD(cur, curStride, ref, bx+dx, by+dy, n, best.SAD-cost) + cost
+		if sad < best.SAD {
+			best = Result{mv, sad}
+		}
+	}
+
+	// Starting candidates: zero and the predicted vector (rounded to full pel).
+	tryFull(0, 0)
+	px, py := int(pred.X)>>3, int(pred.Y)>>3
+	if px != 0 || py != 0 {
+		px = clampInt(px, -p.RangeX, p.RangeX)
+		py = clampInt(py, -p.RangeY, p.RangeY)
+		tryFull(px, py)
+	}
+
+	if p.Exhaustive {
+		for dy := -p.RangeY; dy <= p.RangeY; dy++ {
+			for dx := -p.RangeX; dx <= p.RangeX; dx++ {
+				tryFull(dx, dy)
+			}
+		}
+	} else {
+		// Large-diamond-to-small-diamond search from the best start.
+		step := maxInt(p.RangeX/2, 1)
+		for step >= 1 {
+			improved := true
+			for improved {
+				improved = false
+				cx, cy := int(best.MV.X)>>3, int(best.MV.Y)>>3
+				for _, d := range [4][2]int{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
+					nx, ny := cx+d[0], cy+d[1]
+					if nx < -p.RangeX || nx > p.RangeX || ny < -p.RangeY || ny > p.RangeY {
+						continue
+					}
+					before := best.SAD
+					tryFull(nx, ny)
+					if best.SAD < before {
+						improved = true
+					}
+				}
+			}
+			step /= 2
+		}
+	}
+
+	// Sub-pel refinement: successively halve the step in 1/8-pel units.
+	if p.SubPelDepth > 0 {
+		scratch := make([]uint8, n*n)
+		for depth := 1; depth <= p.SubPelDepth; depth++ {
+			step := int16(8 >> uint(depth)) // 4, 2, 1
+			improved := true
+			for improved {
+				improved = false
+				base := best.MV
+				for _, d := range [4]MV{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
+					mv := base.Add(d)
+					cost := mvCost(mv)
+					if cost >= best.SAD {
+						continue
+					}
+					sad := subPelSAD(cur, curStride, ref, bx, by, mv, n, scratch) + cost
+					if sad < best.SAD {
+						best = Result{mv, sad}
+						improved = true
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// PredictMV returns the median-of-neighbors motion vector prediction used
+// for both search initialization and differential MV coding. Missing
+// neighbors are treated as zero.
+func PredictMV(left, above, aboveRight MV, hasLeft, hasAbove, hasAR bool) MV {
+	cands := make([]MV, 0, 3)
+	if hasLeft {
+		cands = append(cands, left)
+	}
+	if hasAbove {
+		cands = append(cands, above)
+	}
+	if hasAR {
+		cands = append(cands, aboveRight)
+	}
+	switch len(cands) {
+	case 0:
+		return Zero
+	case 1:
+		return cands[0]
+	case 2:
+		return MV{X: (cands[0].X + cands[1].X) / 2, Y: (cands[0].Y + cands[1].Y) / 2}
+	default:
+		return MV{X: median3(cands[0].X, cands[1].X, cands[2].X),
+			Y: median3(cands[0].Y, cands[1].Y, cands[2].Y)}
+	}
+}
+
+func median3(a, b, c int16) int16 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+// Package predict implements intra (spatial) prediction for the encoder
+// core's RDO engine: DC, horizontal, vertical and TrueMotion modes, formed
+// from the reconstructed pixels above and to the left of the current block
+// (which the hardware keeps in SRAM line buffers, paper §3.2).
+package predict
+
+import "openvcu/internal/video"
+
+// IntraMode enumerates the spatial prediction modes.
+type IntraMode int
+
+// Intra prediction modes.
+const (
+	IntraDC IntraMode = iota
+	IntraH
+	IntraV
+	IntraTM
+	NumIntraModes
+)
+
+// String returns the mode name.
+func (m IntraMode) String() string {
+	switch m {
+	case IntraDC:
+		return "DC"
+	case IntraH:
+		return "H"
+	case IntraV:
+		return "V"
+	case IntraTM:
+		return "TM"
+	}
+	return "?"
+}
+
+// Neighbors holds the reconstructed border pixels available for prediction.
+// Above and Left have length n (the block size); TopLeft is the corner.
+// HasAbove/HasLeft are false at picture borders, where the predictors fall
+// back to the 128 mid-gray convention.
+type Neighbors struct {
+	Above    []uint8
+	Left     []uint8
+	TopLeft  uint8
+	HasAbove bool
+	HasLeft  bool
+}
+
+// GatherNeighbors extracts the neighbor set for the n×n block at (x, y) in
+// plane data of width w, height h. recon must contain reconstructed pixels
+// for everything above and left of the block in coding order.
+func GatherNeighbors(recon []uint8, w, h, x, y, n int) Neighbors {
+	return GatherNeighborsBounded(recon, w, h, x, y, n, 0)
+}
+
+// GatherNeighborsBounded is GatherNeighbors with a left availability
+// bound: blocks at or left of minX have no left neighbors, and the pixels
+// beyond the bound are never read — required for tile columns, whose left
+// neighbor may be encoded concurrently by another goroutine.
+func GatherNeighborsBounded(recon []uint8, w, h, x, y, n, minX int) Neighbors {
+	nb := Neighbors{Above: make([]uint8, n), Left: make([]uint8, n)}
+	if y > 0 {
+		nb.HasAbove = true
+		for i := 0; i < n; i++ {
+			sx := x + i
+			if sx >= w {
+				sx = w - 1
+			}
+			nb.Above[i] = recon[(y-1)*w+sx]
+		}
+	}
+	if x > minX {
+		nb.HasLeft = true
+		for i := 0; i < n; i++ {
+			sy := y + i
+			if sy >= h {
+				sy = h - 1
+			}
+			nb.Left[i] = recon[sy*w+x-1]
+		}
+	}
+	if x > minX && y > 0 {
+		nb.TopLeft = recon[(y-1)*w+x-1]
+	} else {
+		nb.TopLeft = 128
+	}
+	return nb
+}
+
+// Predict fills dst (n×n row-major) with the prediction for the mode.
+func Predict(mode IntraMode, nb Neighbors, dst []uint8, n int) {
+	switch mode {
+	case IntraDC:
+		predictDC(nb, dst, n)
+	case IntraH:
+		predictH(nb, dst, n)
+	case IntraV:
+		predictV(nb, dst, n)
+	case IntraTM:
+		predictTM(nb, dst, n)
+	default:
+		predictDC(nb, dst, n)
+	}
+}
+
+func predictDC(nb Neighbors, dst []uint8, n int) {
+	var sum, cnt int32
+	if nb.HasAbove {
+		for _, v := range nb.Above {
+			sum += int32(v)
+		}
+		cnt += int32(n)
+	}
+	if nb.HasLeft {
+		for _, v := range nb.Left {
+			sum += int32(v)
+		}
+		cnt += int32(n)
+	}
+	dc := uint8(128)
+	if cnt > 0 {
+		dc = uint8((sum + cnt/2) / cnt)
+	}
+	for i := range dst[:n*n] {
+		dst[i] = dc
+	}
+}
+
+func predictH(nb Neighbors, dst []uint8, n int) {
+	for y := 0; y < n; y++ {
+		v := uint8(128)
+		if nb.HasLeft {
+			v = nb.Left[y]
+		}
+		row := dst[y*n : y*n+n]
+		for x := range row {
+			row[x] = v
+		}
+	}
+}
+
+func predictV(nb Neighbors, dst []uint8, n int) {
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if nb.HasAbove {
+				dst[y*n+x] = nb.Above[x]
+			} else {
+				dst[y*n+x] = 128
+			}
+		}
+	}
+}
+
+// predictTM is VP8/VP9 TrueMotion: p = left + above - topleft, clamped.
+func predictTM(nb Neighbors, dst []uint8, n int) {
+	if !nb.HasAbove || !nb.HasLeft {
+		predictDC(nb, dst, n)
+		return
+	}
+	tl := int32(nb.TopLeft)
+	for y := 0; y < n; y++ {
+		l := int32(nb.Left[y])
+		for x := 0; x < n; x++ {
+			dst[y*n+x] = video.ClampU8(l + int32(nb.Above[x]) - tl)
+		}
+	}
+}

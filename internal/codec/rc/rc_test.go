@@ -1,0 +1,187 @@
+package rc
+
+import (
+	"testing"
+
+	"openvcu/internal/codec/transform"
+)
+
+func statsFor(n int, complexity int64) []FrameStats {
+	s := make([]FrameStats, n)
+	for i := range s {
+		s[i] = FrameStats{IntraCost: complexity * 2, InterCost: complexity, Keyframe: i == 0}
+	}
+	return s
+}
+
+func TestConstQPMode(t *testing.T) {
+	c := NewController(Config{Mode: ModeConstQP, BaseQP: 40})
+	if qp := c.FrameQP(3, false, false); qp != 40 {
+		t.Fatalf("inter qp %d", qp)
+	}
+	if qp := c.FrameQP(0, true, false); qp != 36 {
+		t.Fatalf("keyframe qp %d, want boost below 40", qp)
+	}
+	if qp := c.FrameQP(0, false, true); qp != 37 {
+		t.Fatalf("altref qp %d", qp)
+	}
+}
+
+func TestQPClamping(t *testing.T) {
+	c := NewController(Config{Mode: ModeConstQP, BaseQP: 1})
+	if qp := c.FrameQP(0, true, true); qp < 0 {
+		t.Fatalf("qp %d below 0", qp)
+	}
+	c2 := NewController(Config{Mode: ModeConstQP, BaseQP: transform.MaxQP + 10})
+	if qp := c2.FrameQP(0, false, false); qp > transform.MaxQP {
+		t.Fatalf("qp %d above max", qp)
+	}
+}
+
+func TestOnePassBufferFeedback(t *testing.T) {
+	cfg := Config{Mode: ModeOnePass, TargetBitrate: 300_000, FPS: 30, Width: 320, Height: 180}
+	c := NewController(cfg)
+	base := c.FrameQP(0, false, false)
+	// Massive overshoot must raise QP.
+	for i := 0; i < 5; i++ {
+		c.Update(i, base, 100_000) // 10x the per-frame budget
+	}
+	after := c.FrameQP(5, false, false)
+	if after <= base {
+		t.Fatalf("overshoot did not raise QP: %d -> %d", base, after)
+	}
+	// Sustained undershoot must lower it again.
+	for i := 5; i < 40; i++ {
+		c.Update(i, after, 100)
+	}
+	relaxed := c.FrameQP(40, false, false)
+	if relaxed >= after {
+		t.Fatalf("undershoot did not lower QP: %d -> %d", after, relaxed)
+	}
+}
+
+func TestTwoPassAllocatesByComplexity(t *testing.T) {
+	cfg := Config{Mode: ModeTwoPassOffline, TargetBitrate: 500_000, FPS: 30,
+		Width: 320, Height: 180}
+	c := NewController(cfg)
+	stats := statsFor(20, 1000)
+	stats[10].InterCost = 50_000 // one very complex frame
+	stats[10].IntraCost = 80_000
+	c.SetFirstPassStats(stats)
+	easyQP := c.FrameQP(5, false, false)
+	hardQP := c.FrameQP(10, false, false)
+	// The complex frame gets more bits, but not enough to equal the easy
+	// frame's qstep: its QP should still be >= (complexity >> budget).
+	if hardQP < easyQP {
+		t.Fatalf("complex frame qp %d < easy frame qp %d: allocation inverted", hardQP, easyQP)
+	}
+	budgetEasy := c.modelGain * stats[5].Complexity() / transform.QStepFloat(easyQP)
+	budgetHard := c.modelGain * stats[10].Complexity() / transform.QStepFloat(hardQP)
+	if budgetHard <= budgetEasy {
+		t.Fatalf("complex frame got fewer bits: %.0f vs %.0f", budgetHard, budgetEasy)
+	}
+}
+
+func TestLaggedWindowIsBounded(t *testing.T) {
+	cfg := Config{Mode: ModeTwoPassLagged, TargetBitrate: 500_000, FPS: 30,
+		Width: 320, Height: 180, LagFrames: 4}
+	c := NewController(cfg)
+	c.SetFirstPassStats(statsFor(100, 1000))
+	w := c.statsWindow(10)
+	if len(w) != 4 {
+		t.Fatalf("lagged window %d frames, want 4", len(w))
+	}
+	// Low-latency window must not include the future.
+	cfg.Mode = ModeTwoPassLowLatency
+	c2 := NewController(cfg)
+	c2.SetFirstPassStats(statsFor(100, 1000))
+	w2 := c2.statsWindow(10)
+	if len(w2) != 11 { // frames 0..10
+		t.Fatalf("low-latency window %d", len(w2))
+	}
+	// Offline window is the whole sequence.
+	cfg.Mode = ModeTwoPassOffline
+	c3 := NewController(cfg)
+	c3.SetFirstPassStats(statsFor(100, 1000))
+	if len(c3.statsWindow(10)) != 100 {
+		t.Fatal("offline window truncated")
+	}
+}
+
+func TestModelGainAdapts(t *testing.T) {
+	cfg := Config{Mode: ModeTwoPassOffline, TargetBitrate: 400_000, FPS: 30,
+		Width: 320, Height: 180}
+	c := NewController(cfg)
+	c.SetFirstPassStats(statsFor(10, 1000))
+	before := c.modelGain
+	// Observe frames that cost far more than the model predicts.
+	for i := 0; i < 5; i++ {
+		c.Update(i, 30, 200_000)
+	}
+	if c.modelGain <= before {
+		t.Fatalf("model gain did not adapt upward: %f -> %f", before, c.modelGain)
+	}
+}
+
+func TestTuningImprovesLambdaCalibration(t *testing.T) {
+	launch := NewController(Config{Mode: ModeConstQP, BaseQP: 30, Tuning: 0})
+	tuned := NewController(Config{Mode: ModeConstQP, BaseQP: 30, Tuning: MaxTuning})
+	// Launch ships under-calibrated; tuning converges on scale 1.0 of the
+	// sweep-calibrated formula.
+	if launch.LambdaScale() >= tuned.LambdaScale() {
+		t.Fatalf("tuning did not move lambda toward calibration: %f vs %f",
+			launch.LambdaScale(), tuned.LambdaScale())
+	}
+	if s := tuned.LambdaScale(); s < 0.95 || s > 1.05 {
+		t.Fatalf("fully tuned lambda scale %f, want ~1.0", s)
+	}
+	if over := NewController(Config{LambdaOverride: 2.5}); over.LambdaScale() != 2.5 {
+		t.Fatal("lambda override ignored")
+	}
+}
+
+func TestLambdaGrowsWithQP(t *testing.T) {
+	c := NewController(Config{Mode: ModeConstQP, BaseQP: 30})
+	prev := 0.0
+	for qp := 0; qp <= transform.MaxQP; qp += 8 {
+		l := c.Lambda(qp)
+		if l <= prev {
+			t.Fatalf("lambda not increasing at qp=%d", qp)
+		}
+		prev = l
+	}
+}
+
+func TestKeyframeBoostFixed(t *testing.T) {
+	if b := NewController(Config{}).keyframeBoost(); b < 2 || b > 3 {
+		t.Fatalf("keyframe boost %f out of calibrated range", b)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeConstQP:           "const-qp",
+		ModeOnePass:           "one-pass",
+		ModeTwoPassLowLatency: "two-pass-low-latency",
+		ModeTwoPassLagged:     "two-pass-lagged",
+		ModeTwoPassOffline:    "two-pass-offline",
+	} {
+		if m.String() != want {
+			t.Errorf("%d -> %q want %q", m, m.String(), want)
+		}
+	}
+	if ModeOnePass.TwoPass() || !ModeTwoPassLagged.TwoPass() {
+		t.Error("TwoPass predicate wrong")
+	}
+}
+
+func TestStatsComplexity(t *testing.T) {
+	s := FrameStats{IntraCost: 100, InterCost: 40}
+	if s.Complexity() != 40 {
+		t.Fatalf("complexity %f, want cheaper of the two costs", s.Complexity())
+	}
+	zero := FrameStats{}
+	if zero.Complexity() < 1 {
+		t.Fatal("zero stats must clamp to >= 1")
+	}
+}

@@ -1,0 +1,125 @@
+package codec
+
+import (
+	"testing"
+
+	"openvcu/internal/codec/rc"
+	"openvcu/internal/video"
+)
+
+func tileTestFrames(n int) []*video.Frame {
+	return video.NewSource(video.SourceConfig{
+		Width: 256, Height: 96, Seed: 41, Detail: 0.6, Motion: 1.5, Objects: 2, ObjectMotion: 2,
+	}).Frames(n)
+}
+
+func TestTileColumnsRoundTrip(t *testing.T) {
+	frames := tileTestFrames(4)
+	for _, tiles := range []int{1, 2, 4} {
+		cfg := Config{Profile: VP9Class, Width: 256, Height: 96, TileColumns: tiles,
+			RC: rc.Config{BaseQP: 32}}
+		res, err := EncodeSequence(cfg, frames)
+		if err != nil {
+			t.Fatalf("tiles=%d: %v", tiles, err)
+		}
+		dec, err := DecodeSequence(res.Packets)
+		if err != nil {
+			t.Fatalf("tiles=%d decode: %v", tiles, err)
+		}
+		if len(dec) != len(frames) {
+			t.Fatalf("tiles=%d decoded %d frames", tiles, len(dec))
+		}
+		if psnr := video.SequencePSNR(frames, dec); psnr < 30 {
+			t.Errorf("tiles=%d PSNR %.2f", tiles, psnr)
+		}
+	}
+}
+
+func TestTileCountClampsToFrameWidth(t *testing.T) {
+	// 128 px wide VP9 = 2 superblock columns: 8 requested tiles must
+	// clamp to 2 and still round-trip.
+	frames := video.NewSource(video.SourceConfig{
+		Width: 128, Height: 64, Seed: 42, Detail: 0.5}).Frames(2)
+	cfg := Config{Profile: VP9Class, Width: 128, Height: 64, TileColumns: 8,
+		RC: rc.Config{BaseQP: 32}}
+	res, err := EncodeSequence(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSequence(res.Packets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidTileCountRejected(t *testing.T) {
+	if _, err := NewEncoder(Config{Profile: VP9Class, Width: 256, Height: 96, TileColumns: 3}); err == nil {
+		t.Fatal("tile count 3 accepted")
+	}
+}
+
+func TestTilesCostBoundedBitrate(t *testing.T) {
+	// Tiles break prediction/context continuity, so they cost some
+	// compression — but it must be a small tax, not a cliff.
+	frames := tileTestFrames(5)
+	one, err := EncodeSequence(Config{Profile: VP9Class, Width: 256, Height: 96,
+		TileColumns: 1, RC: rc.Config{BaseQP: 32}}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := EncodeSequence(Config{Profile: VP9Class, Width: 256, Height: 96,
+		TileColumns: 4, RC: rc.Config{BaseQP: 32}}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.TotalBits > one.TotalBits*125/100 {
+		t.Errorf("4 tiles cost %d bits vs %d (>25%% tax)", four.TotalBits, one.TotalBits)
+	}
+	// And the decodes must match dimensions/quality class.
+	decOne, _ := DecodeSequence(one.Packets)
+	decFour, _ := DecodeSequence(four.Packets)
+	pOne := video.SequencePSNR(frames, decOne)
+	pFour := video.SequencePSNR(frames, decFour)
+	if pFour < pOne-1.5 {
+		t.Errorf("4-tile PSNR %.2f far below 1-tile %.2f", pFour, pOne)
+	}
+}
+
+func TestTileCorruptionConfinedDetection(t *testing.T) {
+	// Corrupting one tile's bytes must surface as a decode error (or
+	// garbage), never a panic — and other packets stay decodable.
+	frames := tileTestFrames(3)
+	cfg := Config{Profile: VP9Class, Width: 256, Height: 96, TileColumns: 4,
+		RC: rc.Config{BaseQP: 32}}
+	res, err := EncodeSequence(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), res.Packets[1].Data...)
+	data[len(data)/2] ^= 0x5a
+	dec := NewDecoder()
+	if _, err := dec.Decode(res.Packets[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = dec.Decode(data) // must not panic; error or garbage both fine
+}
+
+func TestParallelTileEncodeDeterminism(t *testing.T) {
+	// Tiles encode on goroutines; the assembled stream must still be
+	// byte-identical across runs.
+	frames := tileTestFrames(3)
+	cfg := Config{Profile: VP9Class, Width: 256, Height: 96, TileColumns: 4,
+		RC: rc.Config{BaseQP: 34}}
+	a, err := EncodeSequence(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeSequence(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Packets {
+		if string(a.Packets[i].Data) != string(b.Packets[i].Data) {
+			t.Fatalf("packet %d differs across parallel-tile runs", i)
+		}
+	}
+}

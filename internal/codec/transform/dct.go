@@ -1,0 +1,104 @@
+// Package transform implements the residual transforms of the encoder
+// core's RDO engine (paper Fig. 3c): separable integer approximations of
+// the DCT-II at 4×4, 8×8, 16×16 and 32×32, plus scalar quantization with a
+// QP-indexed step table and zigzag coefficient scans.
+//
+// The H.264-class profile uses 4×4/8×8; the VP9-class profile adds
+// 16×16/32×32 — one of the compression tools that "grow the search space"
+// (paper §2.1).
+package transform
+
+import "math"
+
+// Sizes supported by the transform stage.
+var Sizes = []int{4, 8, 16, 32}
+
+// cosBasis[n] is the n×n integer DCT basis scaled by 1<<basisShift.
+// Row i, column j holds round(c(i) * cos((2j+1) i pi / 2n) * sqrt(2/n) * 2^basisShift)
+// with c(0)=1/sqrt(2), c(i>0)=1.
+const basisShift = 12
+
+var cosBasis = map[int][][]int32{}
+
+func init() {
+	for _, n := range Sizes {
+		cosBasis[n] = buildBasis(n)
+	}
+}
+
+func buildBasis(n int) [][]int32 {
+	b := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		b[i] = make([]int32, n)
+		ci := math.Sqrt(2.0 / float64(n))
+		if i == 0 {
+			ci *= math.Sqrt(0.5)
+		}
+		for j := 0; j < n; j++ {
+			v := ci * math.Cos(float64(2*j+1)*float64(i)*math.Pi/float64(2*n))
+			b[i][j] = int32(math.Round(v * (1 << basisShift)))
+		}
+	}
+	return b
+}
+
+// Forward applies the 2-D forward transform to an n×n residual block
+// (row-major int32, values in roughly [-255, 255]) in place, producing
+// coefficients at unit scale (the basis scaling is fully removed, so
+// quantization sees natural-magnitude coefficients).
+func Forward(block []int32, n int) {
+	basis := cosBasis[n]
+	tmp := make([]int64, n*n)
+	// rows: tmp = block * basisT  (tmp[i][k] = sum_j block[i][j]*basis[k][j])
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			var acc int64
+			for j := 0; j < n; j++ {
+				acc += int64(block[i*n+j]) * int64(basis[k][j])
+			}
+			tmp[i*n+k] = acc
+		}
+	}
+	// cols: out[k][l] = sum_i basis[k][i] * tmp[i][l], then descale 2*basisShift
+	const round = int64(1) << (2*basisShift - 1)
+	for k := 0; k < n; k++ {
+		for l := 0; l < n; l++ {
+			var acc int64
+			for i := 0; i < n; i++ {
+				acc += int64(basis[k][i]) * tmp[i*n+l]
+			}
+			block[k*n+l] = int32((acc + round) >> (2 * basisShift))
+		}
+	}
+}
+
+// Inverse applies the 2-D inverse transform in place, reconstructing the
+// residual from unit-scale coefficients.
+func Inverse(block []int32, n int) {
+	basis := cosBasis[n]
+	tmp := make([]int64, n*n)
+	// rows of coefficients against transposed basis:
+	// tmp[i][j] = sum_k basis[k][i] ... do columns first:
+	// x[i][j] = sum_k sum_l basis[k][i] * c[k][l] * basis[l][j]
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for l := 0; l < n; l++ {
+				acc += int64(block[k*n+l]) * int64(basis[l][j])
+			}
+			tmp[k*n+j] = acc
+		}
+	}
+	const round = int64(1) << (2*basisShift - 1)
+	out := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				acc += int64(cosBasis[n][k][i]) * tmp[k*n+j]
+			}
+			out[i*n+j] = int32((acc + round) >> (2 * basisShift))
+		}
+	}
+	copy(block, out)
+}

@@ -1,0 +1,213 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range Sizes {
+		for trial := 0; trial < 20; trial++ {
+			block := make([]int32, n*n)
+			orig := make([]int32, n*n)
+			for i := range block {
+				block[i] = int32(rng.Intn(511) - 255)
+				orig[i] = block[i]
+			}
+			Forward(block, n)
+			Inverse(block, n)
+			for i := range block {
+				d := block[i] - orig[i]
+				if d < -2 || d > 2 {
+					t.Fatalf("n=%d trial=%d idx=%d: %d -> %d (err %d)",
+						n, trial, i, orig[i], block[i], d)
+				}
+			}
+		}
+	}
+}
+
+func TestDCCoefficient(t *testing.T) {
+	// A constant block must concentrate all energy in the DC coefficient.
+	for _, n := range Sizes {
+		block := make([]int32, n*n)
+		for i := range block {
+			block[i] = 100
+		}
+		Forward(block, n)
+		// DC = mean * n (orthonormal scaling): 100*n
+		wantDC := int32(100 * n)
+		if d := block[0] - wantDC; d < -2 || d > 2 {
+			t.Errorf("n=%d DC=%d want ~%d", n, block[0], wantDC)
+		}
+		for i := 1; i < n*n; i++ {
+			if block[i] < -1 || block[i] > 1 {
+				t.Errorf("n=%d AC[%d]=%d, want ~0", n, i, block[i])
+			}
+		}
+	}
+}
+
+func TestEnergyPreservation(t *testing.T) {
+	// Orthonormal transform preserves energy (Parseval) within rounding.
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range Sizes {
+		block := make([]int32, n*n)
+		var inEnergy int64
+		for i := range block {
+			block[i] = int32(rng.Intn(201) - 100)
+			inEnergy += int64(block[i]) * int64(block[i])
+		}
+		Forward(block, n)
+		var outEnergy int64
+		for _, c := range block {
+			outEnergy += int64(c) * int64(c)
+		}
+		ratio := float64(outEnergy) / float64(inEnergy)
+		if ratio < 0.98 || ratio > 1.02 {
+			t.Errorf("n=%d energy ratio %.4f", n, ratio)
+		}
+	}
+}
+
+func TestQuantizeDequantizeError(t *testing.T) {
+	// Reconstruction error must be bounded by the step size.
+	for _, qp := range []int{0, 10, 20, 35, 50, 63} {
+		step := QStep(qp)
+		coeffs := []int32{0, 5, -5, 100, -100, 1000, -1000, 30000}
+		levels := append([]int32(nil), coeffs...)
+		Quantize(levels, qp, 4)
+		Dequantize(levels, qp)
+		for i := range coeffs {
+			err := levels[i] - coeffs[i]
+			if err < 0 {
+				err = -err
+			}
+			if err > step/16+1 {
+				t.Errorf("qp=%d coeff=%d recon=%d err %d > step %d",
+					qp, coeffs[i], levels[i], err, step/16)
+			}
+		}
+	}
+}
+
+func TestQStepDoublesEverySix(t *testing.T) {
+	for qp := 0; qp+6 <= MaxQP; qp++ {
+		lo, hi := QStepFloat(qp), QStepFloat(qp+6)
+		ratio := hi / lo
+		if ratio < 1.85 || ratio > 2.15 {
+			t.Errorf("QStep(%d+6)/QStep(%d) = %.3f, want ~2", qp, qp, ratio)
+		}
+	}
+}
+
+func TestDeadzoneBiasesTowardZero(t *testing.T) {
+	qp := 30
+	c := []int32{QStep(qp) / 32 * 10} // below half step in magnitude terms
+	nearest := append([]int32(nil), c...)
+	Quantize(nearest, qp, 4)
+	dz := append([]int32(nil), c...)
+	Quantize(dz, qp, 1)
+	if abs32(dz[0]) > abs32(nearest[0]) {
+		t.Errorf("deadzone quantizer produced larger level %d > %d", dz[0], nearest[0])
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	for _, n := range Sizes {
+		scan := Zigzag(n)
+		if len(scan) != n*n {
+			t.Fatalf("n=%d scan length %d", n, len(scan))
+		}
+		seen := make([]bool, n*n)
+		for _, p := range scan {
+			if p < 0 || p >= n*n || seen[p] {
+				t.Fatalf("n=%d invalid or duplicate position %d", n, p)
+			}
+			seen[p] = true
+		}
+		// starts at DC, second element is a direct neighbor of DC
+		if scan[0] != 0 {
+			t.Fatalf("n=%d scan must start at DC", n)
+		}
+		if scan[1] != 1 && scan[1] != n {
+			t.Fatalf("n=%d second scan position %d not adjacent to DC", n, scan[1])
+		}
+	}
+}
+
+func TestScanRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := Sizes[rng.Intn(len(Sizes))]
+		block := make([]int32, n*n)
+		for i := range block {
+			block[i] = rng.Int31n(2000) - 1000
+		}
+		scanned := make([]int32, n*n)
+		back := make([]int32, n*n)
+		ScanForward(block, scanned, n)
+		ScanInverse(scanned, back, n)
+		for i := range block {
+			if block[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigzagOrdersLowFrequencyFirst(t *testing.T) {
+	// The sum of (row+col) must be non-decreasing along the scan.
+	for _, n := range Sizes {
+		scan := Zigzag(n)
+		prev := -1
+		for _, p := range scan {
+			s := p/n + p%n
+			if s < prev-0 && s != prev {
+				if s < prev {
+					t.Fatalf("n=%d scan not by anti-diagonal", n)
+				}
+			}
+			if s > prev {
+				prev = s
+			}
+		}
+	}
+}
+
+func BenchmarkForward8(b *testing.B) {
+	block := make([]int32, 64)
+	for i := range block {
+		block[i] = int32(i%17 - 8)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tmp := append([]int32(nil), block...)
+		Forward(tmp, 8)
+	}
+}
+
+func BenchmarkForward32(b *testing.B) {
+	block := make([]int32, 1024)
+	for i := range block {
+		block[i] = int32(i%29 - 14)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tmp := append([]int32(nil), block...)
+		Forward(tmp, 32)
+	}
+}

@@ -1,0 +1,203 @@
+// Package container implements the lightweight bitstream container the
+// video platform moves between services: a stream header plus length- and
+// checksum-framed packets. The per-packet CRC and the stream-level frame
+// count are the "high-level integrity checks (i.e., video length must
+// match the input)" the paper uses to bound corruption blast radius
+// (§4.4).
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"openvcu/internal/codec"
+)
+
+// Magic identifies the container format.
+var Magic = [4]byte{'O', 'V', 'C', 'U'}
+
+const version = 1
+
+// StreamInfo is the container-level stream header.
+type StreamInfo struct {
+	Profile       codec.Profile
+	Width, Height int
+	FPS           int
+	// FrameCount is the number of SHOWN frames the stream must decode to;
+	// the integrity check of §4.4.
+	FrameCount int
+}
+
+// Writer serializes packets to an io.Writer.
+type Writer struct {
+	w      io.Writer
+	wrote  bool
+	frames int
+	pos    int64
+	index  []IndexEntry
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteHeader writes the stream header. Must be called exactly once,
+// before any packet.
+func (cw *Writer) WriteHeader(info StreamInfo) error {
+	if cw.wrote {
+		return fmt.Errorf("container: header already written")
+	}
+	cw.wrote = true
+	buf := make([]byte, 0, 24)
+	buf = append(buf, Magic[:]...)
+	buf = append(buf, version, byte(info.Profile))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(info.Width))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(info.Height))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(info.FPS))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(info.FrameCount))
+	n, err := cw.w.Write(buf)
+	cw.pos += int64(n)
+	return err
+}
+
+// WritePacket appends one encoded frame.
+func (cw *Writer) WritePacket(p codec.Packet) error {
+	if !cw.wrote {
+		return fmt.Errorf("container: WriteHeader not called")
+	}
+	var flags byte
+	if p.Show {
+		flags |= 1
+	}
+	if p.Keyframe {
+		flags |= 2
+	}
+	buf := make([]byte, 0, 14+len(p.Data))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Data)))
+	buf = append(buf, flags, byte(p.QP))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(p.DisplayIdx)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(p.Data))
+	buf = append(buf, p.Data...)
+	if p.Keyframe {
+		cw.index = append(cw.index, IndexEntry{Offset: cw.pos, DisplayIdx: p.DisplayIdx})
+	}
+	n, err := cw.w.Write(buf)
+	cw.pos += int64(n)
+	if err != nil {
+		return err
+	}
+	if p.Show {
+		cw.frames++
+	}
+	return nil
+}
+
+// ShownFrames reports how many shown packets have been written.
+func (cw *Writer) ShownFrames() int { return cw.frames }
+
+// Reader deserializes a container stream.
+type Reader struct {
+	r    io.Reader
+	info StreamInfo
+	read bool
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadHeader parses and returns the stream header.
+func (cr *Reader) ReadHeader() (StreamInfo, error) {
+	if cr.read {
+		return cr.info, nil
+	}
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(cr.r, buf); err != nil {
+		return StreamInfo{}, fmt.Errorf("container: short header: %w", err)
+	}
+	if [4]byte(buf[:4]) != Magic {
+		return StreamInfo{}, fmt.Errorf("container: bad magic %q", buf[:4])
+	}
+	if buf[4] != version {
+		return StreamInfo{}, fmt.Errorf("container: unsupported version %d", buf[4])
+	}
+	cr.info = StreamInfo{
+		Profile:    codec.Profile(buf[5]),
+		Width:      int(binary.BigEndian.Uint16(buf[6:8])),
+		Height:     int(binary.BigEndian.Uint16(buf[8:10])),
+		FPS:        int(binary.BigEndian.Uint16(buf[10:12])),
+		FrameCount: int(binary.BigEndian.Uint32(buf[12:16])),
+	}
+	cr.read = true
+	return cr.info, nil
+}
+
+// ReadPacket returns the next packet, or io.EOF at clean end of stream.
+// A checksum mismatch returns an error naming the corruption — the signal
+// the failure-management layer retries on.
+func (cr *Reader) ReadPacket() (codec.Packet, error) {
+	if !cr.read {
+		if _, err := cr.ReadHeader(); err != nil {
+			return codec.Packet{}, err
+		}
+	}
+	hdr := make([]byte, 14)
+	if _, err := io.ReadFull(cr.r, hdr); err != nil {
+		if err == io.EOF {
+			return codec.Packet{}, io.EOF
+		}
+		return codec.Packet{}, fmt.Errorf("container: short packet header: %w", err)
+	}
+	if [4]byte(hdr[:4]) == indexMagic {
+		// Chunk-index footer: clean end of packet data.
+		return codec.Packet{}, io.EOF
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size > 1<<30 {
+		return codec.Packet{}, fmt.Errorf("container: implausible packet size %d", size)
+	}
+	flags := hdr[4]
+	qp := int(hdr[5])
+	displayIdx := int(int32(binary.BigEndian.Uint32(hdr[6:10])))
+	wantCRC := binary.BigEndian.Uint32(hdr[10:14])
+	data := make([]byte, size)
+	if _, err := io.ReadFull(cr.r, data); err != nil {
+		return codec.Packet{}, fmt.Errorf("container: truncated packet: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(data); got != wantCRC {
+		return codec.Packet{}, fmt.Errorf("container: packet checksum mismatch (got %08x want %08x)", got, wantCRC)
+	}
+	return codec.Packet{
+		Data: data, Show: flags&1 != 0, Keyframe: flags&2 != 0,
+		DisplayIdx: displayIdx, QP: qp,
+	}, nil
+}
+
+// ReadAll reads every packet and verifies the shown-frame count against
+// the header — the end-to-end length integrity check.
+func (cr *Reader) ReadAll() (StreamInfo, []codec.Packet, error) {
+	info, err := cr.ReadHeader()
+	if err != nil {
+		return info, nil, err
+	}
+	var pkts []codec.Packet
+	shown := 0
+	for {
+		p, err := cr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return info, nil, err
+		}
+		if p.Show {
+			shown++
+		}
+		pkts = append(pkts, p)
+	}
+	if shown != info.FrameCount {
+		return info, nil, fmt.Errorf("container: stream has %d shown frames, header promises %d",
+			shown, info.FrameCount)
+	}
+	return info, pkts, nil
+}

@@ -1,0 +1,140 @@
+package fleetsim
+
+import (
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SimTime = 120 * time.Second
+	return cfg
+}
+
+func TestFigure9aShape(t *testing.T) {
+	s := Figure9aUploadRamp(testConfig())
+	if len(s) != 12 {
+		t.Fatalf("%d samples", len(s))
+	}
+	// Starts at 1x (normalized), monotone, reaches ~10x.
+	if s[0].Value < 0.9 || s[0].Value > 1.5 {
+		t.Errorf("launch value %.2f, want ~1", s[0].Value)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Value < s[i-1].Value {
+			t.Errorf("throughput regressed at month %v", s[i].Month)
+		}
+	}
+	final := s[len(s)-1].Value
+	if final < 8 || final > 13 {
+		t.Errorf("month-12 throughput %.1fx, Figure 9a shows ~10x", final)
+	}
+	// The NUMA rollout (month 4) must be visible as an extra step.
+	growth34 := s[3].Value / s[2].Value
+	growth23 := s[2].Value / s[1].Value
+	if growth34 <= growth23 {
+		t.Errorf("no visible NUMA step: growth m3->4 %.3f vs m2->3 %.3f", growth34, growth23)
+	}
+}
+
+func TestFigure9bShape(t *testing.T) {
+	s := Figure9bLiveRamp(testConfig())
+	if s[0].Value != 0 {
+		t.Errorf("live traffic %f before launch", s[0].Value)
+	}
+	final := s[len(s)-1].Value
+	if final < 3 || final > 6 {
+		t.Errorf("final live throughput %.1fx, Figure 9b shows ~4x", final)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Value < s[i-1].Value {
+			t.Error("live ramp regressed")
+		}
+	}
+}
+
+func TestFigure9cDecoderUtilDrop(t *testing.T) {
+	s := Figure9cDecoderUtil(testConfig())
+	before := s[5].Value // month 6
+	after := s[7].Value  // month 8
+	if before < 0.93 {
+		t.Errorf("pre-optimization decoder util %.3f, paper shows ~98%%", before)
+	}
+	if after >= before-0.03 {
+		t.Errorf("decoder util did not drop: %.3f -> %.3f (paper: 98%% -> 91%%)", before, after)
+	}
+	if after < 0.80 {
+		t.Errorf("post-optimization util %.3f implausibly low", after)
+	}
+	// Flat within each regime.
+	if s[0].Value != s[5].Value || s[7].Value != s[11].Value {
+		t.Error("util should be regime-constant in this model")
+	}
+}
+
+func TestFigure8Levels(t *testing.T) {
+	mot, sot := Figure8Production(testConfig(), 20)
+	if len(mot) != 20 || len(sot) != 20 {
+		t.Fatal("wrong series length")
+	}
+	motMean, motVar := meanVar(mot)
+	sotMean, sotVar := meanVar(sot)
+	if motMean < 330 || motMean > 470 {
+		t.Errorf("MOT mean %.0f Mpix/s, Figure 8 shows ~400", motMean)
+	}
+	if sotMean < 190 || sotMean > 310 {
+		t.Errorf("SOT mean %.0f Mpix/s, Figure 8 shows ~250", sotMean)
+	}
+	// "The lack of variability in the MOT line": MOT CV << SOT CV.
+	motCV := motVar / (motMean * motMean)
+	sotCV := sotVar / (sotMean * sotMean)
+	if motCV*4 > sotCV {
+		t.Errorf("MOT variability not clearly lower: %.5f vs %.5f", motCV, sotCV)
+	}
+}
+
+func TestFigure10Trajectory(t *testing.T) {
+	vp9, h264 := Figure10Bitrate(testConfig(), 16)
+	if vp9[0].Value < 10 || vp9[0].Value > 14 {
+		t.Errorf("VP9 launch bitrate penalty %.1f%%, Figure 10 shows ~12%%", vp9[0].Value)
+	}
+	if h264[0].Value < 6 || h264[0].Value > 10 {
+		t.Errorf("H.264 launch penalty %.1f%%, Figure 10 shows ~8%%", h264[0].Value)
+	}
+	// Both monotone improving; both end at or below software parity.
+	for i := 1; i < len(vp9); i++ {
+		if vp9[i].Value > vp9[i-1].Value || h264[i].Value > h264[i-1].Value {
+			t.Fatal("tuning trajectory not monotone")
+		}
+	}
+	if final := vp9[len(vp9)-1].Value; final > 0 || final < -4 {
+		t.Errorf("VP9 final %.1f%%, Figure 10 ends ~-2%%", final)
+	}
+	if final := h264[len(h264)-1].Value; final > 0.5 || final < -3 {
+		t.Errorf("H.264 final %.1f%%, Figure 10 ends just below 0", final)
+	}
+	// H.264 crosses zero near month 12.
+	cross := 0
+	for i, s := range h264 {
+		if s.Value <= 0 {
+			cross = i + 1
+			break
+		}
+	}
+	if cross < 9 || cross > 14 {
+		t.Errorf("H.264 crossed parity at month %d, paper shows ~12", cross)
+	}
+}
+
+func meanVar(s []Sample) (mean, variance float64) {
+	for _, p := range s {
+		mean += p.Value
+	}
+	mean /= float64(len(s))
+	for _, p := range s {
+		d := p.Value - mean
+		variance += d * d
+	}
+	variance /= float64(len(s))
+	return mean, variance
+}

@@ -1,0 +1,142 @@
+// Package metrics implements the codec-evaluation metrics of §4.1:
+// operational rate-distortion curves and the Bjøntegaard-delta bitrate
+// (BD-rate), "the average bitrate savings for the same quality".
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RDPoint is one operating point of an encoder on a clip.
+type RDPoint struct {
+	// BitsPerSecond is the achieved bitrate.
+	BitsPerSecond float64
+	// PSNR is the achieved quality in dB.
+	PSNR float64
+}
+
+// RDCurve is a set of operating points for one (clip, encoder) pair.
+type RDCurve struct {
+	Label  string
+	Points []RDPoint
+}
+
+// sortedByPSNR returns points ordered by ascending PSNR with duplicate
+// PSNR values collapsed (keeping the cheaper rate).
+func sortedByPSNR(pts []RDPoint) []RDPoint {
+	out := append([]RDPoint(nil), pts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].PSNR < out[j].PSNR })
+	var dedup []RDPoint
+	for _, p := range out {
+		if n := len(dedup); n > 0 && math.Abs(dedup[n-1].PSNR-p.PSNR) < 1e-9 {
+			if p.BitsPerSecond < dedup[n-1].BitsPerSecond {
+				dedup[n-1] = p
+			}
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	return dedup
+}
+
+// logRateAt interpolates log10(rate) at the given PSNR on a piecewise-
+// linear curve.
+func logRateAt(pts []RDPoint, psnr float64) float64 {
+	for i := 0; i+1 < len(pts); i++ {
+		lo, hi := pts[i], pts[i+1]
+		if psnr >= lo.PSNR && psnr <= hi.PSNR {
+			f := 0.0
+			if hi.PSNR > lo.PSNR {
+				f = (psnr - lo.PSNR) / (hi.PSNR - lo.PSNR)
+			}
+			return math.Log10(lo.BitsPerSecond) + f*(math.Log10(hi.BitsPerSecond)-math.Log10(lo.BitsPerSecond))
+		}
+	}
+	// Clamp outside the range (callers restrict to the overlap).
+	if psnr < pts[0].PSNR {
+		return math.Log10(pts[0].BitsPerSecond)
+	}
+	return math.Log10(pts[len(pts)-1].BitsPerSecond)
+}
+
+// BDRate returns the Bjøntegaard-delta bitrate of test relative to ref in
+// percent: negative means test needs fewer bits for the same PSNR. Both
+// curves need at least two points and overlapping PSNR ranges.
+func BDRate(ref, test []RDPoint) (float64, error) {
+	r := sortedByPSNR(ref)
+	s := sortedByPSNR(test)
+	if len(r) < 2 || len(s) < 2 {
+		return 0, fmt.Errorf("metrics: BD-rate needs >= 2 points per curve (have %d/%d)", len(r), len(s))
+	}
+	lo := math.Max(r[0].PSNR, s[0].PSNR)
+	hi := math.Min(r[len(r)-1].PSNR, s[len(s)-1].PSNR)
+	if hi <= lo {
+		return 0, fmt.Errorf("metrics: curves do not overlap in PSNR ([%f,%f] vs [%f,%f])",
+			r[0].PSNR, r[len(r)-1].PSNR, s[0].PSNR, s[len(s)-1].PSNR)
+	}
+	// Integrate the log-rate difference over the common quality range.
+	const steps = 200
+	var sum float64
+	for i := 0; i <= steps; i++ {
+		p := lo + (hi-lo)*float64(i)/steps
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * (logRateAt(s, p) - logRateAt(r, p))
+	}
+	avg := sum / steps
+	return (math.Pow(10, avg) - 1) * 100, nil
+}
+
+// AveragePSNRGap returns the mean PSNR difference (test − ref) at matched
+// bitrates over the overlapping rate range — the BD-PSNR counterpart.
+func AveragePSNRGap(ref, test []RDPoint) (float64, error) {
+	r := sortedByRate(ref)
+	s := sortedByRate(test)
+	if len(r) < 2 || len(s) < 2 {
+		return 0, fmt.Errorf("metrics: needs >= 2 points per curve")
+	}
+	lo := math.Max(r[0].BitsPerSecond, s[0].BitsPerSecond)
+	hi := math.Min(r[len(r)-1].BitsPerSecond, s[len(s)-1].BitsPerSecond)
+	if hi <= lo {
+		return 0, fmt.Errorf("metrics: curves do not overlap in rate")
+	}
+	const steps = 200
+	var sum float64
+	for i := 0; i <= steps; i++ {
+		rate := lo * math.Pow(hi/lo, float64(i)/steps)
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * (psnrAt(s, rate) - psnrAt(r, rate))
+	}
+	return sum / steps, nil
+}
+
+func sortedByRate(pts []RDPoint) []RDPoint {
+	out := append([]RDPoint(nil), pts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].BitsPerSecond < out[j].BitsPerSecond })
+	return out
+}
+
+func psnrAt(pts []RDPoint, rate float64) float64 {
+	for i := 0; i+1 < len(pts); i++ {
+		lo, hi := pts[i], pts[i+1]
+		if rate >= lo.BitsPerSecond && rate <= hi.BitsPerSecond {
+			f := 0.0
+			if hi.BitsPerSecond > lo.BitsPerSecond {
+				f = (math.Log10(rate) - math.Log10(lo.BitsPerSecond)) /
+					(math.Log10(hi.BitsPerSecond) - math.Log10(lo.BitsPerSecond))
+			}
+			return lo.PSNR + f*(hi.PSNR-lo.PSNR)
+		}
+	}
+	if rate < pts[0].BitsPerSecond {
+		return pts[0].PSNR
+	}
+	return pts[len(pts)-1].PSNR
+}

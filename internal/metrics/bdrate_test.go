@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func curveAt(rateMult float64) []RDPoint {
+	// PSNR = 30 + 5*log2(rate/1e6): doubling rate buys 5 dB.
+	var pts []RDPoint
+	for _, r := range []float64{0.5e6, 1e6, 2e6, 4e6} {
+		rate := r * rateMult
+		pts = append(pts, RDPoint{BitsPerSecond: rate, PSNR: 30 + 5*math.Log2(r/1e6)})
+	}
+	return pts
+}
+
+func TestBDRateIdenticalCurves(t *testing.T) {
+	ref := curveAt(1)
+	got, err := BDRate(ref, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 1e-6 {
+		t.Fatalf("BD-rate of identical curves = %f", got)
+	}
+}
+
+func TestBDRateKnownShift(t *testing.T) {
+	// Test curve uses 20% fewer bits at every quality: BD-rate = -20%.
+	ref := curveAt(1)
+	test := curveAt(0.8)
+	got, err := BDRate(ref, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got+20) > 0.5 {
+		t.Fatalf("BD-rate = %.2f%%, want -20%%", got)
+	}
+}
+
+func TestBDRateSignConvention(t *testing.T) {
+	ref := curveAt(1)
+	worse := curveAt(1.3) // 30% more bits
+	got, err := BDRate(ref, worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 25 || got > 35 {
+		t.Fatalf("BD-rate = %.2f%%, want ~+30%%", got)
+	}
+}
+
+func TestBDRateAntisymmetryApprox(t *testing.T) {
+	a := curveAt(1)
+	b := curveAt(0.7)
+	ab, err := BDRate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := BDRate(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1+ab)(1+ba) ≈ 1
+	prod := (1 + ab/100) * (1 + ba/100)
+	if math.Abs(prod-1) > 0.02 {
+		t.Fatalf("ab=%.2f ba=%.2f product %.4f", ab, ba, prod)
+	}
+}
+
+func TestBDRateRejectsDegenerate(t *testing.T) {
+	if _, err := BDRate(curveAt(1), curveAt(1)[:1]); err == nil {
+		t.Fatal("single-point curve accepted")
+	}
+	disjointLow := []RDPoint{{1e5, 10}, {2e5, 12}}
+	if _, err := BDRate(curveAt(1), disjointLow); err == nil {
+		t.Fatal("non-overlapping curves accepted")
+	}
+}
+
+func TestBDRateUnsortedInput(t *testing.T) {
+	ref := curveAt(1)
+	test := curveAt(0.8)
+	// Shuffle point order; result must be identical.
+	shuffled := []RDPoint{test[2], test[0], test[3], test[1]}
+	a, _ := BDRate(ref, test)
+	b, _ := BDRate(ref, shuffled)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("order dependence: %f vs %f", a, b)
+	}
+}
+
+func TestAveragePSNRGap(t *testing.T) {
+	ref := curveAt(1)
+	// Same rates, +2 dB everywhere.
+	var better []RDPoint
+	for _, p := range ref {
+		better = append(better, RDPoint{p.BitsPerSecond, p.PSNR + 2})
+	}
+	gap, err := AveragePSNRGap(ref, better)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gap-2) > 0.05 {
+		t.Fatalf("PSNR gap %.3f want 2", gap)
+	}
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"openvcu/internal/codec"
+	"openvcu/internal/vcu"
+	"openvcu/internal/video"
+)
+
+// StepRequest describes one transcoding step to be costed and placed:
+// "a step request (which includes input video dimensions, input format,
+// output formats, encoding parameters)" (§3.3.3).
+type StepRequest struct {
+	InputRes    video.Resolution
+	FPS         int
+	ChunkFrames int
+	Outputs     []video.Resolution
+	Profile     codec.Profile
+	Mode        vcu.EncodeMode
+	// SoftwareDecode requests the host-CPU decode path, charged against
+	// the synthetic software-decode dimension instead of decoder cores.
+	SoftwareDecode bool
+	// Realtime marks live steps: execution paces at the chunk's wall
+	// duration regardless of how fast the cores could finish it, so
+	// admission control (not core speed) bounds concurrent streams.
+	Realtime bool
+	// TargetSeconds is how long the step may take; resource shares are
+	// the sustained rates needed to finish in that time.
+	TargetSeconds float64
+}
+
+// inputPixels returns source pixels in the chunk.
+func (r *StepRequest) inputPixels() float64 {
+	frames := r.ChunkFrames
+	if frames <= 0 {
+		frames = 150
+	}
+	return float64(frames) * float64(r.InputRes.Pixels())
+}
+
+// outputPixels returns total encoded pixels across outputs.
+func (r *StepRequest) outputPixels() float64 {
+	frames := r.ChunkFrames
+	if frames <= 0 {
+		frames = 150
+	}
+	var total float64
+	for _, o := range r.Outputs {
+		total += float64(o.Pixels())
+	}
+	return total * float64(frames)
+}
+
+// VCUWorkerCapacity is the capacity vector of a worker with exclusive
+// access to one VCU: 3,000 millidecode cores and 10,000 milliencode cores
+// (Fig. 6), the device DRAM, a 1/20 share of host CPU, and a synthetic
+// software-decode budget.
+func VCUWorkerCapacity(p vcu.Params) Resources {
+	return Resources{
+		DimDecodeMillicores:  int64(p.DecoderCores) * 1000,
+		DimEncodeMillicores:  int64(p.EncoderCores) * 1000,
+		DimDRAMBytes:         p.DRAMCapacity,
+		DimHostCPUMillicores: int64(p.HostLogicalCores) * 1000 / int64(p.VCUsPerHost()),
+		DimSoftwareDecode:    2,
+	}
+}
+
+// NewVCUCostModel returns the step-request→resources mapping for VCU
+// workers. The shares are sustained-rate fractions: a step that must
+// decode D pixels/s consumes 1000*D/DecodePixRate millidecode cores.
+// Estimates were "initially based on measurements of representative
+// workloads ... and then tuned using production observations" — the
+// returned closure is swappable via WorkerType.SetCost.
+func NewVCUCostModel(p vcu.Params) func(req any) Resources {
+	return func(req any) Resources {
+		r := req.(*StepRequest)
+		target := r.TargetSeconds
+		if target <= 0 {
+			target = 10
+		}
+		decRate := r.inputPixels() / target
+		encRate := r.outputPixels() / target
+		res := Resources{
+			DimEncodeMillicores:  ceilDiv64(int64(encRate*1000), int64(p.EncodeRate(r.Profile, r.Mode))),
+			DimHostCPUMillicores: 100, // mux/demux, RPC, rate control
+		}
+		outs := make([]int64, len(r.Outputs))
+		for i, o := range r.Outputs {
+			outs[i] = int64(o.Pixels())
+		}
+		res[DimDRAMBytes] = p.JobFootprint(int64(r.InputRes.Pixels()), outs)
+		if r.SoftwareDecode {
+			res[DimSoftwareDecode] = 1
+			res[DimHostCPUMillicores] += ceilDiv64(int64(decRate*1000), int64(p.HostDecodePixRatePerCore))
+		} else {
+			res[DimDecodeMillicores] = ceilDiv64(int64(decRate*1000), int64(p.DecodePixRate))
+		}
+		return res
+	}
+}
+
+// CPUWorkerCapacity is the legacy single-slot CPU worker model: a worker
+// sized to run a fixed number of steps concurrently (§3.3.3).
+func CPUWorkerCapacity(slots int) Resources {
+	return Resources{DimSlots: int64(slots)}
+}
+
+// NewCPUCostModel charges every step one slot.
+func NewCPUCostModel() func(req any) Resources {
+	return func(any) Resources { return Resources{DimSlots: 1} }
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

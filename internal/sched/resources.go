@@ -1,0 +1,113 @@
+// Package sched implements the video processing work scheduler of paper
+// §3.3.3: an online multi-dimensional bin-packing scheduler over named
+// scalar resource dimensions, with a sharded in-memory availability cache,
+// a greedy first-fit worker picker (Fig. 6), logical pools by use case and
+// priority, synthetic resources for indirect constraints, and worker
+// idling/reallocation for cluster-wide utilization.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Standard resource dimension names. Worker types may define additional
+// dimensions — the scheduler treats all of them uniformly as named
+// scalars.
+const (
+	// DimDecodeMillicores / DimEncodeMillicores: fractional VCU codec
+	// cores; each VCU exposes 3,000 millidecode and 10,000 milliencode
+	// cores (Fig. 6).
+	DimDecodeMillicores = "decode_millicores"
+	DimEncodeMillicores = "encode_millicores"
+	// DimDRAMBytes is VCU device memory.
+	DimDRAMBytes = "dram_bytes"
+	// DimHostCPUMillicores is fractional host CPU.
+	DimHostCPUMillicores = "host_cpu_millicores"
+	// DimSoftwareDecode is a synthetic resource limiting host software
+	// decode to indirectly protect PCIe bandwidth (§3.3.3).
+	DimSoftwareDecode = "sw_decode_units"
+	// DimSlots is the legacy one-dimensional "single slot per graph
+	// step" model still used by CPU processing workers (§3.3.3).
+	DimSlots = "slots"
+)
+
+// Resources is a set of named scalar resource amounts.
+type Resources map[string]int64
+
+// Clone deep-copies the resource set.
+func (r Resources) Clone() Resources {
+	out := make(Resources, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Fits reports whether need fits within r (dimensions absent from r are
+// capacity zero).
+func (r Resources) Fits(need Resources) bool {
+	for k, v := range need {
+		if v == 0 {
+			continue
+		}
+		if r[k] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// Sub subtracts need from r in place. It panics if need does not fit —
+// callers must check Fits under the same lock.
+func (r Resources) Sub(need Resources) {
+	if !r.Fits(need) {
+		panic(fmt.Sprintf("sched: over-commit: %v - %v", r, need))
+	}
+	for k, v := range need {
+		r[k] -= v
+	}
+}
+
+// Add returns need to r in place.
+func (r Resources) Add(need Resources) {
+	for k, v := range need {
+		r[k] += v
+	}
+}
+
+// Equal reports whether two resource sets are identical on the union of
+// their dimensions.
+func (r Resources) Equal(o Resources) bool {
+	for k, v := range r {
+		if o[k] != v {
+			return false
+		}
+	}
+	for k, v := range o {
+		if r[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders dimensions sorted by name (stable for logs and tests).
+func (r Resources) String() string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s %d", k, r[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,349 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/vcu"
+	"openvcu/internal/video"
+)
+
+func vcuType() *WorkerType {
+	p := vcu.DefaultParams()
+	return NewWorkerType("transcode-vcu", VCUWorkerCapacity(p), NewVCUCostModel(p))
+}
+
+func TestResourcesFitsSubAdd(t *testing.T) {
+	r := Resources{"a": 10, "b": 5}
+	need := Resources{"a": 7}
+	if !r.Fits(need) {
+		t.Fatal("fits failed")
+	}
+	r.Sub(need)
+	if r["a"] != 3 {
+		t.Fatalf("a=%d", r["a"])
+	}
+	if r.Fits(Resources{"a": 4}) {
+		t.Fatal("overfit")
+	}
+	if r.Fits(Resources{"c": 1}) {
+		t.Fatal("absent dimension should be zero capacity")
+	}
+	r.Add(need)
+	if !r.Equal(Resources{"a": 10, "b": 5}) {
+		t.Fatalf("add/sub not inverse: %v", r)
+	}
+}
+
+func TestFigure6Scenario(t *testing.T) {
+	// Paper Fig. 6: worker 0 has no decode, worker 1 has some, the
+	// request needs {D 500, E 3750}: worker 1 must be picked.
+	wt := vcuType()
+	s := NewScheduler(64)
+	w0 := NewWorker(0, wt)
+	w1 := NewWorker(1, wt)
+	s.AddWorker(w0)
+	s.AddWorker(w1)
+	// Drain worker 0's decode capacity.
+	if !w0.tryReserve(Resources{DimDecodeMillicores: 3000}) {
+		t.Fatal("setup reserve failed")
+	}
+	need := Resources{DimDecodeMillicores: 500, DimEncodeMillicores: 3750}
+	a, err := s.Schedule(need, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Worker.ID != 1 {
+		t.Fatalf("picked worker %d, want 1", a.Worker.ID)
+	}
+	avail := w1.Available()
+	if avail[DimDecodeMillicores] != 2500 || avail[DimEncodeMillicores] != 6250 {
+		t.Fatalf("availability after grant: %v", avail)
+	}
+	a.Release()
+	if !w1.Idle() {
+		t.Fatal("release did not restore idle")
+	}
+}
+
+func TestFirstFitByWorkerNumber(t *testing.T) {
+	wt := vcuType()
+	s := NewScheduler(2) // force multiple shards
+	for i := 0; i < 10; i++ {
+		s.AddWorker(NewWorker(i, wt))
+	}
+	need := Resources{DimEncodeMillicores: 6000}
+	// Each worker fits one such request: grants must go 0,1,2,...
+	for i := 0; i < 10; i++ {
+		a, err := s.Schedule(need, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Worker.ID != i {
+			t.Fatalf("grant %d went to worker %d", i, a.Worker.ID)
+		}
+	}
+	if _, err := s.Schedule(need, nil); err != ErrNoCapacity {
+		t.Fatalf("expected ErrNoCapacity, got %v", err)
+	}
+}
+
+func TestExcludeFilter(t *testing.T) {
+	wt := vcuType()
+	s := NewScheduler(64)
+	for i := 0; i < 3; i++ {
+		s.AddWorker(NewWorker(i, wt))
+	}
+	a, err := s.Schedule(Resources{DimEncodeMillicores: 100},
+		func(w *Worker) bool { return w.ID == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Worker.ID != 1 {
+		t.Fatalf("exclusion ignored: worker %d", a.Worker.ID)
+	}
+}
+
+func TestConcurrentSchedulingNoOvercommit(t *testing.T) {
+	wt := vcuType()
+	s := NewScheduler(4)
+	const nWorkers = 8
+	for i := 0; i < nWorkers; i++ {
+		s.AddWorker(NewWorker(i, wt))
+	}
+	// Each worker fits exactly 2 of these: 16 grants max.
+	need := Resources{DimEncodeMillicores: 5000, DimDecodeMillicores: 1500}
+	var granted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Schedule(need, nil); err == nil {
+				mu.Lock()
+				granted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if granted != 16 {
+		t.Fatalf("granted %d, want exactly 16", granted)
+	}
+}
+
+func TestVCUCostModelMOTvsSOT(t *testing.T) {
+	p := vcu.DefaultParams()
+	cost := NewVCUCostModel(p)
+	mot := &StepRequest{
+		InputRes: video.Res1080p, ChunkFrames: 150, Profile: codec.VP9Class,
+		Mode: vcu.EncodeTwoPassOffline, Outputs: video.LadderBelow(video.Res1080p),
+		TargetSeconds: 30,
+	}
+	sot := &StepRequest{
+		InputRes: video.Res1080p, ChunkFrames: 150, Profile: codec.VP9Class,
+		Mode: vcu.EncodeTwoPassOffline, Outputs: []video.Resolution{video.Res1080p},
+		TargetSeconds: 30,
+	}
+	motRes := cost(mot)
+	sotRes := cost(sot)
+	if motRes[DimDRAMBytes] <= sotRes[DimDRAMBytes] {
+		t.Error("MOT footprint should exceed SOT footprint")
+	}
+	if sotRes[DimDRAMBytes] < 100<<20 || motRes[DimDRAMBytes] > p.DRAMCapacity/4 {
+		t.Errorf("1080p footprints implausible: SOT %d MOT %d", sotRes[DimDRAMBytes], motRes[DimDRAMBytes])
+	}
+	// MOT encodes ~1.87x the pixels of a single-output SOT.
+	ratio := float64(motRes[DimEncodeMillicores]) / float64(sotRes[DimEncodeMillicores])
+	if ratio < 1.6 || ratio > 2.1 {
+		t.Errorf("MOT/SOT encode cost ratio %.2f", ratio)
+	}
+	// Identical decode needs (same input, hardware decode).
+	if motRes[DimDecodeMillicores] != sotRes[DimDecodeMillicores] {
+		t.Error("decode costs differ for same input")
+	}
+}
+
+func TestSoftwareDecodeShiftsDimensions(t *testing.T) {
+	p := vcu.DefaultParams()
+	cost := NewVCUCostModel(p)
+	req := &StepRequest{
+		InputRes: video.Res720p, ChunkFrames: 150, Profile: codec.H264Class,
+		Mode: vcu.EncodeTwoPassOffline, Outputs: []video.Resolution{video.Res720p},
+		TargetSeconds: 20,
+	}
+	hw := cost(req)
+	req.SoftwareDecode = true
+	sw := cost(req)
+	if sw[DimDecodeMillicores] != 0 {
+		t.Error("software decode still charges decoder cores")
+	}
+	if sw[DimSoftwareDecode] != 1 {
+		t.Error("synthetic dimension not charged")
+	}
+	if sw[DimHostCPUMillicores] <= hw[DimHostCPUMillicores] {
+		t.Error("software decode should cost more host CPU")
+	}
+	if hw[DimDecodeMillicores] == 0 {
+		t.Error("hardware decode should charge decoder cores")
+	}
+}
+
+func TestCostModelSwappableAtRuntime(t *testing.T) {
+	wt := vcuType()
+	req := &StepRequest{InputRes: video.Res720p, ChunkFrames: 150,
+		Outputs: []video.Resolution{video.Res720p}, TargetSeconds: 20}
+	before := wt.Cost(req)
+	wt.SetCost(func(r any) Resources {
+		c := NewVCUCostModel(vcu.DefaultParams())(r)
+		c[DimEncodeMillicores] *= 2
+		return c
+	})
+	after := wt.Cost(req)
+	if after[DimEncodeMillicores] != before[DimEncodeMillicores]*2 {
+		t.Fatal("cost model swap had no effect")
+	}
+}
+
+func TestPoolRebalanceMovesIdleWorkers(t *testing.T) {
+	wt := vcuType()
+	upload := NewPool("upload-batch", UseUpload, PriorityBatch)
+	live := NewPool("live-critical", UseLive, PriorityCritical)
+	for i := 0; i < 4; i++ {
+		upload.AddWorker(wt)
+	}
+	live.SetBacklog(3)
+	m := NewManager(upload, live)
+	moved := m.Rebalance(10)
+	if moved != 3 {
+		t.Fatalf("moved %d workers, want 3", moved)
+	}
+	if got := live.Sched.NumWorkers(); got != 3 {
+		t.Fatalf("live pool has %d workers", got)
+	}
+	// Stopped workers must not accept work.
+	if _, err := upload.Sched.Schedule(Resources{DimEncodeMillicores: 100}, nil); err != nil {
+		t.Fatalf("one idle worker should remain in upload: %v", err)
+	}
+}
+
+func TestRebalanceSkipsBusyWorkers(t *testing.T) {
+	wt := vcuType()
+	upload := NewPool("upload", UseUpload, PriorityBatch)
+	live := NewPool("live", UseLive, PriorityCritical)
+	w := upload.AddWorker(wt)
+	if !w.tryReserve(Resources{DimEncodeMillicores: 1}) {
+		t.Fatal("reserve failed")
+	}
+	live.SetBacklog(5)
+	if moved := NewManager(upload, live).Rebalance(10); moved != 0 {
+		t.Fatalf("moved %d busy workers", moved)
+	}
+}
+
+func TestSchedulerRespectsStoppedWorkers(t *testing.T) {
+	wt := vcuType()
+	s := NewScheduler(64)
+	w := NewWorker(0, wt)
+	s.AddWorker(w)
+	if !s.StopWorker(w) {
+		t.Fatal("stop failed")
+	}
+	if _, err := s.Schedule(Resources{DimEncodeMillicores: 1}, nil); err == nil {
+		t.Fatal("stopped worker got work")
+	}
+}
+
+func TestSizeWorkersDistributesByDemand(t *testing.T) {
+	wt := vcuType()
+	upload := NewPool("upload", UseUpload, PriorityNormal)
+	live := NewPool("live", UseLive, PriorityCritical)
+	batch := NewPool("batch", UseUpload, PriorityBatch)
+	m := NewManager(live, upload, batch)
+	upload.SetBacklog(30)
+	live.SetBacklog(60)
+	batch.SetBacklog(0)
+	added, stopped := m.SizeWorkers(wt, 12)
+	if stopped != 0 {
+		t.Fatalf("stopped %d from empty pools", stopped)
+	}
+	if added != 12 {
+		t.Fatalf("added %d, want full budget 12", added)
+	}
+	counts := map[string]int{}
+	for _, p := range []*Pool{live, upload, batch} {
+		counts[p.Name] = len(allWorkers(p.Sched))
+	}
+	if counts["live"] <= counts["upload"] || counts["upload"] <= counts["batch"] {
+		t.Fatalf("sizing does not follow demand: %v", counts)
+	}
+	if counts["batch"] < 1 {
+		t.Fatal("every pool needs its baseline worker")
+	}
+}
+
+func TestSizeWorkersShrinksIdleSurplus(t *testing.T) {
+	wt := vcuType()
+	upload := NewPool("upload", UseUpload, PriorityNormal)
+	live := NewPool("live", UseLive, PriorityCritical)
+	for i := 0; i < 8; i++ {
+		upload.AddWorker(wt)
+	}
+	m := NewManager(live, upload)
+	live.SetBacklog(20)
+	upload.SetBacklog(0)
+	added, stopped := m.SizeWorkers(wt, 6)
+	if stopped == 0 {
+		t.Fatal("surplus idle workers not stopped")
+	}
+	if added == 0 {
+		t.Fatal("starved live pool got no workers")
+	}
+	running := 0
+	for _, w := range allWorkers(upload.Sched) {
+		if !w.Stopped() {
+			running++
+		}
+	}
+	if running > 2 {
+		t.Fatalf("upload still has %d running workers after shrink", running)
+	}
+}
+
+func TestResourcesQuickProperties(t *testing.T) {
+	// Sub then Add restores the original; Fits is consistent with Sub.
+	gen := func(seed int64) (Resources, Resources) {
+		r := rand.New(rand.NewSource(seed))
+		dims := []string{DimDecodeMillicores, DimEncodeMillicores, DimDRAMBytes, DimSlots}
+		have := Resources{}
+		need := Resources{}
+		for _, d := range dims {
+			have[d] = int64(r.Intn(10000))
+			need[d] = int64(r.Intn(10000))
+		}
+		return have, need
+	}
+	f := func(seed int64) bool {
+		have, need := gen(seed)
+		orig := have.Clone()
+		if !have.Fits(need) {
+			return true // nothing to check
+		}
+		have.Sub(need)
+		for k, v := range have {
+			if v < 0 {
+				t.Logf("negative %s after Sub", k)
+				return false
+			}
+		}
+		have.Add(need)
+		return have.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Worker is one schedulable worker process with multi-dimensional
+// capacity. VCU workers have exclusive access to one VCU; CPU workers use
+// the legacy single-slot model (§3.3.3).
+type Worker struct {
+	ID   int
+	Type *WorkerType
+
+	mu        sync.Mutex
+	capacity  Resources
+	available Resources
+	stopped   bool
+}
+
+// NewWorker returns a worker with the type's full capacity available.
+func NewWorker(id int, wt *WorkerType) *Worker {
+	return &Worker{ID: id, Type: wt, capacity: wt.Capacity.Clone(), available: wt.Capacity.Clone()}
+}
+
+// Capacity returns a copy of the worker's total capacity.
+func (w *Worker) Capacity() Resources {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.capacity.Clone()
+}
+
+// Available returns a copy of the worker's current availability.
+func (w *Worker) Available() Resources {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.available.Clone()
+}
+
+// Idle reports whether nothing is scheduled on the worker — the condition
+// for stopping it and reallocating its resources to another pool.
+func (w *Worker) Idle() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.available.Equal(w.capacity)
+}
+
+// Stopped reports whether the worker has been stopped.
+func (w *Worker) Stopped() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stopped
+}
+
+// tryReserve atomically claims need if it fits and the worker is running.
+func (w *Worker) tryReserve(need Resources) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped || !w.available.Fits(need) {
+		return false
+	}
+	w.available.Sub(need)
+	return true
+}
+
+// Release returns previously reserved resources.
+func (w *Worker) Release(need Resources) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.available.Add(need)
+}
+
+// stop marks the worker stopped; fails if it is not idle.
+func (w *Worker) stop() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.available.Equal(w.capacity) {
+		return false
+	}
+	w.stopped = true
+	return true
+}
+
+// WorkerType defines a class of workers: its capacity vector and the
+// mapping from a step request to the resources it needs — "the worker
+// type also defines a mapping from a step request ... to the amount and
+// type of resource required" (§3.3.3). The mapping is swappable at
+// runtime for dynamic tuning.
+type WorkerType struct {
+	Name     string
+	Capacity Resources
+
+	mu   sync.RWMutex
+	cost func(req any) Resources
+}
+
+// NewWorkerType builds a worker type.
+func NewWorkerType(name string, capacity Resources, cost func(req any) Resources) *WorkerType {
+	return &WorkerType{Name: name, Capacity: capacity, cost: cost}
+}
+
+// Cost maps a step request to its resource needs.
+func (wt *WorkerType) Cost(req any) Resources {
+	wt.mu.RLock()
+	defer wt.mu.RUnlock()
+	return wt.cost(req)
+}
+
+// SetCost replaces the cost mapping — the post-deployment tuning hook
+// that, e.g., enabled opportunistic software decode (§3.3.3).
+func (wt *WorkerType) SetCost(cost func(req any) Resources) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	wt.cost = cost
+}
+
+// Scheduler is the sharded availability cache plus the greedy first-fit
+// worker picker of Fig. 6. Shards hold contiguous worker-ID ranges so the
+// pick order remains "first fit by worker number" while lock contention
+// is divided across shards; it is horizontally scaled in production
+// "due to the large number of workers and the need for low latency".
+type Scheduler struct {
+	mu       sync.RWMutex
+	shards   []*shard
+	perShard int
+	workers  int
+}
+
+type shard struct {
+	mu      sync.Mutex
+	workers []*Worker // sorted by ID
+}
+
+// NewScheduler returns a Scheduler with the given shard granularity
+// (workers per shard).
+func NewScheduler(perShard int) *Scheduler {
+	if perShard <= 0 {
+		perShard = 64
+	}
+	return &Scheduler{perShard: perShard}
+}
+
+// AddWorker registers a worker in the availability cache. Workers must be
+// added in ascending ID order for first-fit-by-number semantics.
+func (s *Scheduler) AddWorker(w *Worker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.shards) == 0 || len(s.shards[len(s.shards)-1].workers) >= s.perShard {
+		s.shards = append(s.shards, &shard{})
+	}
+	sh := s.shards[len(s.shards)-1]
+	sh.mu.Lock()
+	sh.workers = append(sh.workers, w)
+	sh.mu.Unlock()
+	s.workers++
+}
+
+// NumWorkers returns the registered worker count.
+func (s *Scheduler) NumWorkers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.workers
+}
+
+// ErrNoCapacity is returned when no worker can hold the request.
+var ErrNoCapacity = fmt.Errorf("sched: no worker with sufficient capacity")
+
+// Assignment is a granted reservation; call Release when the step ends.
+type Assignment struct {
+	Worker *Worker
+	Need   Resources
+}
+
+// Release returns the reservation to the worker.
+func (a *Assignment) Release() { a.Worker.Release(a.Need) }
+
+// Schedule finds the first worker (by worker number) whose availability
+// fits the request's needs and reserves them — the load-maximizing greedy
+// algorithm of Fig. 6. exclude filters out workers (used to avoid a VCU
+// the request already failed on, §4.4).
+func (s *Scheduler) Schedule(need Resources, exclude func(*Worker) bool) (*Assignment, error) {
+	s.mu.RLock()
+	shards := s.shards
+	s.mu.RUnlock()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		workers := append([]*Worker(nil), sh.workers...)
+		sh.mu.Unlock()
+		for _, w := range workers {
+			if exclude != nil && exclude(w) {
+				continue
+			}
+			if w.tryReserve(need) {
+				return &Assignment{Worker: w, Need: need}, nil
+			}
+		}
+	}
+	return nil, ErrNoCapacity
+}
+
+// IdleWorkers returns the workers with nothing scheduled, candidates for
+// stopping and reallocation to other pools.
+func (s *Scheduler) IdleWorkers() []*Worker {
+	s.mu.RLock()
+	shards := s.shards
+	s.mu.RUnlock()
+	var idle []*Worker
+	for _, sh := range shards {
+		sh.mu.Lock()
+		for _, w := range sh.workers {
+			if !w.Stopped() && w.Idle() {
+				idle = append(idle, w)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return idle
+}
+
+// StopWorker removes an idle worker from service; it fails if the worker
+// picked up work in the meantime.
+func (s *Scheduler) StopWorker(w *Worker) bool { return w.stop() }

@@ -1,0 +1,128 @@
+package sim
+
+import "time"
+
+// Fluid is a processor-sharing resource: concurrent flows share Capacity
+// (in work-units per second, e.g. bytes/s) proportionally to their
+// demands, capped at each flow's own demand. It models shared memory or
+// network bandwidth: when the sum of demands exceeds capacity every flow
+// slows down proportionally, otherwise flows proceed at their natural
+// rate.
+type Fluid struct {
+	eng      *Engine
+	capacity float64
+	flows    map[int64]*flow
+	nextID   int64
+	epoch    int64 // invalidates stale completion events
+
+	// TransferredWork integrates completed work for utilization stats.
+	TransferredWork float64
+}
+
+type flow struct {
+	demand    float64 // natural rate, work-units/s
+	remaining float64
+	rate      float64
+	updatedAt time.Duration
+	done      func()
+}
+
+// NewFluid returns a Fluid resource with the given capacity per second.
+func NewFluid(eng *Engine, capacity float64) *Fluid {
+	return &Fluid{eng: eng, capacity: capacity, flows: map[int64]*flow{}}
+}
+
+// Start begins a flow of `work` units with natural rate `demand` units/s;
+// done fires when the work completes. Returns the flow id.
+func (f *Fluid) Start(work, demand float64, done func()) int64 {
+	if work <= 0 {
+		if done != nil {
+			// Complete asynchronously for deterministic ordering.
+			f.eng.Schedule(0, done)
+		}
+		return -1
+	}
+	if demand <= 0 {
+		demand = f.capacity
+	}
+	f.nextID++
+	id := f.nextID
+	f.flows[id] = &flow{demand: demand, remaining: work, updatedAt: f.eng.Now(), done: done}
+	f.rebalance()
+	return id
+}
+
+// Active returns the number of in-flight flows.
+func (f *Fluid) Active() int { return len(f.flows) }
+
+// TotalDemand returns the sum of natural demands of active flows.
+func (f *Fluid) TotalDemand() float64 {
+	var d float64
+	for _, fl := range f.flows {
+		d += fl.demand
+	}
+	return d
+}
+
+// rebalance recomputes flow rates after membership changes and schedules
+// the next completion.
+func (f *Fluid) rebalance() {
+	f.epoch++
+	now := f.eng.Now()
+	var total float64
+	for _, fl := range f.flows {
+		// Drain progress at the previous rate.
+		elapsed := (now - fl.updatedAt).Seconds()
+		drained := fl.rate * elapsed
+		if drained > fl.remaining {
+			drained = fl.remaining
+		}
+		fl.remaining -= drained
+		f.TransferredWork += drained
+		fl.updatedAt = now
+		total += fl.demand
+	}
+	scale := 1.0
+	if total > f.capacity {
+		scale = f.capacity / total
+	}
+	var nextID int64 = -1
+	nextAt := time.Duration(1<<62 - 1)
+	for id, fl := range f.flows {
+		fl.rate = fl.demand * scale
+		if fl.rate <= 0 {
+			continue
+		}
+		eta := now + time.Duration(fl.remaining/fl.rate*float64(time.Second))
+		if eta < nextAt || (eta == nextAt && id < nextID) {
+			nextAt = eta
+			nextID = id
+		}
+	}
+	if nextID < 0 {
+		return
+	}
+	epoch := f.epoch
+	id := nextID
+	f.eng.Schedule(nextAt-now, func() {
+		if f.epoch != epoch {
+			return // superseded by a later rebalance
+		}
+		f.complete(id)
+	})
+}
+
+func (f *Fluid) complete(id int64) {
+	fl, ok := f.flows[id]
+	if !ok {
+		return
+	}
+	f.TransferredWork += fl.remaining
+	fl.remaining = 0
+	delete(f.flows, id)
+	done := fl.done
+	f.rebalance()
+	if done != nil {
+		done()
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() {
+		order = append(order, 2)
+		e.Schedule(500*time.Millisecond, func() { order = append(order, 25) })
+	})
+	e.Run()
+	want := []int{1, 2, 25, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v want %v", order, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("final time %v", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(time.Second, func() { fired++ })
+	e.Schedule(3*time.Second, func() { fired++ })
+	e.RunUntil(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired %d", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("now %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+}
+
+func TestServerSerializesBeyondCapacity(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 2)
+	var done []time.Duration
+	for i := 0; i < 4; i++ {
+		s.Submit(10*time.Second, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	// 2 at t=10, 2 at t=20.
+	want := []time.Duration{10 * time.Second, 10 * time.Second, 20 * time.Second, 20 * time.Second}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v", done)
+		}
+	}
+	if s.ServedJobs != 4 {
+		t.Fatalf("served %d", s.ServedJobs)
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 2)
+	s.Submit(10*time.Second, nil) // one of two servers busy for 10s
+	e.Run()
+	if u := s.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization %.3f want 0.5", u)
+	}
+}
+
+func TestFluidUncontended(t *testing.T) {
+	e := NewEngine()
+	f := NewFluid(e, 100) // 100 units/s
+	var at time.Duration
+	f.Start(50, 10, func() { at = e.Now() }) // natural rate 10 => 5s
+	e.Run()
+	if at != 5*time.Second {
+		t.Fatalf("uncontended flow finished at %v want 5s", at)
+	}
+}
+
+func TestFluidContention(t *testing.T) {
+	e := NewEngine()
+	f := NewFluid(e, 100)
+	var times []time.Duration
+	// Two flows each demanding 100 on a 100 capacity: each runs at 50.
+	for i := 0; i < 2; i++ {
+		f.Start(100, 100, func() { times = append(times, e.Now()) })
+	}
+	e.Run()
+	for _, at := range times {
+		if at != 2*time.Second {
+			t.Fatalf("contended flows finished at %v want 2s", times)
+		}
+	}
+}
+
+func TestFluidDepartureSpeedsUpSurvivor(t *testing.T) {
+	e := NewEngine()
+	f := NewFluid(e, 100)
+	var shortAt, longAt time.Duration
+	f.Start(50, 100, func() { shortAt = e.Now() }) // shares 50/s until done
+	f.Start(150, 100, func() { longAt = e.Now() })
+	e.Run()
+	// Phase 1: both at 50/s. Short done at t=1 (50 units). Long has 100
+	// left, then runs at 100/s: done at t=2.
+	if shortAt != time.Second {
+		t.Fatalf("short at %v", shortAt)
+	}
+	if longAt != 2*time.Second {
+		t.Fatalf("long at %v want 2s", longAt)
+	}
+}
+
+func TestFluidZeroWorkCompletesImmediately(t *testing.T) {
+	e := NewEngine()
+	f := NewFluid(e, 10)
+	fired := false
+	f.Start(0, 5, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("zero-work flow never completed")
+	}
+}
+
+func TestFluidManyFlowsConservation(t *testing.T) {
+	e := NewEngine()
+	f := NewFluid(e, 1000)
+	var completed int
+	totalWork := 0.0
+	for i := 1; i <= 20; i++ {
+		w := float64(i * 37)
+		totalWork += w
+		f.Start(w, float64(i*13), func() { completed++ })
+	}
+	e.Run()
+	if completed != 20 {
+		t.Fatalf("completed %d/20", completed)
+	}
+	if f.TransferredWork < totalWork*0.999 || f.TransferredWork > totalWork*1.001 {
+		t.Fatalf("transferred %.1f want %.1f", f.TransferredWork, totalWork)
+	}
+	if f.Active() != 0 {
+		t.Fatalf("%d flows leaked", f.Active())
+	}
+}

@@ -1,0 +1,76 @@
+package tco
+
+import (
+	"testing"
+	"time"
+
+	"openvcu/internal/vcu"
+)
+
+func near(got, want, tolFrac float64) bool {
+	return got > want*(1-tolFrac) && got < want*(1+tolFrac)
+}
+
+func TestTable1Reproduction(t *testing.T) {
+	rows := Table1(DefaultConstants(), vcu.DefaultParams(), 120*time.Second)
+	want := map[System]Row{
+		SystemSkylake: {ThroughputH264: 714, ThroughputVP9: 154, PerfTCOH264: 1.0, PerfTCOVP9: 1.0},
+		SystemGPU4xT4: {ThroughputH264: 2484, PerfTCOH264: 1.5},
+		SystemVCU8:    {ThroughputH264: 5973, ThroughputVP9: 6122, PerfTCOH264: 4.4, PerfTCOVP9: 20.8},
+		SystemVCU20:   {ThroughputH264: 14932, ThroughputVP9: 15306, PerfTCOH264: 7.0, PerfTCOVP9: 33.3},
+	}
+	for _, r := range rows {
+		w := want[r.System]
+		if !near(r.ThroughputH264, w.ThroughputH264, 0.10) {
+			t.Errorf("%s H.264 throughput %.0f, paper %.0f", r.System, r.ThroughputH264, w.ThroughputH264)
+		}
+		if w.ThroughputVP9 > 0 && !near(r.ThroughputVP9, w.ThroughputVP9, 0.10) {
+			t.Errorf("%s VP9 throughput %.0f, paper %.0f", r.System, r.ThroughputVP9, w.ThroughputVP9)
+		}
+		if !near(r.PerfTCOH264, w.PerfTCOH264, 0.12) {
+			t.Errorf("%s H.264 perf/TCO %.2f, paper %.2f", r.System, r.PerfTCOH264, w.PerfTCOH264)
+		}
+		if w.PerfTCOVP9 > 0 && !near(r.PerfTCOVP9, w.PerfTCOVP9, 0.12) {
+			t.Errorf("%s VP9 perf/TCO %.2f, paper %.2f", r.System, r.PerfTCOVP9, w.PerfTCOVP9)
+		}
+	}
+	// Ordering claims: VCU dominates GPU dominates CPU on perf/TCO.
+	if !(rows[3].PerfTCOH264 > rows[2].PerfTCOH264 &&
+		rows[2].PerfTCOH264 > rows[1].PerfTCOH264 &&
+		rows[1].PerfTCOH264 > rows[0].PerfTCOH264) {
+		t.Error("perf/TCO ordering violated")
+	}
+}
+
+func TestPerfPerWattRatios(t *testing.T) {
+	pw := PerfWatt(DefaultConstants(), vcu.DefaultParams(), 120*time.Second)
+	if !near(pw.SOTH264Ratio, 6.7, 0.15) {
+		t.Errorf("SOT H.264 perf/watt ratio %.1f, paper 6.7", pw.SOTH264Ratio)
+	}
+	if !near(pw.MOTVP9Ratio, 68.9, 0.15) {
+		t.Errorf("MOT VP9 perf/watt ratio %.1f, paper 68.9", pw.MOTVP9Ratio)
+	}
+}
+
+func TestProductionThroughputFigure8(t *testing.T) {
+	r := ProductionThroughput(vcu.DefaultParams(), 120*time.Second)
+	if !near(r.MOTPerVCU, 400, 0.15) {
+		t.Errorf("production MOT %.0f Mpix/s per VCU, Figure 8 shows ~400", r.MOTPerVCU)
+	}
+	if !near(r.SOTPerVCU, 250, 0.20) {
+		t.Errorf("production SOT %.0f Mpix/s per VCU, Figure 8 shows ~250", r.SOTPerVCU)
+	}
+	if r.MOTPerVCU <= r.SOTPerVCU {
+		t.Error("MOT must outperform SOT")
+	}
+}
+
+func TestVP9OnVCUIsTwoOrdersOverCPU(t *testing.T) {
+	// §4.1: "the 20xVCU system has 99.4x the throughput of the CPU
+	// baseline" for VP9.
+	rows := Table1(DefaultConstants(), vcu.DefaultParams(), 120*time.Second)
+	ratio := rows[3].ThroughputVP9 / rows[0].ThroughputVP9
+	if !near(ratio, 99.4, 0.12) {
+		t.Errorf("20xVCU/CPU VP9 throughput ratio %.1f, paper 99.4", ratio)
+	}
+}

@@ -1,0 +1,231 @@
+// Package transcode implements the data center transcoding patterns of
+// paper Fig. 2: single-output transcoding (SOT — decode, scale, encode one
+// variant) and multiple-output transcoding (MOT — decode once, scale and
+// encode the whole output ladder), plus chunked parallel transcoding over
+// closed GOPs (§2.1 "Chunking and Parallel Transcoding Modes").
+package transcode
+
+import (
+	"fmt"
+	"sync"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/codec/rc"
+	"openvcu/internal/video"
+)
+
+// OutputSpec describes one output variant (a resolution/format pair).
+type OutputSpec struct {
+	Name       string
+	Resolution video.Resolution
+	Profile    codec.Profile
+	RC         rc.Config
+	// Hardware applies VCU encode restrictions.
+	Hardware bool
+	// Speed is the encoder speed setting.
+	Speed int
+	// GOPLength overrides the default closed-GOP length.
+	GOPLength int
+	// TileColumns enables parallel tile-column encoding.
+	TileColumns int
+	// AltRef enables alternate reference frames (VP9Class).
+	AltRef bool
+}
+
+// Output is one transcoded variant.
+type Output struct {
+	Spec    OutputSpec
+	Packets []codec.Packet
+	// Stats
+	TotalBits    int
+	OutputPixels int64 // encoded luma pixels, the Mpix/s numerator
+}
+
+// Result aggregates a transcode task's outputs and accounting.
+type Result struct {
+	Outputs []Output
+	// DecodedPixels counts source pixels decoded; MOT decodes once, SOT
+	// once per variant — the decode redundancy MOT exists to remove.
+	DecodedPixels int64
+	ScaledPixels  int64
+}
+
+// ladderSpecs builds output specs for every ladder rung at or below the
+// input resolution, mirroring the standard MOT graph ("for 1080p inputs:
+// 1080p, 720p, 480p, 360p, 240p and 144p are encoded").
+func LadderSpecs(in video.Resolution, profile codec.Profile, bitsPerPixel float64, fps int, hardware bool) []OutputSpec {
+	var specs []OutputSpec
+	for _, r := range video.LadderBelow(in) {
+		target := int(bitsPerPixel * float64(r.Pixels()) * float64(fps))
+		specs = append(specs, OutputSpec{
+			Name:       fmt.Sprintf("%s-%s", r.Name, profile),
+			Resolution: r,
+			Profile:    profile,
+			RC:         rc.Config{Mode: rc.ModeTwoPassOffline, TargetBitrate: target},
+			Hardware:   hardware,
+		})
+	}
+	return specs
+}
+
+func encoderConfig(spec OutputSpec, fps int) codec.Config {
+	return codec.Config{
+		Profile:     spec.Profile,
+		Width:       spec.Resolution.Width,
+		Height:      spec.Resolution.Height,
+		FPS:         fps,
+		GOPLength:   spec.GOPLength,
+		TileColumns: spec.TileColumns,
+		AltRef:      spec.AltRef,
+		RC:          spec.RC,
+		Speed:       spec.Speed,
+		Hardware:    spec.Hardware,
+	}
+}
+
+// MOT transcodes decoded source frames into every output spec with a
+// single shared decode/scale pass (Fig. 2b).
+func MOT(frames []*video.Frame, fps int, specs []OutputSpec) (*Result, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("transcode: no frames")
+	}
+	res := &Result{}
+	res.DecodedPixels = int64(len(frames)) * int64(frames[0].Pixels())
+
+	type encState struct {
+		enc  *codec.Encoder
+		out  Output
+		spec OutputSpec
+	}
+	encs := make([]*encState, len(specs))
+	for i, spec := range specs {
+		enc, err := codec.NewEncoder(encoderConfig(spec, fps))
+		if err != nil {
+			return nil, fmt.Errorf("transcode: output %s: %w", spec.Name, err)
+		}
+		if spec.RC.Mode.TwoPass() {
+			// First-pass statistics computed once on the source and
+			// shared across outputs — the "efficient sharing of control
+			// parameters obtained by analysis of the source" of §2.1.
+			enc.RateController().SetFirstPassStats(codec.FirstPassAnalyze(frames))
+		}
+		encs[i] = &encState{enc: enc, out: Output{Spec: spec}, spec: spec}
+	}
+	for _, f := range frames {
+		for _, es := range encs {
+			scaled := video.ScaleTo(f, es.spec.Resolution)
+			res.ScaledPixels += int64(scaled.Pixels())
+			pkts, err := es.enc.Encode(scaled)
+			if err != nil {
+				return nil, err
+			}
+			appendPackets(&es.out, pkts)
+		}
+	}
+	for _, es := range encs {
+		pkts, err := es.enc.Flush()
+		if err != nil {
+			return nil, err
+		}
+		appendPackets(&es.out, pkts)
+		es.out.OutputPixels = int64(len(frames)) * int64(es.spec.Resolution.Pixels())
+		res.Outputs = append(res.Outputs, es.out)
+	}
+	return res, nil
+}
+
+// SOT transcodes decoded source frames into a single output (Fig. 2a).
+// A full SOT ladder costs one decode per variant; Result.DecodedPixels
+// accounts for this task's share.
+func SOT(frames []*video.Frame, fps int, spec OutputSpec) (*Result, error) {
+	res, err := MOT(frames, fps, []OutputSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func appendPackets(out *Output, pkts []codec.Packet) {
+	for _, p := range pkts {
+		out.Packets = append(out.Packets, p)
+		out.TotalBits += p.Bits()
+	}
+}
+
+// DecodeSource decodes a packet stream into frames (the "Decode" stage).
+func DecodeSource(packets []codec.Packet) ([]*video.Frame, error) {
+	return codec.DecodeSequence(packets)
+}
+
+// --- chunked parallel transcoding -------------------------------------------
+
+// Chunk is a closed GOP of source frames.
+type Chunk struct {
+	Index  int
+	Frames []*video.Frame
+}
+
+// SplitChunks shards frames into closed GOPs of gopLen frames — the unit
+// of parallel distribution across transcode workers.
+func SplitChunks(frames []*video.Frame, gopLen int) []Chunk {
+	if gopLen <= 0 {
+		gopLen = 32
+	}
+	var chunks []Chunk
+	for i := 0; i < len(frames); i += gopLen {
+		end := i + gopLen
+		if end > len(frames) {
+			end = len(frames)
+		}
+		chunks = append(chunks, Chunk{Index: len(chunks), Frames: frames[i:end]})
+	}
+	return chunks
+}
+
+// ChunkedResult is the assembled outcome of a chunked transcode.
+type ChunkedResult struct {
+	// Outputs[i] holds the concatenated packets of spec i across chunks,
+	// in chunk order: a playable stream because each chunk is a closed GOP.
+	Outputs      []Output
+	ChunkResults []*Result
+}
+
+// Chunked runs a MOT per chunk with up to parallelism concurrent chunks
+// and assembles the per-output streams in order — the fan-out/assemble
+// pattern the global work scheduler orchestrates (§2.2).
+func Chunked(chunks []Chunk, fps int, specs []OutputSpec, parallelism int) (*ChunkedResult, error) {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	results := make([]*Result, len(chunks))
+	errs := make([]error, len(chunks))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, ch := range chunks {
+		wg.Add(1)
+		go func(i int, ch Chunk) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = MOT(ch.Frames, fps, specs)
+		}(i, ch)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("transcode: chunk %d: %w", i, err)
+		}
+	}
+	out := &ChunkedResult{ChunkResults: results}
+	out.Outputs = make([]Output, len(specs))
+	for si, spec := range specs {
+		out.Outputs[si].Spec = spec
+		for _, r := range results {
+			o := r.Outputs[si]
+			out.Outputs[si].Packets = append(out.Outputs[si].Packets, o.Packets...)
+			out.Outputs[si].TotalBits += o.TotalBits
+			out.Outputs[si].OutputPixels += o.OutputPixels
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+// Package vbench defines the synthetic stand-in for the vbench benchmark
+// suite (Lottarini et al., ASPLOS'18) used throughout the paper's
+// evaluation: "15 representative videos grouped across a 3-dimensional
+// space defined by resolution, frame rate, and entropy" (§4.1). Each clip
+// here is a deterministic procedural source whose position in that space
+// mirrors the published clip's character (screen content is easy, holi's
+// festival-of-colors motion is brutal).
+package vbench
+
+import (
+	"openvcu/internal/video"
+)
+
+// Clip is one suite entry.
+type Clip struct {
+	Name string
+	// Resolution and FPS place the clip on two of the suite's axes.
+	Resolution video.Resolution
+	FPS        int
+	// Entropy in [0,1] summarizes coding difficulty (the third axis).
+	Entropy float64
+	// Source-shape parameters (see video.SourceConfig).
+	Detail, Motion, ObjectMotion float64
+	Objects, Noise               int
+	SceneCut                     int
+}
+
+// Suite is the 15-clip set, named after Figure 7's legend. Entropy rises
+// roughly down the list, matching the top-to-bottom RD curve ordering of
+// the figure (presentation/desktop easiest, holi hardest).
+var Suite = []Clip{
+	{Name: "presentation", Resolution: video.Res1080p, FPS: 30, Entropy: 0.05, Detail: 0.15, Motion: 0.0, Objects: 0},
+	{Name: "desktop", Resolution: video.Res1080p, FPS: 30, Entropy: 0.08, Detail: 0.25, Motion: 0.0, Objects: 1, ObjectMotion: 1},
+	{Name: "bike", Resolution: video.Res720p, FPS: 30, Entropy: 0.35, Detail: 0.45, Motion: 1.5, Objects: 2, ObjectMotion: 2},
+	{Name: "funny", Resolution: video.Res480p, FPS: 30, Entropy: 0.30, Detail: 0.40, Motion: 1.0, Objects: 2, ObjectMotion: 2, SceneCut: 48},
+	{Name: "house", Resolution: video.Res720p, FPS: 30, Entropy: 0.25, Detail: 0.50, Motion: 0.5, Objects: 1, ObjectMotion: 1},
+	{Name: "cricket", Resolution: video.Res720p, FPS: 50, Entropy: 0.45, Detail: 0.45, Motion: 2.5, Objects: 3, ObjectMotion: 3},
+	{Name: "girl", Resolution: video.Res1080p, FPS: 24, Entropy: 0.35, Detail: 0.55, Motion: 1.0, Objects: 1, ObjectMotion: 2},
+	{Name: "game_1", Resolution: video.Res720p, FPS: 60, Entropy: 0.50, Detail: 0.55, Motion: 3.0, Objects: 3, ObjectMotion: 4},
+	{Name: "chicken", Resolution: video.Res1080p, FPS: 30, Entropy: 0.55, Detail: 0.60, Motion: 1.5, Objects: 3, ObjectMotion: 3, Noise: 3},
+	{Name: "hall", Resolution: video.Res720p, FPS: 30, Entropy: 0.40, Detail: 0.55, Motion: 1.0, Objects: 2, ObjectMotion: 2},
+	{Name: "game_2", Resolution: video.Res1080p, FPS: 60, Entropy: 0.60, Detail: 0.60, Motion: 3.5, Objects: 4, ObjectMotion: 4},
+	{Name: "cat", Resolution: video.Res480p, FPS: 30, Entropy: 0.50, Detail: 0.70, Motion: 1.5, Objects: 2, ObjectMotion: 3, Noise: 2},
+	{Name: "landscape", Resolution: video.Res2160p, FPS: 30, Entropy: 0.45, Detail: 0.75, Motion: 0.8, Objects: 0, Noise: 1},
+	{Name: "game_3", Resolution: video.Res1080p, FPS: 60, Entropy: 0.70, Detail: 0.65, Motion: 4.5, Objects: 4, ObjectMotion: 5, SceneCut: 60},
+	{Name: "holi", Resolution: video.Res1080p, FPS: 30, Entropy: 0.95, Detail: 0.80, Motion: 5.0, Objects: 6, ObjectMotion: 6, Noise: 6},
+}
+
+// ByName returns a clip by name.
+func ByName(name string) (Clip, bool) {
+	for _, c := range Suite {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Clip{}, false
+}
+
+// SourceConfig builds the procedural source for the clip at a reduced
+// scale (scale=1 is native; scale=8 divides each dimension by 8, keeping
+// 16-pixel alignment). Quality experiments run at reduced scale so a pure
+// Go encoder can sweep the whole suite; the *relative* RD behavior across
+// clips and profiles is what the reproduction asserts.
+func (c Clip) SourceConfig(scale, frames int) video.SourceConfig {
+	w := align16(c.Resolution.Width / scale)
+	h := align16(c.Resolution.Height / scale)
+	// Motion scales with resolution so the content keeps its character.
+	ms := 1.0 / float64(scale)
+	return video.SourceConfig{
+		Name: c.Name, Width: w, Height: h, FPS: c.FPS, Frames: frames,
+		Seed:   seedOf(c.Name),
+		Detail: c.Detail, Motion: c.Motion * ms, ObjectMotion: c.ObjectMotion * ms,
+		Objects: c.Objects, Noise: c.Noise, SceneCut: c.SceneCut,
+	}
+}
+
+// TargetBitratesBPP is the per-pixel bitrate ladder (bits per pixel, at
+// the clip frame rate) used to trace RD curves like Figure 7. Harder
+// clips are encoded at the same bpp points; their curves land lower.
+var TargetBitratesBPP = []float64{0.015, 0.03, 0.06, 0.12, 0.24}
+
+// TargetBitrates returns the absolute target bitrates (bits/s) for the
+// clip at the given scale.
+func (c Clip) TargetBitrates(scale int) []int {
+	cfg := c.SourceConfig(scale, 1)
+	px := float64(cfg.Width * cfg.Height)
+	var out []int
+	for _, bpp := range TargetBitratesBPP {
+		out = append(out, int(bpp*px*float64(c.FPS)))
+	}
+	return out
+}
+
+func align16(v int) int {
+	v = v / 16 * 16
+	if v < 32 {
+		v = 32
+	}
+	return v
+}
+
+func seedOf(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range []byte(name) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,119 @@
+package vbench
+
+import (
+	"testing"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/metrics"
+)
+
+func TestSuiteShape(t *testing.T) {
+	if len(Suite) != 15 {
+		t.Fatalf("suite has %d clips, want 15", len(Suite))
+	}
+	seen := map[string]bool{}
+	for _, c := range Suite {
+		if seen[c.Name] {
+			t.Fatalf("duplicate clip %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Resolution.Pixels() == 0 || c.FPS == 0 {
+			t.Fatalf("clip %s missing resolution/fps", c.Name)
+		}
+		if c.Entropy < 0 || c.Entropy > 1 {
+			t.Fatalf("clip %s entropy %f", c.Name, c.Entropy)
+		}
+	}
+	if _, ok := ByName("holi"); !ok {
+		t.Fatal("holi missing")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("phantom clip found")
+	}
+}
+
+func TestSourceConfigScaling(t *testing.T) {
+	c, _ := ByName("landscape") // 2160p native
+	cfg := c.SourceConfig(8, 10)
+	if cfg.Width%16 != 0 || cfg.Height%16 != 0 {
+		t.Fatalf("scaled dims %dx%d not 16-aligned", cfg.Width, cfg.Height)
+	}
+	if cfg.Width != 480 {
+		t.Fatalf("2160p/8 width = %d, want 480", cfg.Width)
+	}
+	rates := c.TargetBitrates(8)
+	if len(rates) != len(TargetBitratesBPP) {
+		t.Fatalf("%d target rates", len(rates))
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] <= rates[i-1] {
+			t.Fatal("target rates not increasing")
+		}
+	}
+}
+
+func TestClipSeedsDiffer(t *testing.T) {
+	a := Suite[0].SourceConfig(8, 1)
+	b := Suite[1].SourceConfig(8, 1)
+	if a.Seed == b.Seed {
+		t.Fatal("clips share a seed")
+	}
+}
+
+func TestRunRDProducesMonotoneCurve(t *testing.T) {
+	clip, _ := ByName("house")
+	eut := EncoderUnderTest{Label: "sw-h264", Profile: codec.H264Class, Speed: 2}
+	curve, err := RunRD(clip, eut, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != len(TargetBitratesBPP) {
+		t.Fatalf("%d points", len(curve.Points))
+	}
+	for i := 1; i < len(curve.Points); i++ {
+		if curve.Points[i].PSNR <= curve.Points[i-1].PSNR {
+			t.Errorf("PSNR not increasing with bitrate: %+v", curve.Points)
+		}
+	}
+}
+
+func TestEasyClipBeatsHardClip(t *testing.T) {
+	// Figure 7's vertical ordering: presentation (easy) sits far above
+	// holi (hard) at the same bitrates.
+	easy, _ := ByName("presentation")
+	hard, _ := ByName("holi")
+	eut := EncoderUnderTest{Label: "sw", Profile: codec.H264Class, Speed: 2}
+	easyCurve, err := RunRD(easy, eut, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardCurve, err := RunRD(hard, eut, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easyCurve.Points[2].PSNR <= hardCurve.Points[2].PSNR {
+		t.Errorf("presentation PSNR %.1f not above holi %.1f",
+			easyCurve.Points[2].PSNR, hardCurve.Points[2].PSNR)
+	}
+}
+
+func TestHardwareRestrictionCostsBitrate(t *testing.T) {
+	// Figure 7 / §4.1: VCU encodings trail the software encoder at
+	// launch tuning (positive BD-rate vs software).
+	clip, _ := ByName("bike")
+	sw, err := RunRD(clip, EncoderUnderTest{Label: "sw", Profile: codec.H264Class, Speed: 1}, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := RunRD(clip, EncoderUnderTest{Label: "hw", Profile: codec.H264Class, Hardware: true, Speed: 1}, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := metrics.BDRate(sw.Points, hw.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd < -2 {
+		t.Errorf("hardware BD-rate %.1f%% vs software, expected >= ~0 (worse or equal)", bd)
+	}
+}

@@ -1,0 +1,83 @@
+package vcu
+
+import (
+	"time"
+
+	"openvcu/internal/sim"
+)
+
+// Host models one accelerator host machine: 20 VCUs across 2 expansion
+// trays (§3.3.1), ~100 usable logical cores, and a 100 Gbps NIC
+// (Appendix A.1). VCU hosts are not shared with other jobs.
+type Host struct {
+	ID   int
+	eng  *sim.Engine
+	p    Params
+	VCUs []*VCU
+
+	// HostDecode is the software-decode fallback pool: groups of 8
+	// logical cores decode a chunk at 8x the per-core rate. This is the
+	// opportunistic software decoding path of Fig. 9c.
+	HostDecode *sim.Server
+	// NIC is the 100 Gbps network interface, shared by all traffic.
+	NIC *sim.Fluid
+	// PCIe holds one fluid link per expansion tray (~100 Gbps each,
+	// Appendix A.1); a tray's VCUs share their link for DMA.
+	PCIe []*sim.Fluid
+
+	disabled bool
+}
+
+// hostDecodeThreads is the thread-group size for a software chunk decode.
+const hostDecodeThreads = 8
+
+// NewHost builds a host with its full complement of VCUs.
+func NewHost(eng *sim.Engine, id int, p Params) *Host {
+	h := &Host{
+		ID: id, eng: eng, p: p,
+		HostDecode: sim.NewServer(eng, p.HostLogicalCores/hostDecodeThreads),
+		NIC:        sim.NewFluid(eng, p.HostNICBitsPerSec/8), // bytes/s
+	}
+	perTray := p.VCUsPerCard * p.CardsPerTray
+	for t := 0; t < p.TraysPerHost; t++ {
+		h.PCIe = append(h.PCIe, sim.NewFluid(eng, p.TrayPCIeBitsPerSec/8))
+	}
+	for i := 0; i < p.VCUsPerHost(); i++ {
+		v := New(eng, id*p.VCUsPerHost()+i, p)
+		v.pcie = h.PCIe[i/perTray]
+		h.VCUs = append(h.VCUs, v)
+	}
+	return h
+}
+
+// Disabled reports whether the whole host has been pulled for repair.
+func (h *Host) Disabled() bool { return h.disabled }
+
+// Disable pulls the host (chassis/cable/CPU failures disable the full
+// host, §4.4).
+func (h *Host) Disable() { h.disabled = true }
+
+// HealthyVCUs returns the serving VCUs.
+func (h *Host) HealthyVCUs() []*VCU {
+	var out []*VCU
+	if h.disabled {
+		return out
+	}
+	for _, v := range h.VCUs {
+		if !v.Disabled() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SoftwareDecode runs a chunk decode on host cores; done fires at
+// completion.
+func (h *Host) SoftwareDecode(pixels int64, done func()) {
+	rate := h.p.HostDecodePixRatePerCore * hostDecodeThreads
+	h.HostDecode.Submit(secondsToDuration(float64(pixels)/rate), done)
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,188 @@
+// Package vcu models the Video Coding Unit ASIC and its host systems as a
+// discrete-event simulation: encoder/decoder core pools, the LPDDR4 DRAM
+// bandwidth domain, device memory capacity, the firmware command-queue
+// interface (run-on-core / copy / wait-for-done), stateless core dispatch,
+// fault injection and telemetry. The codec package supplies the *function*
+// of encoding; this package supplies the *performance and failure
+// behavior* of the hardware the paper describes (§3.2–3.3).
+package vcu
+
+import "openvcu/internal/codec"
+
+// Params are the chip- and board-level calibration constants. Each value
+// is anchored to a paper statement (cited inline); everything downstream
+// (Table 1, Figures 8–9, the system-balance numbers) is derived from
+// these by simulation, not hard-coded.
+type Params struct {
+	// EncoderCores per VCU (Fig. 3b: "Encoder Core x10").
+	EncoderCores int
+	// DecoderCores per VCU (Fig. 3b: "Decoder Core x3").
+	DecoderCores int
+
+	// RealtimeEncodePixRate is the per-core one-pass encode rate in
+	// pixels/s: "each encoder core can encode 2160p in real-time, up to
+	// 60 FPS" (§3.3.1) = 3840*2160*60 ≈ 497.7 Mpix/s.
+	RealtimeEncodePixRate float64
+	// OfflineEncodePixRate is the per-core offline two-pass rate by
+	// profile, calibrated from Table 1: 20xVCU H.264 SOT = 14,932 Mpix/s
+	// and MOT = 976 Mpix/s/VCU over 10 cores.
+	OfflineEncodePixRateH264 float64
+	OfflineEncodePixRateVP9  float64
+	// LowLatencyTwoPassFactor scales the realtime rate for low-latency
+	// two-pass (Stadia mode, §4.5).
+	LowLatencyTwoPassFactor float64
+
+	// DecodePixRate is the per-decoder-core rate in input pixels/s,
+	// calibrated so a fully-SOT workload is decoder-limited at the
+	// SOT/MOT ratio of Table 1 (1.2–1.3x).
+	DecodePixRate float64
+	// HostDecodePixRatePerCore is the software-fallback decode rate per
+	// host logical core (the Fig. 9c opportunistic software decode path).
+	HostDecodePixRatePerCore float64
+
+	// DRAMBandwidth is the usable device bandwidth in bytes/s: "four 32b
+	// LPDDR4-3200 channels (~36 GiB/s of raw bandwidth)" (§3.3.1).
+	DRAMBandwidth float64
+	// DRAMCapacity is usable device memory: "the 8 GiB usable capacity
+	// gave modest headroom" (§3.3.1).
+	DRAMCapacity int64
+
+	// Encode DRAM traffic per output pixel. §3.3.1: one input frame +
+	// three references + one reference write at 2160p60 averages
+	// ~3.5 GiB/s (≈7.5 B/px), and "the access pattern causes some data
+	// to be read multiple times", pushing the uncompressed worst case to
+	// ~5 GiB/s (≈10.7 B/px). Lossless reference compression cuts the
+	// worst case to ~3 GiB/s and the typical case to ~2 GiB/s
+	// (≈4.3 B/px), which is what the model charges with FBC on.
+	EncodeBytesPerPixel    float64
+	EncodeBytesPerPixelFBC float64
+	// EncodeBytesPerPixelFBCWorst is the compressed worst case
+	// (~3 GiB/s per core at 2160p60 ≈ 6.5 B/px), used by the §3.3.1
+	// bandwidth-provisioning arithmetic.
+	EncodeBytesPerPixelFBCWorst float64
+	// DecodeBytesPerPixel: "the decoder consistently uses 2.2 GiB/s"
+	// per core at its realtime rate (≈4.75 B/px at 2160p60).
+	DecodeBytesPerPixel float64
+	// RealtimeDecodePixRate is the decoder core's peak rate. The lower
+	// DecodePixRate above is the *effective* offline two-pass rate: each
+	// chunk is decoded once per encoding pass, so sustained decode
+	// throughput per output is halved.
+	RealtimeDecodePixRate float64
+
+	// MOTFootprintBytes and SOTFootprintBytes are the worst-case 2160p
+	// job footprints of Appendix A.4 (~700 MiB and ~500 MiB).
+	MOTFootprintBytes int64
+	SOTFootprintBytes int64
+
+	// Board/host topology (§3.3.1): 2 VCUs per card, 5 cards per tray,
+	// 2 trays per host = 20 VCUs/host.
+	VCUsPerCard  int
+	CardsPerTray int
+	TraysPerHost int
+
+	// Host resources (Appendix A.1): ~100 usable logical cores,
+	// 100 Gbps NIC, and each expansion tray attached by a ~100 Gbps PCIe
+	// Gen3 x16 link.
+	HostLogicalCores   int
+	HostNICBitsPerSec  float64
+	TrayPCIeBitsPerSec float64
+
+	// Active energy per pixel (Joules), calibrated so a fully loaded VCU
+	// draws ~25 W (the 20xVCU SOT system power of ~1.1 kW less the host
+	// share). Feeds the telemetry energy counters.
+	EncodeEnergyPerPixel float64
+	DecodeEnergyPerPixel float64
+}
+
+// DefaultParams returns the production configuration.
+func DefaultParams() Params {
+	return Params{
+		EncoderCores:                10,
+		DecoderCores:                3,
+		RealtimeEncodePixRate:       497.7e6,
+		OfflineEncodePixRateH264:    97.6e6,
+		OfflineEncodePixRateVP9:     92.7e6,
+		LowLatencyTwoPassFactor:     0.7,
+		DecodePixRate:               250e6,
+		HostDecodePixRatePerCore:    25e6,
+		DRAMBandwidth:               36 * (1 << 30),
+		DRAMCapacity:                8 * (1 << 30),
+		EncodeBytesPerPixel:         10.7,
+		EncodeBytesPerPixelFBC:      4.3,
+		EncodeBytesPerPixelFBCWorst: 6.5,
+		DecodeBytesPerPixel:         4.75,
+		RealtimeDecodePixRate:       497.7e6,
+		MOTFootprintBytes:           700 << 20,
+		SOTFootprintBytes:           500 << 20,
+		VCUsPerCard:                 2,
+		CardsPerTray:                5,
+		TraysPerHost:                2,
+		HostLogicalCores:            100,
+		HostNICBitsPerSec:           100e9,
+		TrayPCIeBitsPerSec:          100e9,
+		EncodeEnergyPerPixel:        27e-9,
+		DecodeEnergyPerPixel:        7e-9,
+	}
+}
+
+// VCUsPerHost returns the host density (20 in production).
+func (p Params) VCUsPerHost() int { return p.VCUsPerCard * p.CardsPerTray * p.TraysPerHost }
+
+// JobFootprint is the device-DRAM reservation for one transcode job,
+// following the Appendix A.4 arithmetic: 9 reference frames (8 plus the
+// output) for the decode, 9 per encode output, a 15-frame lag buffer on
+// the input, and padding/ephemeral buffers — at 10-bit worst case with
+// the ~5% frame-buffer-compression overhead. A 2160p full-ladder MOT
+// computes to ~700 MiB and a 2160p SOT to ~500 MiB, matching
+// MOTFootprintBytes/SOTFootprintBytes.
+func (p Params) JobFootprint(inputPixels int64, outputPixels []int64) int64 {
+	const bytesPerPixel = 1.5 * 1.25 * 1.05 // 4:2:0, 10-bit, FBC padding
+	const refFrames = 9
+	const lagFrames = 15
+	const paddingBytes = 60 << 20
+	frames := float64(inputPixels) * bytesPerPixel * (refFrames + lagFrames)
+	for _, px := range outputPixels {
+		frames += float64(px) * bytesPerPixel * refFrames
+	}
+	return int64(frames) + paddingBytes
+}
+
+// EncodeRate returns the per-core encode pixel rate for a profile/mode.
+func (p Params) EncodeRate(profile codec.Profile, mode EncodeMode) float64 {
+	switch mode {
+	case EncodeOnePassLowLatency:
+		return p.RealtimeEncodePixRate
+	case EncodeTwoPassLowLatency:
+		return p.RealtimeEncodePixRate * p.LowLatencyTwoPassFactor
+	default: // lagged and offline two-pass
+		if profile == codec.VP9Class {
+			return p.OfflineEncodePixRateVP9
+		}
+		return p.OfflineEncodePixRateH264
+	}
+}
+
+// EncodeMode is the encoder operating point (paper §2.1).
+type EncodeMode int
+
+// Encode modes.
+const (
+	EncodeOnePassLowLatency EncodeMode = iota
+	EncodeTwoPassLowLatency
+	EncodeTwoPassLagged
+	EncodeTwoPassOffline
+)
+
+// String names the mode.
+func (m EncodeMode) String() string {
+	switch m {
+	case EncodeOnePassLowLatency:
+		return "one-pass-low-latency"
+	case EncodeTwoPassLowLatency:
+		return "two-pass-low-latency"
+	case EncodeTwoPassLagged:
+		return "two-pass-lagged"
+	default:
+		return "two-pass-offline"
+	}
+}

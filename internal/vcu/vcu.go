@@ -1,0 +1,406 @@
+package vcu
+
+import (
+	"fmt"
+	"time"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/sim"
+)
+
+// OpKind is the class of work a firmware command runs.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpDecode OpKind = iota
+	OpEncode
+	OpScale
+)
+
+// Op is one unit of accelerator work: the payload of a run-on-core
+// command. Cores are stateless — every input and output lives in device
+// DRAM (§3.2 "Control and Stateless Operation") — so any idle core of the
+// right type can execute any op.
+type Op struct {
+	Kind    OpKind
+	Profile codec.Profile
+	Mode    EncodeMode
+	Pixels  int64
+	// Done fires at completion. corrupted reports silent data corruption
+	// (a faulty VCU that is still "fast", §4.4 black-holing).
+	Done func(err error, corrupted bool)
+}
+
+// ErrDisabled is returned for ops submitted to a disabled VCU.
+var ErrDisabled = fmt.Errorf("vcu: device disabled")
+
+// ErrAborted is delivered to ops dropped when their queue is closed (a
+// worker aborting all work on the VCU, §4.4).
+var ErrAborted = fmt.Errorf("vcu: op aborted by queue close")
+
+// FaultMode configures fault injection.
+type FaultMode int
+
+// Fault modes.
+const (
+	FaultNone FaultMode = iota
+	// FaultStop makes ops fail with an error after FailAfterOps.
+	FaultStop
+	// FaultCorrupt makes ops complete (fast!) but with corrupted output
+	// after FailAfterOps — the black-holing failure of §4.4.
+	FaultCorrupt
+)
+
+// VCU models one ASIC: core pools, the DRAM bandwidth domain, device
+// memory, firmware queues and fault state.
+type VCU struct {
+	ID  int
+	eng *sim.Engine
+	p   Params
+
+	encBusy, decBusy int
+	dram             *sim.Fluid
+	// pcie is the tray uplink shared by the tray's VCUs; nil for a
+	// standalone chip (copies then share device DRAM bandwidth).
+	pcie    *sim.Fluid
+	memUsed int64
+
+	queues []*Queue
+	rr     int
+
+	disabled   bool
+	faultMode  FaultMode
+	faultAfter int64
+	opsStarted int64
+
+	// Telemetry mirrors the firmware health reporting of §4.4.
+	Telemetry Telemetry
+
+	encBusyTime, decBusyTime     time.Duration
+	lastEncChange, lastDecChange time.Duration
+}
+
+// Telemetry is the health/fault metric set the firmware reports (§4.4
+// "telemetry from the cards reporting various health and fault metrics").
+type Telemetry struct {
+	OpsCompleted  int64
+	OpsFailed     int64
+	OpsCorrupted  int64
+	ECCErrors     int64
+	Resets        int64
+	PixelsEncoded int64
+	PixelsDecoded int64
+	// EnergyJoules integrates active energy for perf/watt accounting.
+	EnergyJoules float64
+}
+
+// New returns a VCU on the engine with the given parameters.
+func New(eng *sim.Engine, id int, p Params) *VCU {
+	return &VCU{ID: id, eng: eng, p: p, dram: sim.NewFluid(eng, p.DRAMBandwidth)}
+}
+
+// Params returns the chip parameters.
+func (v *VCU) Params() Params { return v.p }
+
+// Disabled reports whether fault management has disabled this VCU.
+func (v *VCU) Disabled() bool { return v.disabled }
+
+// Disable takes the VCU out of service (per-VCU power rails let one chip
+// be disabled while the rest of the host keeps serving, §4.4).
+func (v *VCU) Disable() { v.disabled = true }
+
+// Reset clears fault state and counts a functional reset (the worker
+// start-up reset of §4.4).
+func (v *VCU) Reset() {
+	v.Telemetry.Resets++
+}
+
+// InjectFault arms fault injection: after n more dispatched ops the VCU
+// enters the given fault mode.
+func (v *VCU) InjectFault(mode FaultMode, afterOps int64) {
+	v.faultMode = mode
+	v.faultAfter = v.opsStarted + afterOps
+}
+
+// Faulty reports whether the fault is active.
+func (v *VCU) Faulty() bool {
+	return v.faultMode != FaultNone && v.opsStarted >= v.faultAfter
+}
+
+// AllocMemory reserves device DRAM for a job; it fails when the 8 GiB
+// capacity (§3.3.1) is exhausted, which is what bounds concurrent
+// transcodes per VCU.
+func (v *VCU) AllocMemory(bytes int64) error {
+	if v.memUsed+bytes > v.p.DRAMCapacity {
+		return fmt.Errorf("vcu %d: device memory exhausted (%d + %d > %d)",
+			v.ID, v.memUsed, bytes, v.p.DRAMCapacity)
+	}
+	v.memUsed += bytes
+	return nil
+}
+
+// FreeMemory releases device DRAM.
+func (v *VCU) FreeMemory(bytes int64) {
+	v.memUsed -= bytes
+	if v.memUsed < 0 {
+		v.memUsed = 0
+	}
+}
+
+// MemoryUsed returns the allocated device DRAM.
+func (v *VCU) MemoryUsed() int64 { return v.memUsed }
+
+// Queue is a userspace-mapped firmware command queue. One transcoding
+// process owns one queue (§3.3.2); the firmware multiplexes queues onto
+// cores round-robin for fairness.
+type Queue struct {
+	vcu     *VCU
+	pending []*Op
+	closed  bool
+}
+
+// OpenQueue creates a new firmware queue on the VCU.
+func (v *VCU) OpenQueue() *Queue {
+	q := &Queue{vcu: v}
+	v.queues = append(v.queues, q)
+	return q
+}
+
+// Close detaches the queue. Pending (not yet dispatched) ops fail with
+// ErrAborted; ops already on a core run to completion.
+func (q *Queue) Close() {
+	q.closed = true
+	dropped := q.pending
+	q.pending = nil
+	for _, op := range dropped {
+		op := op
+		if op.Done != nil {
+			q.vcu.eng.Schedule(0, func() { op.Done(ErrAborted, false) })
+		}
+	}
+}
+
+// RunOnCore submits an op. Which core executes it is the firmware's
+// choice — the command deliberately does not name a core (§3.3.2).
+func (q *Queue) RunOnCore(op *Op) error {
+	if q.vcu.disabled {
+		return ErrDisabled
+	}
+	if q.closed {
+		return fmt.Errorf("vcu: queue closed")
+	}
+	q.pending = append(q.pending, op)
+	q.vcu.dispatch()
+	return nil
+}
+
+// CopyToDevice models a host→device DMA over the tray's PCIe link (or a
+// device-DRAM share for a standalone chip); done fires on completion.
+func (q *Queue) CopyToDevice(bytes int64, done func()) error {
+	if q.vcu.disabled {
+		return ErrDisabled
+	}
+	if q.vcu.pcie != nil {
+		// A single DMA stream uses at most half the x16 link.
+		q.vcu.pcie.Start(float64(bytes), q.vcu.p.TrayPCIeBitsPerSec/8/2, done)
+		return nil
+	}
+	q.vcu.dram.Start(float64(bytes), q.vcu.p.DRAMBandwidth/8, done)
+	return nil
+}
+
+// CopyFromDevice models a device→host DMA.
+func (q *Queue) CopyFromDevice(bytes int64, done func()) error {
+	return q.CopyToDevice(bytes, done)
+}
+
+// --- firmware scheduler -----------------------------------------------------
+
+// dispatch assigns pending ops to idle cores, scanning queues round-robin
+// from the rotation point for fairness (§3.3.2: "the firmware schedules
+// work from queues in a round-robin way").
+func (v *VCU) dispatch() {
+	if len(v.queues) == 0 {
+		return
+	}
+	progress := true
+	for progress {
+		progress = false
+		for i := 0; i < len(v.queues); i++ {
+			q := v.queues[(v.rr+i)%len(v.queues)]
+			if len(q.pending) == 0 {
+				continue
+			}
+			op := q.pending[0]
+			if !v.coreAvailable(op.Kind) {
+				continue
+			}
+			q.pending = q.pending[1:]
+			v.rr = (v.rr + i + 1) % len(v.queues)
+			v.execute(op)
+			progress = true
+			break
+		}
+	}
+}
+
+func (v *VCU) coreAvailable(k OpKind) bool {
+	switch k {
+	case OpDecode:
+		return v.decBusy < v.p.DecoderCores
+	case OpEncode:
+		return v.encBusy < v.p.EncoderCores
+	default: // scale runs in the encoder core preprocessor
+		return v.encBusy < v.p.EncoderCores
+	}
+}
+
+// opCost returns (seconds-of-core-time, DRAM bytes) for an op.
+func (v *VCU) opCost(op *Op) (float64, float64) {
+	px := float64(op.Pixels)
+	switch op.Kind {
+	case OpDecode:
+		// Offline two-pass transcodes decode the chunk once per encoding
+		// pass, halving effective decode throughput; realtime modes
+		// decode once at the core's peak rate. Op.Mode carries the
+		// transcode's encode mode for this distinction.
+		rate := v.p.DecodePixRate
+		if op.Mode == EncodeOnePassLowLatency || op.Mode == EncodeTwoPassLowLatency {
+			rate = v.p.RealtimeDecodePixRate
+		}
+		return px / rate, px * v.p.DecodeBytesPerPixel
+	case OpEncode:
+		rate := v.p.EncodeRate(op.Profile, op.Mode)
+		return px / rate, px * v.p.EncodeBytesPerPixelFBC
+	default: // scale: preprocessor at 4x the realtime encode rate
+		return px / (4 * v.p.RealtimeEncodePixRate), px * 3.0
+	}
+}
+
+func (v *VCU) execute(op *Op) {
+	coreSec, bytes := v.opCost(op)
+	corrupted := false
+	var failErr error
+	faulty := v.Faulty()
+	v.opsStarted++
+	if faulty {
+		switch v.faultMode {
+		case FaultStop:
+			failErr = fmt.Errorf("vcu %d: hardware fault", v.ID)
+			coreSec *= 0.05 // fails fast
+		case FaultCorrupt:
+			corrupted = true
+			coreSec *= 0.5 // failing-but-fast: the black-holing hazard
+			v.Telemetry.ECCErrors++
+		}
+	}
+	v.acquireCore(op.Kind)
+	// The op holds its core while its DRAM flow drains; the flow's
+	// natural rate is bytes/coreSec, so an uncontended op takes exactly
+	// its compute time and a bandwidth-saturated chip slows down.
+	demand := bytes / coreSec
+	v.dram.Start(bytes, demand, func() {
+		v.releaseCore(op.Kind)
+		if failErr != nil {
+			v.Telemetry.OpsFailed++
+		} else {
+			v.Telemetry.OpsCompleted++
+			if corrupted {
+				v.Telemetry.OpsCorrupted++
+			}
+			switch op.Kind {
+			case OpDecode:
+				v.Telemetry.PixelsDecoded += op.Pixels
+				v.Telemetry.EnergyJoules += float64(op.Pixels) * v.p.DecodeEnergyPerPixel
+			case OpEncode:
+				v.Telemetry.PixelsEncoded += op.Pixels
+				v.Telemetry.EnergyJoules += float64(op.Pixels) * v.p.EncodeEnergyPerPixel
+			}
+		}
+		if op.Done != nil {
+			op.Done(failErr, corrupted)
+		}
+		v.dispatch()
+	})
+}
+
+func (v *VCU) acquireCore(k OpKind) {
+	now := v.eng.Now()
+	if k == OpDecode {
+		v.decBusyTime += time.Duration(v.decBusy) * (now - v.lastDecChange)
+		v.lastDecChange = now
+		v.decBusy++
+	} else {
+		v.encBusyTime += time.Duration(v.encBusy) * (now - v.lastEncChange)
+		v.lastEncChange = now
+		v.encBusy++
+	}
+}
+
+func (v *VCU) releaseCore(k OpKind) {
+	now := v.eng.Now()
+	if k == OpDecode {
+		v.decBusyTime += time.Duration(v.decBusy) * (now - v.lastDecChange)
+		v.lastDecChange = now
+		v.decBusy--
+	} else {
+		v.encBusyTime += time.Duration(v.encBusy) * (now - v.lastEncChange)
+		v.lastEncChange = now
+		v.encBusy--
+	}
+}
+
+// EncoderUtilization returns the mean encoder-core busy fraction.
+func (v *VCU) EncoderUtilization() float64 {
+	t := v.encBusyTime + time.Duration(v.encBusy)*(v.eng.Now()-v.lastEncChange)
+	if v.eng.Now() == 0 {
+		return 0
+	}
+	return float64(t) / float64(v.eng.Now()) / float64(v.p.EncoderCores)
+}
+
+// DecoderUtilization returns the mean decoder-core busy fraction.
+func (v *VCU) DecoderUtilization() float64 {
+	t := v.decBusyTime + time.Duration(v.decBusy)*(v.eng.Now()-v.lastDecChange)
+	if v.eng.Now() == 0 {
+		return 0
+	}
+	return float64(t) / float64(v.eng.Now()) / float64(v.p.DecoderCores)
+}
+
+// BurnIn runs the manufacturing screen of §4.4: "to detect manufacturing
+// escapes, DRAM test patterns are written and evaluated during burnin."
+// It writes walking-ones/zeros and checkerboard patterns through a model
+// of device DRAM and reports whether any stuck bits were found. Fault
+// injection with FaultCorrupt models a manufacturing escape.
+func (v *VCU) BurnIn() bool {
+	v.Telemetry.Resets++
+	patterns := []uint64{0xAAAAAAAAAAAAAAAA, 0x5555555555555555, 0x0123456789ABCDEF, 0}
+	for _, p := range patterns {
+		for bit := 0; bit < 64; bit++ {
+			wrote := p ^ (1 << uint(bit))
+			read := wrote
+			if v.Faulty() {
+				read ^= 1 << uint(bit%8) // stuck bit in a faulty chip
+			}
+			if read != wrote {
+				v.Telemetry.ECCErrors++
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GoldenCheck runs the short deterministic "golden" transcoding tasks a
+// worker executes across every core before accepting work (§4.4). It
+// reports false if the VCU produces wrong output — relying, as the paper
+// does, on the cores' deterministic behavior.
+func (v *VCU) GoldenCheck() bool {
+	v.Reset()
+	if v.disabled {
+		return false
+	}
+	return !v.Faulty()
+}

@@ -1,0 +1,386 @@
+package vcu
+
+import (
+	"testing"
+	"time"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/sim"
+	"openvcu/internal/video"
+)
+
+func TestSingleCoreRealtimeRate(t *testing.T) {
+	// One encoder core must sustain 2160p60 in one-pass mode (§3.3.1).
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	q := v.OpenQueue()
+	pixels := int64(video.Res2160p.Pixels()) * 60 // one second of 2160p60
+	var doneAt time.Duration
+	op := &Op{Kind: OpEncode, Profile: codec.VP9Class, Mode: EncodeOnePassLowLatency,
+		Pixels: pixels, Done: func(error, bool) { doneAt = eng.Now() }}
+	if err := q.RunOnCore(op); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if doneAt < 900*time.Millisecond || doneAt > 1100*time.Millisecond {
+		t.Fatalf("2160p60 second encoded in %v, want ~1s", doneAt)
+	}
+}
+
+func TestStatelessDispatchUsesAllCores(t *testing.T) {
+	// 10 equal ops from one queue should run on 10 cores concurrently:
+	// total time ≈ single-op time.
+	eng := sim.NewEngine()
+	p := DefaultParams()
+	v := New(eng, 0, p)
+	q := v.OpenQueue()
+	var completions int
+	for i := 0; i < p.EncoderCores; i++ {
+		op := &Op{Kind: OpEncode, Profile: codec.H264Class, Mode: EncodeTwoPassOffline,
+			Pixels: int64(p.OfflineEncodePixRateH264), // 1 second of work each
+			Done:   func(error, bool) { completions++ }}
+		if err := q.RunOnCore(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if completions != p.EncoderCores {
+		t.Fatalf("completed %d", completions)
+	}
+	// DRAM demand: 10 cores × 97.6 Mpix/s × 4.3 B/px ≈ 4.2 GB/s « 36 GiB/s,
+	// so no slowdown: everything finishes at ~1s.
+	if eng.Now() > 1100*time.Millisecond {
+		t.Fatalf("10 parallel ops took %v, want ~1s (cores must run concurrently)", eng.Now())
+	}
+}
+
+func TestDRAMBandwidthThrottlesRealtimeFleet(t *testing.T) {
+	// 10 cores in realtime mode demand ~10 × 497.7e6 × 4.3 ≈ 21 GB/s,
+	// fine; but with the non-FBC bytes/px it would be ~37 GB/s > 36 GiB/s.
+	p := DefaultParams()
+	p.EncodeBytesPerPixelFBC = p.EncodeBytesPerPixel // disable FBC savings
+	eng := sim.NewEngine()
+	v := New(eng, 0, p)
+	q := v.OpenQueue()
+	var last time.Duration
+	for i := 0; i < p.EncoderCores; i++ {
+		op := &Op{Kind: OpEncode, Profile: codec.VP9Class, Mode: EncodeOnePassLowLatency,
+			Pixels: int64(p.RealtimeEncodePixRate), Done: func(error, bool) { last = eng.Now() }}
+		_ = q.RunOnCore(op)
+	}
+	eng.Run()
+	if last <= 1010*time.Millisecond {
+		t.Fatalf("without FBC the DRAM ceiling should stretch 1s of work, got %v", last)
+	}
+	// With FBC the same load fits.
+	eng2 := sim.NewEngine()
+	v2 := New(eng2, 0, DefaultParams())
+	q2 := v2.OpenQueue()
+	var last2 time.Duration
+	for i := 0; i < p.EncoderCores; i++ {
+		op := &Op{Kind: OpEncode, Profile: codec.VP9Class, Mode: EncodeOnePassLowLatency,
+			Pixels: int64(p.RealtimeEncodePixRate), Done: func(error, bool) { last2 = eng2.Now() }}
+		_ = q2.RunOnCore(op)
+	}
+	eng2.Run()
+	if last2 > 1010*time.Millisecond {
+		t.Fatalf("with FBC the load should fit in DRAM bandwidth, got %v", last2)
+	}
+}
+
+func TestRoundRobinFairnessAcrossQueues(t *testing.T) {
+	// Two queues, one core available at a time: completions alternate.
+	eng := sim.NewEngine()
+	p := DefaultParams()
+	p.EncoderCores = 1
+	v := New(eng, 0, p)
+	qa, qb := v.OpenQueue(), v.OpenQueue()
+	var order []string
+	mkOp := func(name string) *Op {
+		return &Op{Kind: OpEncode, Profile: codec.H264Class, Mode: EncodeTwoPassOffline,
+			Pixels: 10e6, Done: func(error, bool) { order = append(order, name) }}
+	}
+	for i := 0; i < 3; i++ {
+		_ = qa.RunOnCore(mkOp("a"))
+		_ = qb.RunOnCore(mkOp("b"))
+	}
+	eng.Run()
+	if len(order) != 6 {
+		t.Fatalf("%d ops completed", len(order))
+	}
+	// Expect strict alternation after the first dispatch.
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("round-robin violated: %v", order)
+		}
+	}
+}
+
+func TestMemoryCapacityBoundsJobs(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultParams()
+	v := New(eng, 0, p)
+	// 8 GiB / 700 MiB -> 11 MOT jobs fit, the 12th fails.
+	for i := 0; i < 11; i++ {
+		if err := v.AllocMemory(p.MOTFootprintBytes); err != nil {
+			t.Fatalf("job %d rejected: %v", i, err)
+		}
+	}
+	if err := v.AllocMemory(p.MOTFootprintBytes); err == nil {
+		t.Fatal("12th MOT job fit in 8 GiB")
+	}
+	v.FreeMemory(p.MOTFootprintBytes)
+	if err := v.AllocMemory(p.SOTFootprintBytes); err != nil {
+		t.Fatalf("SOT after free rejected: %v", err)
+	}
+}
+
+func TestFaultStopFailsOps(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	v.InjectFault(FaultStop, 2)
+	q := v.OpenQueue()
+	var errs, oks int
+	for i := 0; i < 5; i++ {
+		_ = q.RunOnCore(&Op{Kind: OpEncode, Profile: codec.H264Class,
+			Mode: EncodeTwoPassOffline, Pixels: 1e6,
+			Done: func(err error, _ bool) {
+				if err != nil {
+					errs++
+				} else {
+					oks++
+				}
+			}})
+	}
+	eng.Run()
+	if oks != 2 || errs != 3 {
+		t.Fatalf("oks=%d errs=%d, want 2/3", oks, errs)
+	}
+	if v.Telemetry.OpsFailed != 3 {
+		t.Fatalf("telemetry failed=%d", v.Telemetry.OpsFailed)
+	}
+}
+
+func TestFaultCorruptIsFastAndSilent(t *testing.T) {
+	// The black-holing hazard: the faulty VCU completes ops *faster*
+	// and reports success, but flags corruption to the observer.
+	p := DefaultParams()
+	run := func(mode FaultMode) (time.Duration, int) {
+		eng := sim.NewEngine()
+		v := New(eng, 0, p)
+		if mode != FaultNone {
+			v.InjectFault(mode, 0)
+		}
+		q := v.OpenQueue()
+		corrupted := 0
+		_ = q.RunOnCore(&Op{Kind: OpEncode, Profile: codec.H264Class,
+			Mode: EncodeTwoPassOffline, Pixels: int64(p.OfflineEncodePixRateH264),
+			Done: func(err error, corr bool) {
+				if err != nil {
+					t.Fatal("corrupt mode must not error")
+				}
+				if corr {
+					corrupted++
+				}
+			}})
+		eng.Run()
+		return eng.Now(), corrupted
+	}
+	healthyTime, c0 := run(FaultNone)
+	faultyTime, c1 := run(FaultCorrupt)
+	if c0 != 0 || c1 != 1 {
+		t.Fatalf("corruption flags %d/%d", c0, c1)
+	}
+	if faultyTime >= healthyTime {
+		t.Fatalf("faulty VCU not faster: %v vs %v", faultyTime, healthyTime)
+	}
+}
+
+func TestGoldenCheckCatchesFaults(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	if !v.GoldenCheck() {
+		t.Fatal("healthy VCU failed golden check")
+	}
+	v.InjectFault(FaultCorrupt, 0)
+	if v.GoldenCheck() {
+		t.Fatal("faulty VCU passed golden check")
+	}
+	if v.Telemetry.Resets != 2 {
+		t.Fatalf("resets=%d want 2", v.Telemetry.Resets)
+	}
+}
+
+func TestDisabledVCURejectsWork(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	q := v.OpenQueue()
+	v.Disable()
+	if err := q.RunOnCore(&Op{Kind: OpEncode, Pixels: 1}); err == nil {
+		t.Fatal("disabled VCU accepted work")
+	}
+}
+
+func TestHostTopology(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultParams()
+	h := NewHost(eng, 0, p)
+	if len(h.VCUs) != 20 {
+		t.Fatalf("%d VCUs per host, want 20", len(h.VCUs))
+	}
+	h.VCUs[3].Disable()
+	if got := len(h.HealthyVCUs()); got != 19 {
+		t.Fatalf("healthy=%d want 19", got)
+	}
+	h.Disable()
+	if got := len(h.HealthyVCUs()); got != 0 {
+		t.Fatalf("healthy=%d after host disable", got)
+	}
+}
+
+// --- throughput calibration against Table 1 ---------------------------------
+
+func tolerance(got, want, tol float64) bool {
+	return got > want*(1-tol) && got < want*(1+tol)
+}
+
+func TestSOTThroughputMatchesTable1(t *testing.T) {
+	p := DefaultParams()
+	for _, tc := range []struct {
+		profile codec.Profile
+		nVCU    int
+		want    float64 // Mpix/s from Table 1
+	}{
+		{codec.H264Class, 8, 5973},
+		{codec.H264Class, 20, 14932},
+		{codec.VP9Class, 8, 6122},
+		{codec.VP9Class, 20, 15306},
+	} {
+		w := Workload{Mode: ModeSOT, Profile: tc.profile, Encode: EncodeTwoPassOffline,
+			InputRes: video.Res1080p}
+		res := RunThroughput(p, tc.nVCU, w, 120*time.Second)
+		if !tolerance(res.MpixPerSec, tc.want, 0.10) {
+			t.Errorf("%s %dxVCU SOT: %.0f Mpix/s, Table 1 says %.0f",
+				tc.profile, tc.nVCU, res.MpixPerSec, tc.want)
+		}
+	}
+}
+
+func TestMOTBeatsSOTByTable1Ratio(t *testing.T) {
+	p := DefaultParams()
+	for _, profile := range []codec.Profile{codec.H264Class, codec.VP9Class} {
+		sot := RunThroughput(p, 4, Workload{Mode: ModeSOT, Profile: profile,
+			Encode: EncodeTwoPassOffline, InputRes: video.Res1080p}, 120*time.Second)
+		mot := RunThroughput(p, 4, Workload{Mode: ModeMOT, Profile: profile,
+			Encode: EncodeTwoPassOffline, InputRes: video.Res1080p}, 120*time.Second)
+		ratio := mot.MpixPerSec / sot.MpixPerSec
+		if ratio < 1.15 || ratio > 1.40 {
+			t.Errorf("%s MOT/SOT ratio %.2f, paper says 1.2-1.3x", profile, ratio)
+		}
+	}
+}
+
+func TestSOTIsDecoderBound(t *testing.T) {
+	p := DefaultParams()
+	res := RunThroughput(p, 2, Workload{Mode: ModeSOT, Profile: codec.H264Class,
+		Encode: EncodeTwoPassOffline, InputRes: video.Res1080p}, 60*time.Second)
+	if res.DecoderUtil < 0.9 {
+		t.Errorf("SOT decoder util %.2f, expected near saturation", res.DecoderUtil)
+	}
+	if res.EncoderUtil > 0.95 {
+		t.Errorf("SOT encoder util %.2f, expected headroom (decode-bound)", res.EncoderUtil)
+	}
+}
+
+func TestSoftwareDecodeRaisesEncoderUtil(t *testing.T) {
+	// Fig. 9c: shifting some hardware decode to host CPU reduces decoder
+	// utilization and boosts encoder throughput.
+	p := DefaultParams()
+	base := RunThroughput(p, 2, Workload{Mode: ModeSOT, Profile: codec.H264Class,
+		Encode: EncodeTwoPassOffline, InputRes: video.Res1080p}, 60*time.Second)
+	off := RunThroughput(p, 2, Workload{Mode: ModeSOT, Profile: codec.H264Class,
+		Encode: EncodeTwoPassOffline, InputRes: video.Res1080p,
+		SoftwareDecodeFraction: 0.25}, 60*time.Second)
+	if off.DecoderUtil >= base.DecoderUtil {
+		t.Errorf("software decode did not reduce decoder util: %.3f -> %.3f",
+			base.DecoderUtil, off.DecoderUtil)
+	}
+	if off.MpixPerSec <= base.MpixPerSec {
+		t.Errorf("software decode did not raise throughput: %.0f -> %.0f",
+			base.MpixPerSec, off.MpixPerSec)
+	}
+}
+
+func TestPCIeSharedPerTray(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultParams()
+	h := NewHost(eng, 0, p)
+	if len(h.PCIe) != 2 {
+		t.Fatalf("%d PCIe links, want one per tray", len(h.PCIe))
+	}
+	// Four concurrent 1 GiB copies on tray 0: each stream's natural rate
+	// is half the link, so together they demand 2x and the link halves
+	// them again -> ~1.37s total instead of ~0.34s for one.
+	var last time.Duration
+	oneGiB := int64(1 << 30)
+	for i := 0; i < 4; i++ {
+		q := h.VCUs[i].OpenQueue() // VCUs 0-9 share tray 0
+		if err := q.CopyToDevice(oneGiB, func() { last = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	// 4 GiB over 12.5 GB/s = ~0.344s if unconstrained per stream; the
+	// shared link serializes to 4*1GiB/12.5GB/s ≈ 0.34s total anyway —
+	// assert it is neither instant nor stream-independent (~0.17s each).
+	if last < 300*time.Millisecond || last > 500*time.Millisecond {
+		t.Fatalf("4 concurrent copies finished at %v", last)
+	}
+	// A single copy is link-rate bound at half the x16 link.
+	eng2 := sim.NewEngine()
+	h2 := NewHost(eng2, 0, p)
+	var t1 time.Duration
+	_ = h2.VCUs[0].OpenQueue().CopyToDevice(oneGiB, func() { t1 = eng2.Now() })
+	eng2.Run()
+	if t1 < 150*time.Millisecond || t1 > 250*time.Millisecond {
+		t.Fatalf("single 1 GiB copy took %v, want ~172ms at half-link rate", t1)
+	}
+}
+
+func TestEnergyTelemetry(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultParams()
+	v := New(eng, 0, p)
+	q := v.OpenQueue()
+	px := int64(1e9)
+	_ = q.RunOnCore(&Op{Kind: OpEncode, Profile: codec.VP9Class,
+		Mode: EncodeTwoPassOffline, Pixels: px})
+	_ = q.RunOnCore(&Op{Kind: OpDecode, Pixels: px})
+	eng.Run()
+	want := float64(px)*p.EncodeEnergyPerPixel + float64(px)*p.DecodeEnergyPerPixel
+	if v.Telemetry.EnergyJoules < want*0.99 || v.Telemetry.EnergyJoules > want*1.01 {
+		t.Fatalf("energy %.2f J, want %.2f", v.Telemetry.EnergyJoules, want)
+	}
+	// Sanity: a fully loaded VCU should draw ~25 W: 750 Mpix/s encode ->
+	// 750e6 * 27e-9 ≈ 20 W plus decode.
+	watts := 750e6*p.EncodeEnergyPerPixel + 400e6*p.DecodeEnergyPerPixel
+	if watts < 15 || watts > 35 {
+		t.Fatalf("implied chip power %.1f W out of range", watts)
+	}
+}
+
+func TestBurnInScreensManufacturingEscapes(t *testing.T) {
+	eng := sim.NewEngine()
+	good := New(eng, 0, DefaultParams())
+	if !good.BurnIn() {
+		t.Fatal("healthy chip failed burn-in")
+	}
+	bad := New(eng, 1, DefaultParams())
+	bad.InjectFault(FaultCorrupt, 0)
+	if bad.BurnIn() {
+		t.Fatal("chip with stuck bits passed burn-in")
+	}
+	if bad.Telemetry.ECCErrors == 0 {
+		t.Fatal("burn-in failure not recorded in telemetry")
+	}
+}

@@ -1,0 +1,147 @@
+// Package video provides raw video primitives: YUV 4:2:0 frames, plane
+// arithmetic, quality metrics (MSE/PSNR), resolution scaling, the standard
+// 16:9 output ladder, and deterministic procedural video sources that stand
+// in for the vbench clip corpus (paper §4.1).
+package video
+
+import "fmt"
+
+// Frame is an 8-bit YUV 4:2:0 picture. Chroma planes are half resolution in
+// each dimension (rounded up). Planes are tightly packed (stride == width).
+type Frame struct {
+	Width, Height int
+	Y, U, V       []uint8
+}
+
+// ChromaDims returns the chroma plane dimensions for a luma w×h.
+func ChromaDims(w, h int) (cw, ch int) { return (w + 1) / 2, (h + 1) / 2 }
+
+// NewFrame allocates a zeroed frame of the given luma dimensions.
+func NewFrame(w, h int) *Frame {
+	cw, ch := ChromaDims(w, h)
+	return &Frame{
+		Width: w, Height: h,
+		Y: make([]uint8, w*h),
+		U: make([]uint8, cw*ch),
+		V: make([]uint8, cw*ch),
+	}
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{Width: f.Width, Height: f.Height,
+		Y: append([]uint8(nil), f.Y...),
+		U: append([]uint8(nil), f.U...),
+		V: append([]uint8(nil), f.V...)}
+	return g
+}
+
+// CopyFrom copies src into f. Dimensions must match.
+func (f *Frame) CopyFrom(src *Frame) {
+	if f.Width != src.Width || f.Height != src.Height {
+		panic(fmt.Sprintf("video: CopyFrom dimension mismatch %dx%d vs %dx%d",
+			f.Width, f.Height, src.Width, src.Height))
+	}
+	copy(f.Y, src.Y)
+	copy(f.U, src.U)
+	copy(f.V, src.V)
+}
+
+// Fill sets all three planes to constant values.
+func (f *Frame) Fill(y, u, v uint8) {
+	for i := range f.Y {
+		f.Y[i] = y
+	}
+	for i := range f.U {
+		f.U[i] = u
+		f.V[i] = v
+	}
+}
+
+// Pixels returns the luma pixel count, the unit the paper's throughput
+// metric (Mpix/s) is expressed in.
+func (f *Frame) Pixels() int { return f.Width * f.Height }
+
+// Plane identifies one of the three planes of a frame.
+type Plane int
+
+// Plane identifiers.
+const (
+	PlaneY Plane = iota
+	PlaneU
+	PlaneV
+)
+
+// PlaneData returns the pixel slice and dimensions of the given plane.
+func (f *Frame) PlaneData(p Plane) (data []uint8, w, h int) {
+	cw, ch := ChromaDims(f.Width, f.Height)
+	switch p {
+	case PlaneY:
+		return f.Y, f.Width, f.Height
+	case PlaneU:
+		return f.U, cw, ch
+	default:
+		return f.V, cw, ch
+	}
+}
+
+// ClampU8 clamps v to [0, 255].
+func ClampU8(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// Resolution is a named point on the 16:9 output ladder.
+type Resolution struct {
+	Name          string
+	Width, Height int
+}
+
+// The standard 16:9 ladder from footnote 1 of the paper.
+var (
+	Res144p  = Resolution{"144p", 256, 144}
+	Res240p  = Resolution{"240p", 426, 240}
+	Res360p  = Resolution{"360p", 640, 360}
+	Res480p  = Resolution{"480p", 854, 480}
+	Res720p  = Resolution{"720p", 1280, 720}
+	Res1080p = Resolution{"1080p", 1920, 1080}
+	Res1440p = Resolution{"1440p", 2560, 1440}
+	Res2160p = Resolution{"2160p", 3840, 2160}
+	Res4320p = Resolution{"4320p", 7680, 4320}
+)
+
+// Ladder is the full output ladder in ascending order.
+var Ladder = []Resolution{Res144p, Res240p, Res360p, Res480p, Res720p,
+	Res1080p, Res1440p, Res2160p, Res4320p}
+
+// Pixels returns the per-frame pixel count of the resolution.
+func (r Resolution) Pixels() int { return r.Width * r.Height }
+
+// LadderBelow returns the ladder rungs at or below the input resolution:
+// the set of outputs a MOT produces for that input (paper §3.1: "for 1080p
+// inputs: 1080p, 720p, 480p, 360p, 240p, and 144p are encoded").
+func LadderBelow(in Resolution) []Resolution {
+	var out []Resolution
+	for _, r := range Ladder {
+		if r.Pixels() <= in.Pixels() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MOTOutputPixels returns the total output pixels per input frame for a MOT
+// at the given input resolution. Per the paper's footnote 2, this is
+// approximately a geometric series summing to ~2x the input pixels.
+func MOTOutputPixels(in Resolution) int {
+	total := 0
+	for _, r := range LadderBelow(in) {
+		total += r.Pixels()
+	}
+	return total
+}

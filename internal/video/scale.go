@@ -1,0 +1,96 @@
+package video
+
+// Scale resamples src to w×h. Downscaling uses box filtering (area
+// averaging) to avoid aliasing; upscaling uses bilinear interpolation.
+// This is the "Scale" stage of the transcoding pipelines in Fig. 2.
+func Scale(src *Frame, w, h int) *Frame {
+	if w == src.Width && h == src.Height {
+		return src.Clone()
+	}
+	dst := NewFrame(w, h)
+	scalePlane(src.Y, src.Width, src.Height, dst.Y, w, h)
+	scw, sch := ChromaDims(src.Width, src.Height)
+	dcw, dch := ChromaDims(w, h)
+	scalePlane(src.U, scw, sch, dst.U, dcw, dch)
+	scalePlane(src.V, scw, sch, dst.V, dcw, dch)
+	return dst
+}
+
+// ScaleTo resamples src to a ladder resolution.
+func ScaleTo(src *Frame, r Resolution) *Frame { return Scale(src, r.Width, r.Height) }
+
+func scalePlane(src []uint8, sw, sh int, dst []uint8, dw, dh int) {
+	if dw <= sw && dh <= sh {
+		boxScale(src, sw, sh, dst, dw, dh)
+	} else {
+		bilinearScale(src, sw, sh, dst, dw, dh)
+	}
+}
+
+// boxScale averages the source-rectangle covered by each destination pixel.
+// Fixed-point 16.16 coordinates keep it deterministic across platforms.
+func boxScale(src []uint8, sw, sh int, dst []uint8, dw, dh int) {
+	for dy := 0; dy < dh; dy++ {
+		y0 := dy * sh / dh
+		y1 := (dy + 1) * sh / dh
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for dx := 0; dx < dw; dx++ {
+			x0 := dx * sw / dw
+			x1 := (dx + 1) * sw / dw
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			var sum, n int32
+			for sy := y0; sy < y1; sy++ {
+				row := sy * sw
+				for sx := x0; sx < x1; sx++ {
+					sum += int32(src[row+sx])
+					n++
+				}
+			}
+			dst[dy*dw+dx] = uint8((sum + n/2) / n)
+		}
+	}
+}
+
+func bilinearScale(src []uint8, sw, sh int, dst []uint8, dw, dh int) {
+	const fp = 16
+	xStep := ((sw - 1) << fp) / maxInt(dw-1, 1)
+	yStep := ((sh - 1) << fp) / maxInt(dh-1, 1)
+	for dy := 0; dy < dh; dy++ {
+		fy := dy * yStep
+		y0 := fy >> fp
+		wy := int32(fy & ((1 << fp) - 1))
+		y1 := minInt(y0+1, sh-1)
+		for dx := 0; dx < dw; dx++ {
+			fx := dx * xStep
+			x0 := fx >> fp
+			wx := int32(fx & ((1 << fp) - 1))
+			x1 := minInt(x0+1, sw-1)
+			const one = 1 << fp
+			p00 := int32(src[y0*sw+x0])
+			p01 := int32(src[y0*sw+x1])
+			p10 := int32(src[y1*sw+x0])
+			p11 := int32(src[y1*sw+x1])
+			top := (p00*(one-wx) + p01*wx) >> fp
+			bot := (p10*(one-wx) + p11*wx) >> fp
+			dst[dy*dw+dx] = uint8((top*(int32(one)-wy) + bot*wy + one/2) >> fp)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

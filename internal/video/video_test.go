@@ -1,0 +1,219 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameDims(t *testing.T) {
+	f := NewFrame(63, 33)
+	if len(f.Y) != 63*33 {
+		t.Fatalf("luma size %d", len(f.Y))
+	}
+	cw, ch := ChromaDims(63, 33)
+	if cw != 32 || ch != 17 {
+		t.Fatalf("chroma dims %dx%d", cw, ch)
+	}
+	if len(f.U) != cw*ch || len(f.V) != cw*ch {
+		t.Fatal("chroma plane size wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := NewFrame(16, 16)
+	f.Fill(100, 110, 120)
+	g := f.Clone()
+	g.Y[0] = 7
+	if f.Y[0] != 100 {
+		t.Fatal("clone aliases parent")
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	f := NewFrame(32, 32)
+	f.Fill(128, 128, 128)
+	if got := FramePSNR(f, f); !math.IsInf(got, 1) {
+		t.Fatalf("identical frames PSNR = %v, want +Inf", got)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// All pixels differ by exactly 1 => MSE 1 => PSNR = 10*log10(255^2).
+	a := NewFrame(16, 16)
+	b := NewFrame(16, 16)
+	a.Fill(100, 100, 100)
+	b.Fill(101, 101, 101)
+	want := 10 * math.Log10(255*255)
+	if got := FramePSNR(a, b); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestMSESymmetry(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		return MSE(a[:n], b[:n]) == MSE(b[:n], a[:n])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleDownPreservesMean(t *testing.T) {
+	src := NewFrame(64, 64)
+	src.Fill(200, 90, 160)
+	dst := Scale(src, 16, 16)
+	if dst.Width != 16 || dst.Height != 16 {
+		t.Fatal("bad dst dims")
+	}
+	for i, v := range dst.Y {
+		if v != 200 {
+			t.Fatalf("constant plane not preserved at %d: %d", i, v)
+		}
+	}
+}
+
+func TestScaleUpConstant(t *testing.T) {
+	src := NewFrame(8, 8)
+	src.Fill(55, 128, 128)
+	dst := Scale(src, 32, 32)
+	for i, v := range dst.Y {
+		if v != 55 {
+			t.Fatalf("upscale of constant changed pixel %d: %d", i, v)
+		}
+	}
+}
+
+func TestScaleIdentity(t *testing.T) {
+	s := NewSource(SourceConfig{Width: 48, Height: 48, Frames: 1, Seed: 1, Detail: 0.5})
+	src := s.Frame(0)
+	dst := Scale(src, 48, 48)
+	if MSE(src.Y, dst.Y) != 0 {
+		t.Fatal("identity scale modified pixels")
+	}
+}
+
+func TestLadderBelow(t *testing.T) {
+	got := LadderBelow(Res1080p)
+	want := []string{"144p", "240p", "360p", "480p", "720p", "1080p"}
+	if len(got) != len(want) {
+		t.Fatalf("ladder size %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i] {
+			t.Fatalf("rung %d = %s want %s", i, got[i].Name, want[i])
+		}
+	}
+}
+
+func TestMOTGeometricSeries(t *testing.T) {
+	// Paper footnote 2: outputs below 1080p sum to ~0.85x of 1080p,
+	// so total MOT output is < 2x input pixels.
+	in := Res1080p.Pixels()
+	total := MOTOutputPixels(Res1080p)
+	ratio := float64(total) / float64(in)
+	if ratio < 1.5 || ratio > 2.1 {
+		t.Fatalf("MOT output ratio %.2f, want ~1.8-1.9", ratio)
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	cfg := SourceConfig{Width: 64, Height: 64, Frames: 3, Seed: 99,
+		Detail: 0.5, Motion: 2, Objects: 2, ObjectMotion: 3, Noise: 4}
+	a := NewSource(cfg).Frames(3)
+	b := NewSource(cfg).Frames(3)
+	for i := range a {
+		if MSE(a[i].Y, b[i].Y) != 0 || MSE(a[i].U, b[i].U) != 0 {
+			t.Fatalf("frame %d differs between identically-seeded sources", i)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	cfg := SourceConfig{Width: 64, Height: 64, Seed: 1, Detail: 0.5}
+	cfg2 := cfg
+	cfg2.Seed = 2
+	a := NewSource(cfg).Frame(0)
+	b := NewSource(cfg2).Frame(0)
+	if MSE(a.Y, b.Y) == 0 {
+		t.Fatal("different seeds produced identical frames")
+	}
+}
+
+func TestSourceMotionIsTranslation(t *testing.T) {
+	// With pure pan and no noise/objects, frame t+1 should be ~ frame t
+	// shifted: SAD between consecutive frames is large, but SAD between
+	// frame t+1 and frame t shifted by the pan vector should be near zero
+	// away from borders. This is what makes motion estimation effective.
+	cfg := SourceConfig{Width: 128, Height: 96, Seed: 5, Detail: 0.6, Motion: 4}
+	s := NewSource(cfg)
+	f0, f1 := s.Frame(0), s.Frame(1)
+	// pan per frame: +4*256/256 = 4 px horizontally, 2 px vertically.
+	var sadShift, sadRaw int64
+	for y := 8; y < 88-8; y++ {
+		for x := 8; x < 120-8; x++ {
+			raw := int64(f1.Y[y*128+x]) - int64(f0.Y[y*128+x])
+			sh := int64(f1.Y[y*128+x]) - int64(f0.Y[(y+2)*128+x+4])
+			if raw < 0 {
+				raw = -raw
+			}
+			if sh < 0 {
+				sh = -sh
+			}
+			sadRaw += raw
+			sadShift += sh
+		}
+	}
+	if sadShift*4 >= sadRaw {
+		t.Fatalf("shifted SAD %d not << raw SAD %d: motion is not translation", sadShift, sadRaw)
+	}
+}
+
+func TestSourceNoiseIncreasesEntropy(t *testing.T) {
+	clean := SourceConfig{Width: 64, Height: 64, Seed: 3, Detail: 0.3}
+	noisy := clean
+	noisy.Noise = 16
+	c := NewSource(clean)
+	n := NewSource(noisy)
+	// Temporal difference energy must be higher for the noisy source.
+	cd := MSE(c.Frame(0).Y, c.Frame(1).Y)
+	nd := MSE(n.Frame(0).Y, n.Frame(1).Y)
+	if nd <= cd {
+		t.Fatalf("noise did not raise temporal energy: clean %.1f noisy %.1f", cd, nd)
+	}
+}
+
+func TestSceneCut(t *testing.T) {
+	cfg := SourceConfig{Width: 64, Height: 64, Seed: 8, Detail: 0.5, SceneCut: 5}
+	s := NewSource(cfg)
+	within := MSE(s.Frame(3).Y, s.Frame(4).Y)
+	across := MSE(s.Frame(4).Y, s.Frame(5).Y)
+	if across < within*4 {
+		t.Fatalf("scene cut not visible: within=%.1f across=%.1f", within, across)
+	}
+}
+
+func TestClampU8(t *testing.T) {
+	cases := map[int32]uint8{-5: 0, 0: 0, 128: 128, 255: 255, 300: 255}
+	for in, want := range cases {
+		if got := ClampU8(in); got != want {
+			t.Errorf("ClampU8(%d)=%d want %d", in, got, want)
+		}
+	}
+}
+
+func TestPlaneData(t *testing.T) {
+	f := NewFrame(20, 10)
+	y, w, h := f.PlaneData(PlaneY)
+	if len(y) != 200 || w != 20 || h != 10 {
+		t.Fatal("PlaneY wrong")
+	}
+	u, w, h := f.PlaneData(PlaneU)
+	if len(u) != 50 || w != 10 || h != 5 {
+		t.Fatal("PlaneU wrong")
+	}
+}

@@ -1,0 +1,155 @@
+package video
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Y4M (YUV4MPEG2) stream I/O: the interchange format software encoders
+// consume, so the tools can process real video alongside the procedural
+// sources. Only 8-bit 4:2:0 variants are supported — the codec's native
+// layout.
+
+// Y4MWriter streams frames to a YUV4MPEG2 container.
+type Y4MWriter struct {
+	w             *bufio.Writer
+	width, height int
+	wroteHeader   bool
+	fpsNum        int
+	fpsDen        int
+}
+
+// NewY4MWriter returns a writer producing fps frames per second.
+func NewY4MWriter(w io.Writer, width, height, fps int) *Y4MWriter {
+	return &Y4MWriter{w: bufio.NewWriter(w), width: width, height: height, fpsNum: fps, fpsDen: 1}
+}
+
+// WriteFrame appends one frame; dimensions must match the writer's.
+func (y *Y4MWriter) WriteFrame(f *Frame) error {
+	if f.Width != y.width || f.Height != y.height {
+		return fmt.Errorf("y4m: frame %dx%d does not match stream %dx%d",
+			f.Width, f.Height, y.width, y.height)
+	}
+	if !y.wroteHeader {
+		y.wroteHeader = true
+		if _, err := fmt.Fprintf(y.w, "YUV4MPEG2 W%d H%d F%d:%d Ip A1:1 C420jpeg\n",
+			y.width, y.height, y.fpsNum, y.fpsDen); err != nil {
+			return err
+		}
+	}
+	if _, err := y.w.WriteString("FRAME\n"); err != nil {
+		return err
+	}
+	for _, plane := range [][]uint8{f.Y, f.U, f.V} {
+		if _, err := y.w.Write(plane); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes the stream.
+func (y *Y4MWriter) Close() error { return y.w.Flush() }
+
+// Y4MReader streams frames from a YUV4MPEG2 container.
+type Y4MReader struct {
+	r             *bufio.Reader
+	width, height int
+	fps           int
+}
+
+// NewY4MReader parses the stream header and returns a reader.
+func NewY4MReader(r io.Reader) (*Y4MReader, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("y4m: reading header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, fmt.Errorf("y4m: not a YUV4MPEG2 stream")
+	}
+	y := &Y4MReader{r: br, fps: 30}
+	for _, f := range fields[1:] {
+		if len(f) < 2 {
+			continue
+		}
+		val := f[1:]
+		switch f[0] {
+		case 'W':
+			y.width, err = strconv.Atoi(val)
+		case 'H':
+			y.height, err = strconv.Atoi(val)
+		case 'F':
+			num, den := 30, 1
+			if i := strings.IndexByte(val, ':'); i >= 0 {
+				num, err = strconv.Atoi(val[:i])
+				if err == nil {
+					den, err = strconv.Atoi(val[i+1:])
+				}
+			} else {
+				num, err = strconv.Atoi(val)
+			}
+			if den <= 0 {
+				return nil, fmt.Errorf("y4m: bad frame rate %q", val)
+			}
+			y.fps = (num + den/2) / den
+		case 'C':
+			if !strings.HasPrefix(val, "420") {
+				return nil, fmt.Errorf("y4m: unsupported chroma %q (only 4:2:0)", val)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("y4m: parsing %q: %w", f, err)
+		}
+	}
+	if y.width <= 0 || y.height <= 0 {
+		return nil, fmt.Errorf("y4m: missing or invalid dimensions")
+	}
+	return y, nil
+}
+
+// Size returns the stream dimensions.
+func (y *Y4MReader) Size() (w, h int) { return y.width, y.height }
+
+// FPS returns the rounded frame rate.
+func (y *Y4MReader) FPS() int { return y.fps }
+
+// Next reads one frame, or io.EOF at end of stream.
+func (y *Y4MReader) Next() (*Frame, error) {
+	line, err := y.r.ReadString('\n')
+	if err == io.EOF && line == "" {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("y4m: reading frame marker: %w", err)
+	}
+	if !strings.HasPrefix(line, "FRAME") {
+		return nil, fmt.Errorf("y4m: expected FRAME marker, got %q", strings.TrimSpace(line))
+	}
+	f := NewFrame(y.width, y.height)
+	for _, plane := range [][]uint8{f.Y, f.U, f.V} {
+		if _, err := io.ReadFull(y.r, plane); err != nil {
+			return nil, fmt.Errorf("y4m: truncated frame: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// ReadAll drains the stream.
+func (y *Y4MReader) ReadAll() ([]*Frame, error) {
+	var out []*Frame
+	for {
+		f, err := y.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+}

@@ -1,0 +1,95 @@
+package video
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestY4MRoundTrip(t *testing.T) {
+	src := NewSource(SourceConfig{Width: 64, Height: 48, Seed: 1, Detail: 0.5, Motion: 1})
+	frames := src.Frames(3)
+	var buf bytes.Buffer
+	w := NewY4MWriter(&buf, 64, 48, 24)
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewY4MReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, h := r.Size(); w != 64 || h != 48 {
+		t.Fatalf("size %dx%d", w, h)
+	}
+	if r.FPS() != 24 {
+		t.Fatalf("fps %d", r.FPS())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d frames", len(got))
+	}
+	for i := range frames {
+		if MSE(got[i].Y, frames[i].Y) != 0 || MSE(got[i].U, frames[i].U) != 0 {
+			t.Fatalf("frame %d not bit-exact", i)
+		}
+	}
+}
+
+func TestY4MFractionalFrameRate(t *testing.T) {
+	hdr := "YUV4MPEG2 W32 H32 F30000:1001 Ip A1:1 C420jpeg\n"
+	r, err := NewY4MReader(strings.NewReader(hdr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FPS() != 30 {
+		t.Fatalf("NTSC rate rounded to %d, want 30", r.FPS())
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty stream Next = %v, want EOF", err)
+	}
+}
+
+func TestY4MRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"NOTY4M W32 H32\n",
+		"YUV4MPEG2 W32 H32 C444\n",
+		"YUV4MPEG2 H32\n",
+		"YUV4MPEG2 Wx H32\n",
+	}
+	for _, c := range cases {
+		if _, err := NewY4MReader(strings.NewReader(c)); err == nil {
+			t.Errorf("header %q accepted", strings.TrimSpace(c))
+		}
+	}
+}
+
+func TestY4MTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewY4MWriter(&buf, 32, 32, 30)
+	_ = w.WriteFrame(NewFrame(32, 32))
+	_ = w.Close()
+	data := buf.Bytes()[:buf.Len()-10]
+	r, err := NewY4MReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestY4MWriterRejectsMismatchedFrame(t *testing.T) {
+	w := NewY4MWriter(io.Discard, 32, 32, 30)
+	if err := w.WriteFrame(NewFrame(64, 64)); err == nil {
+		t.Fatal("mismatched frame accepted")
+	}
+}
