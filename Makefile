@@ -1,0 +1,26 @@
+# Tier-1 verification targets. `make check` is the full CI gate;
+# `make lint` and `make race` run the two project-specific slices on
+# their own.
+
+GO ?= go
+RACE_PKGS = ./internal/sched ./internal/transcode ./internal/cluster ./internal/codec
+
+.PHONY: check lint race build test fmt
+
+check:
+	./scripts/check.sh
+
+lint:
+	$(GO) run ./cmd/vculint ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	gofmt -w .

@@ -53,7 +53,9 @@ func main() {
 		if strings.EqualFold(filepath.Ext(*inPath), ".ovcu") {
 			// True transcode: decode an encoded stream as the source.
 			info, pkts, err := container.NewReader(f).ReadAll()
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				fail("%s: %v", *inPath, err)
 			}
@@ -68,7 +70,9 @@ func main() {
 				fail("%s: %v", *inPath, err)
 			}
 			src, err = r.ReadAll()
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				fail("%s: %v", *inPath, err)
 			}
@@ -150,12 +154,17 @@ func main() {
 		float64(outPixels)/1e6/wall.Seconds())
 }
 
-func writeStream(path string, out transcode.Output, fps, frames int) error {
+func writeStream(path string, out transcode.Output, fps, frames int) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Close errors matter on the write path: a full disk surfaces here.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := container.NewWriter(f)
 	if err := w.WriteHeader(container.StreamInfo{
 		Profile: out.Spec.Profile,
@@ -172,12 +181,16 @@ func writeStream(path string, out transcode.Output, fps, frames int) error {
 	return nil
 }
 
-func writeY4M(path string, frames []*video.Frame, fps int) error {
+func writeY4M(path string, frames []*video.Frame, fps int) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := video.NewY4MWriter(f, frames[0].Width, frames[0].Height, fps)
 	for _, fr := range frames {
 		if err := w.WriteFrame(fr); err != nil {

@@ -1,3 +1,3 @@
 module openvcu
 
-go 1.22
+go 1.24

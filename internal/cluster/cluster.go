@@ -305,7 +305,11 @@ func (c *Cluster) rebalancePools() {
 			backlog[stepPool(s)]++
 		}
 	}
-	for pool, need := range backlog {
+	// Iterate pools in fixed priority order, not map order: idle
+	// workers are first-come-first-served, so map order would decide
+	// which pool wins them and make rebalancing nondeterministic.
+	for _, pool := range []sched.UseCase{sched.UseLive, sched.UseUpload} {
+		need := backlog[pool]
 		if need == 0 {
 			continue
 		}

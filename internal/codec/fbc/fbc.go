@@ -27,23 +27,27 @@ func CompressPlane(pix []uint8, w, h int) []byte {
 	bw := bits.NewBitWriter()
 	bw.WriteBits(uint32(w), 16)
 	bw.WriteBits(uint32(h), 16)
+	// One scratch buffer reused across every tile: compressTile runs
+	// once per 16×16 tile, so a per-tile allocation would dominate the
+	// compression cost on large planes.
+	scratch := make([]uint32, TileSize*TileSize)
 	for ty := 0; ty < h; ty += TileSize {
 		for tx := 0; tx < w; tx += TileSize {
-			compressTile(bw, pix, w, h, tx, ty)
+			compressTile(bw, pix, w, h, tx, ty, scratch)
 		}
 	}
 	return bw.Bytes()
 }
 
-func compressTile(bw *bits.BitWriter, pix []uint8, w, h, tx, ty int) {
+func compressTile(bw *bits.BitWriter, pix []uint8, w, h, tx, ty int, scratch []uint32) {
 	tw := minInt(TileSize, w-tx)
 	th := minInt(TileSize, h-ty)
-	residuals := make([]uint32, 0, tw*th)
+	residuals := scratch[:tw*th]
 	var sum uint64
 	for y := 0; y < th; y++ {
 		for x := 0; x < tw; x++ {
 			r := tileResidual(pix, w, tx, ty, x, y)
-			residuals = append(residuals, r)
+			residuals[y*tw+x] = r
 			sum += uint64(r)
 		}
 	}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// exprString renders the subset of expressions that appear as mutex
+// receivers and range operands ("mu", "p.mu", "s.shards[i].mu") into a
+// canonical string, so two references to the same lvalue compare equal.
+// Unsupported shapes return "" and are treated as non-matching.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		base := exprString(x.X)
+		idx := exprString(x.Index)
+		if base == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return exprString(x.X)
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		// e.g. q.shard(i).mu — treat the call result as opaque but
+		// stable within a function for matching purposes.
+		fn := exprString(x.Fun)
+		if fn == "" {
+			return ""
+		}
+		args := make([]string, 0, len(x.Args))
+		for _, a := range x.Args {
+			args = append(args, exprString(a))
+		}
+		return fn + "(" + strings.Join(args, ",") + ")"
+	}
+	return ""
+}
+
+// methodCall matches e against a method call pattern recv.<name>() and
+// returns the canonical receiver string. ok is false if e is not a
+// call of that method name or the receiver cannot be canonicalised.
+func methodCall(e ast.Expr, name string) (recv string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != name {
+		return "", false
+	}
+	r := exprString(sel.X)
+	if r == "" {
+		return "", false
+	}
+	return r, true
+}
+
+// funcBodies yields every function body in a file (declarations and
+// literals) along with the name of the innermost named function, which
+// analyzers use for allowlisting. Function literals inherit the name of
+// the enclosing declaration.
+func funcBodies(f *ast.File, visit func(name string, recv string, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		recv := ""
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			recv = typeBaseName(fd.Recv.List[0].Type)
+		}
+		visit(fd.Name.Name, recv, fd.Body)
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+				visit(name, recv, fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+// typeBaseName unwraps pointers/generics to the base type identifier.
+func typeBaseName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return typeBaseName(t.X)
+	case *ast.IndexExpr:
+		return typeBaseName(t.X)
+	case *ast.IndexListExpr:
+		return typeBaseName(t.X)
+	case *ast.ParenExpr:
+		return typeBaseName(t.X)
+	}
+	return ""
+}
+
+// pkgCallee decodes a call of the form alias.Func(...) where alias is
+// an import of wantPath in file f, returning the function name.
+func pkgCallee(f *File, call *ast.CallExpr, wantPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if path, imported := f.imports[id.Name]; !imported || path != wantPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wellKnownErrFuncs are stdlib method/function names whose error result
+// is worth checking even though their declarations are outside this
+// module. They apply to package-qualified stdlib calls (os.Remove), to
+// receivers known to be *os.File, and — when the name is not declared
+// anywhere in this module — to any receiver.
+var wellKnownErrFuncs = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true,
+	"WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Setenv": true, "Unsetenv": true,
+	"Remove": true, "RemoveAll": true, "Mkdir": true, "MkdirAll": true,
+	"Chdir": true, "Rename": true, "Truncate": true,
+}
+
+// osFileCtors are os functions whose result binds an ident to *os.File.
+var osFileCtors = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true, "NewFile": true,
+	"CreateTemp": true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "errdrop",
+		Doc: "flags discarded error returns (`_ = f()`, `v, _ := f()`, bare and " +
+			"deferred calls) for module functions whose last result is error " +
+			"and for well-known stdlib error returners; test files are exempt",
+		Run: runErrDrop,
+	})
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		funcBodies(f.AST, func(name, recv string, body *ast.BlockStmt) {
+			checkErrDropBody(pass, f, body)
+		})
+	}
+}
+
+func checkErrDropBody(pass *Pass, f *File, body *ast.BlockStmt) {
+	fileIdents := collectOSFileIdents(f, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false // literals get their own funcBodies visit
+		case *ast.ExprStmt:
+			if call, ok := node.X.(*ast.CallExpr); ok && callReturnsError(pass, f, call, fileIdents) {
+				pass.Reportf(node.Pos(), "error result of %s is silently dropped; handle it or add //lint:ignore errdrop <reason>", calleeName(call))
+			}
+		case *ast.DeferStmt:
+			if node.Call != nil && callReturnsError(pass, f, node.Call, fileIdents) {
+				pass.Reportf(node.Pos(), "deferred %s drops its error; wrap it or add //lint:ignore errdrop <reason>", calleeName(node.Call))
+			}
+		case *ast.GoStmt:
+			if node.Call != nil && callReturnsError(pass, f, node.Call, fileIdents) {
+				pass.Reportf(node.Pos(), "goroutine call %s drops its error", calleeName(node.Call))
+			}
+		case *ast.AssignStmt:
+			// Single call on the RHS with a blank in the error slot:
+			// `_ = f()`, `v, _ := f()`, `_, _ = f()`.
+			if len(node.Rhs) != 1 {
+				return true
+			}
+			call, ok := node.Rhs[0].(*ast.CallExpr)
+			if !ok || !callReturnsError(pass, f, call, fileIdents) {
+				return true
+			}
+			last, ok := node.Lhs[len(node.Lhs)-1].(*ast.Ident)
+			if ok && last.Name == "_" {
+				pass.Reportf(node.Pos(), "error result of %s assigned to _; handle it or add //lint:ignore errdrop <reason>", calleeName(call))
+			}
+		}
+		return true
+	})
+}
+
+// collectOSFileIdents finds local identifiers bound to *os.File via the
+// usual constructors (f, err := os.Open(...)), so their Close/Sync
+// calls are checked even though "Close" is also a module method name.
+func collectOSFileIdents(f *File, body *ast.BlockStmt) map[string]bool {
+	idents := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := pkgCallee(f, call, "os")
+		if !ok || !osFileCtors[name] {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			idents[id.Name] = true
+		}
+		return true
+	})
+	return idents
+}
+
+// callReturnsError decides, from names alone, whether a call's final
+// result is an error:
+//
+//   - local and module-qualified calls use the module index
+//     (conservatively: the name must return error in every declaration);
+//   - stdlib-qualified calls use the well-known list;
+//   - method calls on known *os.File locals use the well-known list;
+//   - otherwise the well-known list applies only when the name is not
+//     declared anywhere in this module, so e.g. a module Close() with
+//     no error result does not light up every x.Close() in the tree.
+func callReturnsError(pass *Pass, f *File, call *ast.CallExpr, fileIdents map[string]bool) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.Index.ReturnsError(fn.Name)
+	case *ast.SelectorExpr:
+		name := fn.Sel.Name
+		if id, ok := fn.X.(*ast.Ident); ok {
+			if path, imported := f.imports[id.Name]; imported {
+				if isModulePath(path) {
+					return pass.Index.ReturnsError(name)
+				}
+				return wellKnownErrFuncs[name]
+			}
+			if fileIdents[id.Name] && wellKnownErrFuncs[name] {
+				return true
+			}
+		}
+		if pass.Index.Declared(name) {
+			return pass.Index.ReturnsError(name)
+		}
+		return wellKnownErrFuncs[name]
+	}
+	return false
+}
+
+// isModulePath reports whether an import path belongs to this module.
+func isModulePath(path string) bool {
+	return path == "openvcu" || len(path) > 8 && path[:8] == "openvcu/"
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(call *ast.CallExpr) string {
+	if s := exprString(call.Fun); s != "" {
+		return s
+	}
+	return "call"
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// hotDirs are the pixel-path packages: per-pixel and per-block loops
+// here dominate encoder throughput, and a stray allocation inside them
+// turns a memory-bandwidth-bound kernel into a GC benchmark (paper §2:
+// the VCU exists because these loops are the cost of video serving).
+var hotDirs = []string{
+	"internal/codec",
+	"internal/video",
+}
+
+// setupPrefixes name functions that run once per stream/frame setup and
+// are allowed to allocate freely.
+var setupPrefixes = []string{
+	"New", "Init", "Setup", "Alloc", "Build", "Make", "Load", "Parse",
+	"init", "setup", "alloc", "build", "make", "load", "parse",
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "hotalloc",
+		Doc: "flags allocations in loops in the pixel-path packages " +
+			"(internal/codec/..., internal/video): make/new and string " +
+			"concatenation in any loop, append in nested loops; setup " +
+			"functions (New*/Init*/Setup*/...) are exempt",
+		Run: runHotAlloc,
+	})
+}
+
+func runHotAlloc(pass *Pass) {
+	if !dirMatchesAny(pass.Pkg.Dir, hotDirs) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		funcBodies(f.AST, func(name, recv string, body *ast.BlockStmt) {
+			if isSetupFunc(name) {
+				return
+			}
+			checkAllocs(pass, body, 0)
+		})
+	}
+}
+
+func isSetupFunc(name string) bool {
+	for _, p := range setupPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAllocs walks statements tracking loop nesting depth. Function
+// literals reset the walk (they are visited separately by funcBodies).
+func checkAllocs(pass *Pass, n ast.Node, depth int) {
+	// reported tracks RHS expressions already covered by a `+=` finding
+	// so the inner BinaryExpr does not produce a second diagnostic.
+	reported := map[ast.Node]bool{}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			// Loop headers (init/cond/post) run once or are cheap
+			// comparisons; only the body is treated as hot.
+			if x.Body != nil {
+				checkAllocs(pass, x.Body, depth+1)
+			}
+			return false
+		case *ast.RangeStmt:
+			if x.Body != nil {
+				checkAllocs(pass, x.Body, depth+1)
+			}
+			return false
+		case *ast.CallExpr:
+			if depth == 0 {
+				return true
+			}
+			switch fn := x.Fun.(type) {
+			case *ast.Ident:
+				switch fn.Name {
+				case "make":
+					pass.Reportf(x.Pos(), "make() inside a hot loop; hoist the buffer out of the loop or reuse a scratch slice")
+				case "new":
+					pass.Reportf(x.Pos(), "new() inside a hot loop; hoist the allocation out of the loop")
+				case "append":
+					if depth >= 2 {
+						pass.Reportf(x.Pos(), "append() inside a nested hot loop; pre-size the slice before the pixel loop")
+					}
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fn.X.(*ast.Ident); ok && id.Name == "fmt" &&
+					strings.HasPrefix(fn.Sel.Name, "Sprint") {
+					pass.Reportf(x.Pos(), "fmt.%s allocates inside a hot loop; format outside the loop", fn.Sel.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if depth >= 1 && x.Op == token.ADD && !reported[x] && (isStringish(x.X) || isStringish(x.Y)) {
+				pass.Reportf(x.Pos(), "string concatenation inside a hot loop allocates; use a strings.Builder outside the loop")
+				return false
+			}
+		case *ast.AssignStmt:
+			if depth >= 1 && x.Tok == token.ADD_ASSIGN && len(x.Rhs) == 1 && isStringish(x.Rhs[0]) {
+				pass.Reportf(x.Pos(), "string += inside a hot loop allocates; use a strings.Builder outside the loop")
+				reported[x.Rhs[0]] = true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// Index is module-wide symbol information built from a single parse of
+// every package, used by analyzers that need cross-package facts
+// without full type checking: which function names return errors
+// (errdrop) and how big each struct type is (bigcopy).
+type Index struct {
+	// errFuncs maps a function or method name to whether every
+	// declaration of that name in the module has error as its final
+	// result. Names with conflicting declarations map to false so the
+	// name heuristic never produces a finding that type information
+	// would not.
+	errFuncs map[string]bool
+
+	// structSizes maps "dir.TypeName" and bare "TypeName" to an
+	// approximate value size in bytes (field sizes summed, alignment
+	// ignored). Ambiguous bare names resolve to the largest candidate.
+	structSizes    map[string]int64
+	ambiguousSizes map[string]bool
+}
+
+// buildIndex scans all parsed packages.
+func buildIndex(pkgs []*Package) *Index {
+	idx := &Index{
+		errFuncs:       map[string]bool{},
+		structSizes:    map[string]int64{},
+		ambiguousSizes: map[string]bool{},
+	}
+	// Pass 1: record type specs so size resolution can chase named
+	// types across packages.
+	type namedSpec struct {
+		pkg  *Package
+		spec *ast.TypeSpec
+	}
+	var specs []namedSpec
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, s := range gd.Specs {
+					ts, ok := s.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					specs = append(specs, namedSpec{pkg, ts})
+				}
+			}
+		}
+	}
+	byName := map[string][]namedSpec{}
+	for _, ns := range specs {
+		byName[ns.spec.Name.Name] = append(byName[ns.spec.Name.Name], ns)
+	}
+	// sizeOf resolves the value size of a type expression; named types
+	// are chased by name (qualified names ignore the qualifier — type
+	// names are effectively unique in this module, and ambiguous names
+	// degrade to pointer size, never a false finding).
+	var sizeOf func(e ast.Expr, depth int) int64
+	sizeOf = func(e ast.Expr, depth int) int64 {
+		if depth > 16 {
+			return wordSize
+		}
+		switch t := e.(type) {
+		case *ast.Ident:
+			if s, ok := basicSizes[t.Name]; ok {
+				return s
+			}
+			cands := byName[t.Name]
+			if len(cands) == 0 {
+				return wordSize
+			}
+			sz := sizeOf(cands[0].spec.Type, depth+1)
+			for _, c := range cands[1:] {
+				if s2 := sizeOf(c.spec.Type, depth+1); s2 > sz {
+					sz = s2 // conservative: use the largest same-named type
+				}
+			}
+			return sz
+		case *ast.SelectorExpr:
+			return sizeOf(t.Sel, depth)
+		case *ast.StarExpr, *ast.FuncType, *ast.ChanType, *ast.MapType:
+			return wordSize
+		case *ast.ArrayType:
+			if t.Len == nil {
+				return sliceSize
+			}
+			n := arrayLen(t.Len)
+			if n < 0 {
+				return wordSize
+			}
+			return n * sizeOf(t.Elt, depth+1)
+		case *ast.StructType:
+			var total int64
+			for _, field := range t.Fields.List {
+				fs := sizeOf(field.Type, depth+1)
+				n := int64(len(field.Names))
+				if n == 0 {
+					n = 1 // embedded field
+				}
+				total += n * fs
+			}
+			return total
+		case *ast.InterfaceType:
+			return ifaceSize
+		case *ast.ParenExpr:
+			return sizeOf(t.X, depth)
+		case *ast.IndexExpr:
+			return sizeOf(t.X, depth) // generic instantiation: size of the generic's layout guess
+		}
+		return wordSize
+	}
+	for name, cands := range byName {
+		sz := sizeOf(cands[0].spec.Type, 0)
+		idx.structSizes[name] = sz
+		for _, c := range cands {
+			key := c.pkg.Dir + "." + name
+			idx.structSizes[key] = sizeOf(c.spec.Type, 0)
+		}
+		if len(cands) > 1 {
+			idx.ambiguousSizes[name] = true
+		}
+	}
+
+	// Pass 2: function/method error-return facts.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				returnsErr := funcReturnsError(fd.Type)
+				name := fd.Name.Name
+				if prev, seen := idx.errFuncs[name]; seen {
+					idx.errFuncs[name] = prev && returnsErr
+				} else {
+					idx.errFuncs[name] = returnsErr
+				}
+			}
+		}
+	}
+	return idx
+}
+
+const (
+	wordSize  = 8
+	sliceSize = 24
+	strSize   = 16
+	ifaceSize = 16
+)
+
+var basicSizes = map[string]int64{
+	"bool": 1, "int8": 1, "uint8": 1, "byte": 1,
+	"int16": 2, "uint16": 2,
+	"int32": 4, "uint32": 4, "float32": 4, "rune": 4,
+	"int64": 8, "uint64": 8, "float64": 8,
+	"int": 8, "uint": 8, "uintptr": 8,
+	"complex64": 8, "complex128": 16,
+	"string": strSize,
+	"error":  ifaceSize,
+	"any":    ifaceSize,
+}
+
+// arrayLen evaluates a constant array length expression, returning -1
+// when it is not a plain integer literal (e.g. a named const).
+func arrayLen(e ast.Expr) int64 {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		n, err := strconv.ParseInt(v.Value, 0, 64)
+		if err != nil {
+			return -1
+		}
+		return n
+	case *ast.ParenExpr:
+		return arrayLen(v.X)
+	}
+	return -1
+}
+
+// funcReturnsError reports whether the final result of ft is the
+// predeclared error type.
+func funcReturnsError(ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	last := ft.Results.List[len(ft.Results.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// SizeOfNamed returns the approximate value size of a named type, and
+// whether the name was found. Ambiguity across packages resolves to the
+// largest candidate.
+func (idx *Index) SizeOfNamed(name string) (int64, bool) {
+	s, ok := idx.structSizes[name]
+	return s, ok
+}
+
+// ReturnsError reports whether every module declaration of the named
+// function/method has error as its last result. Unknown names return
+// false.
+func (idx *Index) ReturnsError(name string) bool {
+	return idx.errFuncs[name]
+}
+
+// Declared reports whether any function or method with this name is
+// declared in the module.
+func (idx *Index) Declared(name string) bool {
+	_, ok := idx.errFuncs[name]
+	return ok
+}

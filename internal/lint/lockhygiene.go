@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "lockhygiene",
+		Doc: "requires every mu.Lock()/mu.RLock() to be released either by an " +
+			"immediate defer mu.Unlock() or by a straight-line Unlock with no " +
+			"return statement in between",
+		Run: runLockHygiene,
+	})
+}
+
+// lockKind pairs acquire and release method names.
+var lockKinds = []struct{ lock, unlock string }{
+	{"Lock", "Unlock"},
+	{"RLock", "RUnlock"},
+}
+
+func runLockHygiene(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		funcBodies(f.AST, func(name, recv string, body *ast.BlockStmt) {
+			checkLockBody(pass, body)
+		})
+	}
+}
+
+// checkLockBody inspects every block in one function body. For each
+// statement `recv.Lock()` it accepts exactly two shapes:
+//
+//  1. the next statement is `defer recv.Unlock()`, or
+//  2. a matching `recv.Unlock()` statement appears later in the
+//     function with no return statement positioned between the two.
+//
+// Anything else — no unlock at all, or a return path that can leave
+// the mutex held — is reported. Cross-function locking (a helper that
+// locks for its caller) is intentional enough to deserve a
+// //lint:ignore with a stated reason.
+func checkLockBody(pass *Pass, body *ast.BlockStmt) {
+	// Collect all unlock call positions and all return positions once.
+	type unlockSite struct {
+		recv string
+		name string
+		pos  token.Pos
+	}
+	var unlocks []unlockSite
+	var returns []token.Pos
+	var deferredUnlocks []unlockSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ExprStmt:
+			for _, k := range lockKinds {
+				if recv, ok := methodCall(node.X, k.unlock); ok {
+					unlocks = append(unlocks, unlockSite{recv, k.unlock, node.Pos()})
+				}
+			}
+		case *ast.DeferStmt:
+			for _, k := range lockKinds {
+				if recv, ok := methodCall(node.Call, k.unlock); ok {
+					deferredUnlocks = append(deferredUnlocks, unlockSite{recv, k.unlock, node.Pos()})
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, node.Pos())
+		case *ast.FuncLit:
+			return false // nested literals get their own visit
+		}
+		return true
+	})
+
+	var walkBlock func(b *ast.BlockStmt)
+	checkStmtList := func(list []ast.Stmt) {
+		for i, stmt := range list {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			for _, k := range lockKinds {
+				recv, ok := methodCall(es.X, k.lock)
+				if !ok {
+					continue
+				}
+				lockPos := es.Pos()
+				// Shape 1: immediately deferred release.
+				if i+1 < len(list) {
+					if ds, ok := list[i+1].(*ast.DeferStmt); ok {
+						if r, ok := methodCall(ds.Call, k.unlock); ok && r == recv {
+							continue
+						}
+					}
+				}
+				// A deferred release anywhere before the lock also
+				// covers it (e.g. lock taken in a loop after a single
+				// top-of-function defer is unusual; require the defer
+				// to precede the lock positionally).
+				covered := false
+				for _, d := range deferredUnlocks {
+					if d.recv == recv && d.name == k.unlock {
+						covered = true
+						break
+					}
+				}
+				if covered {
+					continue
+				}
+				// Shape 2: straight-line release with no intervening
+				// return.
+				released := token.NoPos
+				for _, u := range unlocks {
+					if u.recv == recv && u.name == k.unlock && u.pos > lockPos {
+						released = u.pos
+						break
+					}
+				}
+				if released == token.NoPos {
+					pass.Reportf(lockPos,
+						"%s.%s() is never released in this function; add defer %s.%s()",
+						recv, k.lock, recv, k.unlock)
+					continue
+				}
+				for _, r := range returns {
+					if r > lockPos && r < released {
+						pass.Reportf(lockPos,
+							"%s.%s() can be held across a return at a path before %s.%s(); use defer",
+							recv, k.lock, recv, k.unlock)
+						break
+					}
+				}
+			}
+		}
+	}
+	walkBlock = func(b *ast.BlockStmt) {
+		checkStmtList(b.List)
+		for _, stmt := range b.List {
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.BlockStmt:
+					checkStmtList(node.List)
+				case *ast.FuncLit:
+					return false
+				case *ast.CaseClause:
+					checkStmtList(node.Body)
+				case *ast.CommClause:
+					checkStmtList(node.Body)
+				}
+				return true
+			})
+		}
+	}
+	walkBlock(body)
+}

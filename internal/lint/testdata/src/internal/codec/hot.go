@@ -1,0 +1,52 @@
+// Package codec is a hotalloc-analyzer fixture: it lives under a
+// pixel-path directory, so allocations inside loops are flagged.
+package codec
+
+import "fmt"
+
+func encodeRows(pix []uint8, w, h int) []uint8 {
+	out := make([]uint8, 0, w*h) // fine: outside any loop
+	for y := 0; y < h; y++ {
+		row := make([]uint8, w) // want "make\(\) inside a hot loop"
+		for x := 0; x < w; x++ {
+			row = append(row, pix[y*w+x]) // want "append\(\) inside a nested hot loop"
+		}
+		out = append(out, row...) // fine: append at depth 1
+	}
+	return out
+}
+
+func labelBlocks(n int) []string {
+	labels := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		labels = append(labels, fmt.Sprintf("blk-%d", i)) // want "fmt.Sprintf allocates inside a hot loop"
+	}
+	return labels
+}
+
+func concatNames(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += "," + p // want "string \+= inside a hot loop"
+	}
+	return s
+}
+
+// NewScratch is a setup function: allocation in its loops is allowed.
+func NewScratch(n int) [][]uint8 {
+	bufs := make([][]uint8, 0, n)
+	for i := 0; i < n; i++ {
+		bufs = append(bufs, make([]uint8, 64))
+	}
+	return bufs
+}
+
+func suppressedAlloc(h int) []([]uint8) {
+	var planes [][]uint8
+	for y := 0; y < h; y++ {
+		//lint:ignore hotalloc fixture demonstrates an accepted per-iteration allocation
+		p := make([]uint8, 16)
+		planes = append(planes, p)
+	}
+	return planes
+}

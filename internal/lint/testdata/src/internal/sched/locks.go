@@ -1,0 +1,87 @@
+// Package sched is a lockhygiene-analyzer fixture.
+package sched
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// goodDefer is the canonical shape.
+func (c *counter) goodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// goodStraightLine releases on the only path with no return between.
+func (c *counter) goodStraightLine() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// goodRead uses the reader lock correctly.
+func (c *counter) goodRead() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.n
+}
+
+// badNeverUnlocked leaks the mutex.
+func (c *counter) badNeverUnlocked() {
+	c.mu.Lock() // want "never released in this function"
+	c.n++
+}
+
+// badReturnBetween can exit with the lock held.
+func (c *counter) badReturnBetween(cond bool) int {
+	c.mu.Lock() // want "held across a return"
+	if cond {
+		return -1
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// badKindMismatch releases the wrong lock kind.
+func (c *counter) badKindMismatch() {
+	c.rw.RLock() // want "never released in this function"
+	c.n++
+	c.rw.Unlock()
+}
+
+// goodBranchUnlock releases on every path before returning.
+func (c *counter) goodBranchUnlock(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return -1
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// goodLoopBody locks and unlocks inside a loop body.
+func (c *counter) goodLoopBody(k int) {
+	for i := 0; i < k; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// suppressedHandoff intentionally transfers the lock to the caller.
+func (c *counter) suppressedHandoff() {
+	//lint:ignore lockhygiene lock ownership is handed to the caller, released in releaseHandoff
+	c.mu.Lock()
+	c.n++
+}
+
+func (c *counter) releaseHandoff() {
+	c.mu.Unlock()
+}

@@ -101,13 +101,13 @@ func (r Resources) String() string {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	b.WriteByte('{')
+	b.WriteByte('{') //lint:ignore errdrop strings.Builder writes never return an error
 	for i, k := range keys {
 		if i > 0 {
-			b.WriteString("; ")
+			b.WriteString("; ") //lint:ignore errdrop strings.Builder writes never return an error
 		}
 		fmt.Fprintf(&b, "%s %d", k, r[k])
 	}
-	b.WriteByte('}')
+	b.WriteByte('}') //lint:ignore errdrop strings.Builder writes never return an error
 	return b.String()
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // Fluid is a processor-sharing resource: concurrent flows share Capacity
 // (in work-units per second, e.g. bytes/s) proportionally to their
@@ -55,11 +58,24 @@ func (f *Fluid) Start(work, demand float64, done func()) int64 {
 // Active returns the number of in-flight flows.
 func (f *Fluid) Active() int { return len(f.flows) }
 
+// sortedIDs returns the active flow ids in ascending order. Float
+// accumulation is not associative, so every walk over the flow set must
+// use a fixed order for the simulation to be bit-reproducible.
+func (f *Fluid) sortedIDs() []int64 {
+	ids := make([]int64, 0, len(f.flows))
+	//lint:ignore determinism keys are sorted immediately below, so iteration order cannot leak
+	for id := range f.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // TotalDemand returns the sum of natural demands of active flows.
 func (f *Fluid) TotalDemand() float64 {
 	var d float64
-	for _, fl := range f.flows {
-		d += fl.demand
+	for _, id := range f.sortedIDs() {
+		d += f.flows[id].demand
 	}
 	return d
 }
@@ -69,8 +85,10 @@ func (f *Fluid) TotalDemand() float64 {
 func (f *Fluid) rebalance() {
 	f.epoch++
 	now := f.eng.Now()
+	ids := f.sortedIDs()
 	var total float64
-	for _, fl := range f.flows {
+	for _, id := range ids {
+		fl := f.flows[id]
 		// Drain progress at the previous rate.
 		elapsed := (now - fl.updatedAt).Seconds()
 		drained := fl.rate * elapsed
@@ -88,7 +106,8 @@ func (f *Fluid) rebalance() {
 	}
 	var nextID int64 = -1
 	nextAt := time.Duration(1<<62 - 1)
-	for id, fl := range f.flows {
+	for _, id := range ids {
+		fl := f.flows[id]
 		fl.rate = fl.demand * scale
 		if fl.rate <= 0 {
 			continue

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# check.sh — the tier-1 verification gate for this repository.
+#
+# Runs, in order:
+#   1. gofmt         formatting drift fails the gate
+#   2. go vet        toolchain static checks
+#   3. vculint       project-specific analyzers (internal/lint):
+#                    determinism, lockhygiene, hotalloc, errdrop, bigcopy
+#   4. go build      the whole module
+#   5. go test       the whole module
+#   6. go test -race the concurrent packages
+#
+# Every PR must leave this script exiting 0.
+set -u
+
+cd "$(dirname "$0")/.."
+
+failures=0
+step() {
+    echo "== $1"
+    shift
+    if ! "$@"; then
+        echo "-- FAILED: $1" >&2
+        failures=$((failures + 1))
+    fi
+}
+
+check_fmt() {
+    local out
+    out=$(gofmt -l .) || return 1
+    if [ -n "$out" ]; then
+        echo "gofmt needs to be run on:" >&2
+        echo "$out" >&2
+        return 1
+    fi
+}
+
+RACE_PKGS="./internal/sched ./internal/transcode ./internal/cluster ./internal/codec"
+
+step "gofmt" check_fmt
+step "go vet" go vet ./...
+step "vculint" go run ./cmd/vculint ./...
+step "go build" go build ./...
+step "go test" go test ./...
+# shellcheck disable=SC2086
+step "go test -race (concurrent packages)" go test -race $RACE_PKGS
+
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: $failures step(s) failed" >&2
+    exit 1
+fi
+echo "check.sh: all gates passed"
