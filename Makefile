@@ -5,10 +5,15 @@
 GO ?= go
 RACE_PKGS = ./internal/sched ./internal/transcode ./internal/cluster ./internal/codec
 
-.PHONY: check lint race build test fmt
+.PHONY: check lint race build test fmt bench
 
 check:
 	./scripts/check.sh
+
+# Tracked hot-path benchmarks: kernel microbenchmarks plus the
+# cmd/vcubench workloads, rewriting BENCH_codec.json.
+bench:
+	./scripts/bench.sh
 
 lint:
 	$(GO) run ./cmd/vculint ./...

@@ -1,0 +1,247 @@
+// Command vcubench runs the tracked encoder hot-path benchmarks and
+// writes BENCH_codec.json: pixel-kernel microbenchmarks, the whole-frame
+// 720p encode (the ISSUE 2 acceptance workload), quality guard values
+// (PSNR/bitrate at a fixed QP), and the BD-rate of the pyramid motion
+// search against the flat diamond baseline. The embedded baseline
+// section holds the numbers measured at the pre-optimization commit so
+// regressions and wins are visible without checking out old trees.
+//
+// Usage: go run ./cmd/vcubench [-out BENCH_codec.json] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/codec/motion"
+	"openvcu/internal/codec/rc"
+	"openvcu/internal/metrics"
+	"openvcu/internal/vbench"
+	"openvcu/internal/video"
+)
+
+// baseline holds the tracked numbers measured at commit f7317e3 (the
+// parent of the hot-path optimization PR) on an Intel Xeon @ 2.70GHz.
+// They are the denominators for the speedup columns.
+var baseline = report{
+	Commit:             "f7317e3",
+	Encode720pMpixS:    0.1918,
+	Encode720pAllocs:   169114,
+	BlockSAD16Ns:       442.2,
+	SampleSharp16Ns:    9619,
+	SampleBilinear16Ns: 1103,
+	SampleCompound16Ns: 1363,
+	DiamondSearch16Ns:  13495,
+}
+
+type report struct {
+	Commit             string  `json:"commit,omitempty"`
+	Encode720pMpixS    float64 `json:"encode_720p_mpix_per_s"`
+	Encode720pFPS      float64 `json:"encode_720p_fps,omitempty"`
+	Encode720pAllocs   int64   `json:"encode_720p_allocs_per_op"`
+	Encode720pFlatMpix float64 `json:"encode_720p_flat_mpix_per_s,omitempty"`
+	BlockSAD16Ns       float64 `json:"block_sad16_ns_per_op"`
+	SampleSharp16Ns    float64 `json:"sample_sharp16_ns_per_op"`
+	SampleBilinear16Ns float64 `json:"sample_bilinear16_ns_per_op"`
+	SampleCompound16Ns float64 `json:"sample_compound16_ns_per_op"`
+	DiamondSearch16Ns  float64 `json:"diamond_search16_ns_per_op"`
+	PyramidSearch16Ns  float64 `json:"pyramid_search16_ns_per_op,omitempty"`
+	KernelAllocs       int64   `json:"kernel_allocs_per_op"`
+	GuardPSNR          float64 `json:"guard_psnr_db,omitempty"`
+	GuardBits          int     `json:"guard_bits,omitempty"`
+	BDRatePyramidPct   float64 `json:"bd_rate_pyramid_vs_flat_pct,omitempty"`
+}
+
+type output struct {
+	Schema   int    `json:"schema"`
+	CPU      string `json:"cpu"`
+	NumCPU   int    `json:"num_cpu"`
+	Baseline report `json:"baseline"`
+	Current  report `json:"current"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_codec.json", "output file")
+	quick := flag.Bool("quick", false, "skip the BD-rate RD sweep")
+	flag.Parse()
+
+	cur := report{}
+	runKernels(&cur)
+	runEncode(&cur)
+	runGuards(&cur, *quick)
+
+	doc := output{
+		Schema: 1,
+		CPU:    runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Baseline: baseline,
+		Current:  cur,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("encode 720p: %.4f Mpix/s (%.2fx vs baseline %.4f), %d allocs/op\n",
+		cur.Encode720pMpixS, cur.Encode720pMpixS/baseline.Encode720pMpixS,
+		baseline.Encode720pMpixS, cur.Encode720pAllocs)
+	if !*quick {
+		fmt.Printf("BD-rate pyramid vs flat: %+.2f%%\n", cur.BDRatePyramidPct)
+	}
+}
+
+// runKernels measures the pixel kernels on a 640×360 plane, the same
+// geometry as the in-package benchmarks.
+func runKernels(cur *report) {
+	w, h := 640, 360
+	refPix := planeFor(w, h, 11)
+	curPix := planeFor(w, h, 12)
+	ref := motion.Ref{Pix: refPix, W: w, H: h}
+	sharpRef := ref
+	sharpRef.Sharp = true
+	sc := motion.NewScratch()
+	dst := make([]uint8, 16*16)
+
+	cur.BlockSAD16Ns = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			motion.PlanarSAD(curPix[100*w+100:], w, refPix[102*w+103:], w, 16)
+		}
+	})
+	cur.SampleSharp16Ns = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			motion.SampleBlock(sharpRef, 100, 100, motion.MV{X: 3, Y: 5}, dst, 16, sc)
+		}
+	})
+	cur.SampleBilinear16Ns = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			motion.SampleBlock(ref, 100, 100, motion.MV{X: 3, Y: 5}, dst, 16, sc)
+		}
+	})
+	cur.SampleCompound16Ns = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			motion.SampleCompound(sharpRef, motion.MV{X: 3, Y: 5}, ref, motion.MV{X: -2, Y: 1},
+				100, 100, dst, 16, sc)
+		}
+	})
+	p := motion.SearchParams{RangeX: 16, RangeY: 16, SubPelDepth: 2, LambdaMVCost: 2}
+	cur.DiamondSearch16Ns = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			motion.Search(curPix[100*w+100:], w, ref, 100, 100, motion.Zero, 16, p, sc)
+		}
+	})
+	pyrRef := ref
+	pyrRef.Pyr = motion.BuildPyramid(refPix, w, h)
+	pp := p
+	pp.Pyramid = true
+	pp.CurPyr = motion.BuildPyramid(curPix, w, h)
+	cur.PyramidSearch16Ns = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			motion.Search(curPix[100*w+100:], w, pyrRef, 100, 100, motion.Zero, 16, pp, sc)
+		}
+	})
+	// Alloc check on the SAD/interp/compound trio: must be zero.
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			motion.PlanarSAD(curPix[100*w+100:], w, refPix[102*w+103:], w, 16)
+			motion.SampleBlock(sharpRef, 100, 100, motion.MV{X: 3, Y: 5}, dst, 16, sc)
+			motion.SampleCompound(sharpRef, motion.MV{X: 3, Y: 5}, ref, motion.MV{X: -2, Y: 1},
+				100, 100, dst, 16, sc)
+		}
+	})
+	cur.KernelAllocs = r.AllocsPerOp()
+}
+
+// runEncode measures the headline whole-frame workload: 3 frames of
+// 1280×720 through the VP9-class encoder (same clip as
+// BenchmarkEncodeFrame720p).
+func runEncode(cur *report) {
+	frames := video.NewSource(video.SourceConfig{
+		Width: 1280, Height: 720, Seed: 7, Detail: 0.5, Motion: 1.5,
+		ObjectMotion: 2, Objects: 2}).Frames(3)
+	run := func(flat bool) (float64, int64) {
+		cfg := codec.Config{Profile: codec.VP9Class, Width: 1280, Height: 720,
+			RC: rc.Config{BaseQP: 32}, DisablePyramidSearch: flat}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.EncodeSequence(cfg, frames); err != nil {
+					fatal(err)
+				}
+			}
+		})
+		pixPerOp := float64(len(frames)) * 1280 * 720
+		mpixS := pixPerOp / (float64(r.NsPerOp()) / 1e9) / 1e6
+		return mpixS, r.AllocsPerOp()
+	}
+	var allocs int64
+	cur.Encode720pMpixS, allocs = run(false)
+	cur.Encode720pAllocs = allocs
+	cur.Encode720pFPS = cur.Encode720pMpixS * 1e6 / (1280 * 720)
+	cur.Encode720pFlatMpix, _ = run(true)
+}
+
+// runGuards records quality guard values: PSNR/bits of a fixed-QP
+// encode, and (unless -quick) the BD-rate of the pyramid search against
+// the flat diamond on a vbench clip — the ISSUE 2 gate is ≤ +2%.
+func runGuards(cur *report, quick bool) {
+	frames := video.NewSource(video.SourceConfig{
+		Width: 320, Height: 192, Seed: 9, Detail: 0.6, Motion: 1.5,
+		ObjectMotion: 3, Objects: 2}).Frames(6)
+	res, err := codec.EncodeSequence(codec.Config{Profile: codec.VP9Class,
+		Width: 320, Height: 192, RC: rc.Config{BaseQP: 36}}, frames)
+	if err != nil {
+		fatal(err)
+	}
+	dec, err := codec.DecodeSequence(res.Packets)
+	if err != nil {
+		fatal(err)
+	}
+	cur.GuardPSNR = video.SequencePSNR(frames, dec)
+	cur.GuardBits = res.TotalBits
+
+	if quick {
+		return
+	}
+	clip, ok := vbench.ByName("bike")
+	if !ok {
+		fatal(fmt.Errorf("vbench clip 'bike' missing"))
+	}
+	base := vbench.EncoderUnderTest{Label: "flat", Profile: codec.VP9Class, FlatSearch: true}
+	pyr := vbench.EncoderUnderTest{Label: "pyramid", Profile: codec.VP9Class}
+	refCurve, err := vbench.RunRD(clip, base, 16, 4)
+	if err != nil {
+		fatal(err)
+	}
+	testCurve, err := vbench.RunRD(clip, pyr, 16, 4)
+	if err != nil {
+		fatal(err)
+	}
+	bd, err := metrics.BDRate(refCurve.Points, testCurve.Points)
+	if err != nil {
+		fatal(err)
+	}
+	cur.BDRatePyramidPct = bd
+}
+
+func planeFor(w, h int, seed uint64) []uint8 {
+	return video.NewSource(video.SourceConfig{Width: w, Height: h, Seed: seed,
+		Detail: 0.7, Motion: 1}).Frame(0).Y
+}
+
+func nsPerOp(f func(b *testing.B)) float64 {
+	return float64(testing.Benchmark(f).NsPerOp())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcubench:", err)
+	os.Exit(1)
+}

@@ -47,6 +47,14 @@ type frameShared struct {
 	gw, gh  int
 	mvGrid  []motion.MV
 	refGrid []int8 // reference slot, -1 = intra or unset
+
+	// mc owns the motion-kernel scratch buffers. frameShared is
+	// single-goroutine state (one per tile), so the scratch is never
+	// shared across goroutines.
+	mc motion.Scratch
+	// nbBuf backs intra neighbor gathers, so prediction allocates
+	// nothing per block.
+	nbBuf predict.NeighborBuf
 }
 
 // newFrameShared builds per-frame coding state. carried, when non-nil and
@@ -170,7 +178,7 @@ func (fs *frameShared) predMV(x, y int) motion.MV {
 // at the tile boundary (the bounded gather never reads across it — the
 // neighboring tile may be encoding concurrently).
 func (fs *frameShared) gatherTileNeighbors(plane []uint8, w, h, x, y, n, tx0 int) predict.Neighbors {
-	return predict.GatherNeighborsBounded(plane, w, h, x, y, n, tx0)
+	return predict.GatherNeighborsBounded(plane, w, h, x, y, n, tx0, &fs.nbBuf)
 }
 
 // setGrid records the decision for all grid cells covered by the block.
@@ -211,11 +219,11 @@ func (fs *frameShared) predictLuma(ch blockChoice, x, y, s int, dst []uint8) {
 		if ch.compound {
 			lastRef := motion.Ref{Pix: fs.refs[RefLast].Y, W: fs.pw, H: fs.ph, Sharp: sharp}
 			goldRef := motion.Ref{Pix: fs.refs[RefGolden].Y, W: fs.pw, H: fs.ph, Sharp: sharp}
-			motion.SampleCompound(lastRef, ch.mv, goldRef, ch.mv, x, y, dst, s)
+			motion.SampleCompound(lastRef, ch.mv, goldRef, ch.mv, x, y, dst, s, &fs.mc)
 			return
 		}
 		ref := motion.Ref{Pix: fs.refs[ch.ref].Y, W: fs.pw, H: fs.ph, Sharp: sharp}
-		motion.SampleBlock(ref, x, y, ch.mv, dst, s)
+		motion.SampleBlock(ref, x, y, ch.mv, dst, s, &fs.mc)
 		return
 	}
 	nb := fs.gatherTileNeighbors(fs.recon.Y, fs.pw, fs.ph, x, y, s, fs.tileX0)
@@ -240,11 +248,11 @@ func (fs *frameShared) predictChromaPlane(ch blockChoice, plane video.Plane, x, 
 			motion.SampleCompound(
 				motion.Ref{Pix: pick(fs.refs[RefLast]), W: cw, H: chh, Sharp: sharp}, cmv,
 				motion.Ref{Pix: pick(fs.refs[RefGolden]), W: cw, H: chh, Sharp: sharp}, cmv,
-				cx, cy, dst, cs)
+				cx, cy, dst, cs, &fs.mc)
 			return
 		}
 		ref := motion.Ref{Pix: pick(fs.refs[ch.ref]), W: cw, H: chh, Sharp: sharp}
-		motion.SampleBlock(ref, cx, cy, cmv, dst, cs)
+		motion.SampleBlock(ref, cx, cy, cmv, dst, cs, &fs.mc)
 		return
 	}
 	var reconPlane []uint8
@@ -272,7 +280,8 @@ func storeBlock(plane []uint8, stride, x, y int, blk []uint8, s int) {
 // reference frames stay bit-identical.
 func applyTxBlock(scanned []int32, n, qp int, pred []uint8, predStride, predOff int,
 	plane []uint8, stride, x, y int) {
-	blk := make([]int32, n*n)
+	var blkArr [transform.MaxSize * transform.MaxSize]int32
+	blk := blkArr[:n*n]
 	transform.ScanInverse(scanned, blk, n)
 	transform.Dequantize(blk, qp)
 	transform.Inverse(blk, n)

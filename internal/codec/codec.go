@@ -164,6 +164,12 @@ type Config struct {
 	// Hardware applies VCU pipeline restrictions: no trellis-style
 	// coefficient optimization and a tighter bounded partition search.
 	Hardware bool
+
+	// DisablePyramidSearch turns off the multi-resolution motion-search
+	// seeding (coarse-to-fine over downsampled planes, modeling the
+	// hardware's multi-resolution search). On by default; the flag exists
+	// for A/B quality comparisons in the benchmark harness.
+	DisablePyramidSearch bool
 }
 
 func (c *Config) withDefaults() (Config, error) {

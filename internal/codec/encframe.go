@@ -19,13 +19,30 @@ type encFrame struct {
 	w      *bits.Encoder
 	lambda float64
 	sp     motion.SearchParams
+	// refPyr snapshots the encoder's per-slot search pyramids for this
+	// frame (read-only, shared across tiles).
+	refPyr [numRefSlots]*motion.Pyramid
+
+	// Trial/commit scratch, reused across every candidate evaluation in
+	// this tile (one goroutine). predBuf/cpredBuf hold leaf predictions;
+	// the int32 buffers hold one transform block each; zeroBuf stays
+	// all-zero for whole-block-skip cost probes.
+	predBuf  []uint8
+	cpredBuf []uint8
+	reconBlk []uint8
+	scanBuf  []int32
+	origBuf  []int32
+	residBuf []int32
+	savedBuf []int32
+	zeroBuf  []int32
 }
 
 // newEncFrame builds the coder for one tile of one frame. recon is shared
-// across tiles (each tile writes only its own columns); carried is the
-// cross-frame entropy model, nil for fresh contexts.
-func newEncFrame(e *Encoder, src, recon *video.Frame, qp int, keyframe bool,
-	tileX0, tileX1 int, carried *entropy.Model) *encFrame {
+// across tiles (each tile writes only its own columns); srcPyr is the
+// current frame's search pyramid (nil when disabled or on keyframes);
+// carried is the cross-frame entropy model, nil for fresh contexts.
+func newEncFrame(e *Encoder, src *video.Frame, srcPyr *motion.Pyramid, recon *video.Frame,
+	qp int, keyframe bool, tileX0, tileX1 int, carried *entropy.Model) *encFrame {
 	refs := e.refs
 	valid := e.refValid
 	if keyframe {
@@ -39,8 +56,20 @@ func newEncFrame(e *Encoder, src, recon *video.Frame, qp int, keyframe bool,
 		src:         src,
 		w:           bits.NewEncoder(),
 		lambda:      e.rc.Lambda(qp),
+		refPyr:      e.refPyr,
 	}
+	sb := e.cfg.Profile.SuperblockSize()
+	tx := e.cfg.Profile.MaxTransform()
+	fc.predBuf = make([]uint8, sb*sb)
+	fc.cpredBuf = make([]uint8, (sb/2)*(sb/2))
+	fc.reconBlk = make([]uint8, tx*tx)
+	fc.scanBuf = make([]int32, tx*tx)
+	fc.origBuf = make([]int32, tx*tx)
+	fc.residBuf = make([]int32, tx*tx)
+	fc.savedBuf = make([]int32, tx*tx)
+	fc.zeroBuf = make([]int32, tx*tx)
 	fc.sp = fc.searchParams()
+	fc.sp.CurPyr = srcPyr
 	return fc
 }
 
@@ -56,8 +85,9 @@ func (fc *encFrame) searchParams() motion.SearchParams {
 		p.SubPelDepth = 1
 	}
 	// The hardware search window is bounded by the reference store but is
-	// exhaustive within its multi-resolution schedule; the diamond search
-	// models the same quality class at software cost.
+	// exhaustive within its multi-resolution schedule; the pyramid-seeded
+	// diamond models the same multi-resolution scan at software cost.
+	p.Pyramid = !fc.enc.cfg.DisablePyramidSearch
 	return p
 }
 
@@ -211,12 +241,13 @@ func (fc *encFrame) bestChoice(x, y, s int) (blockChoice, float64) {
 		if !fc.refValid[ref] {
 			continue
 		}
-		r := motion.Ref{Pix: fc.refs[ref].Y, W: fc.pw, H: fc.ph, Sharp: fc.profile.SharpFilter()}
-		res := motion.Search(fc.src.Y[y*fc.pw+x:], fc.pw, r, x, y, pred, s, fc.sp)
+		r := motion.Ref{Pix: fc.refs[ref].Y, W: fc.pw, H: fc.ph,
+			Sharp: fc.profile.SharpFilter(), Pyr: fc.refPyr[ref]}
+		res := motion.Search(fc.src.Y[y*fc.pw+x:], fc.pw, r, x, y, pred, s, fc.sp, &fc.mc)
 		if fc.enc.cfg.Speed == 0 {
 			// Quality mode: re-refine the fractional vector under SATD,
 			// the transform-domain cost SAD mispredicts at sub-pel.
-			res = motion.RefineSubPelSATD(fc.src.Y[y*fc.pw+x:], fc.pw, r, x, y, res, s, fc.sp)
+			res = motion.RefineSubPelSATD(fc.src.Y[y*fc.pw+x:], fc.pw, r, x, y, res, s, fc.sp, &fc.mc)
 		}
 		ch := blockChoice{inter: true, ref: ref, mv: res.MV}
 		try(ch)
@@ -264,8 +295,9 @@ func (fc *encFrame) modeRate(ch blockChoice, x, y int) uint32 {
 }
 
 // evalChoice computes the luma RD cost of a candidate without committing.
+// It runs entirely out of the encFrame scratch buffers.
 func (fc *encFrame) evalChoice(x, y, s int, ch blockChoice) float64 {
-	pred := make([]uint8, s*s)
+	pred := fc.predBuf[:s*s]
 	fc.predictLuma(ch, x, y, s, pred)
 	rate := fc.modeRate(ch, x, y)
 	if ch.skip {
@@ -274,10 +306,10 @@ func (fc *encFrame) evalChoice(x, y, s int, ch blockChoice) float64 {
 	}
 	tx := fc.lumaTx(s)
 	var sse int64
-	scanned := make([]int32, tx*tx)
-	orig := make([]int32, tx*tx)
-	resid := make([]int32, tx*tx)
-	reconBlk := make([]uint8, tx*tx)
+	scanned := fc.scanBuf[:tx*tx]
+	orig := fc.origBuf[:tx*tx]
+	resid := fc.residBuf[:tx*tx]
+	reconBlk := fc.reconBlk[:tx*tx]
 	for by := 0; by < s; by += tx {
 		for bx := 0; bx < s; bx += tx {
 			fc.buildResidual(fc.src.Y, fc.pw, x+bx, y+by, pred, s, bx, by, resid, tx)
@@ -349,7 +381,7 @@ func (fc *encFrame) optimizeCoeffs(scanned, orig []int32, n int, plane int) {
 		runStart++
 		costBefore := fc.model.CoeffCost(plane, scanned, n)
 		var distIncrease float64
-		saved := make([]int32, last-runStart+1)
+		saved := fc.savedBuf[:last-runStart+1]
 		copy(saved, scanned[runStart:last+1])
 		for i := runStart; i <= last; i++ {
 			distIncrease += zeroDelta(i)
@@ -380,7 +412,7 @@ func (fc *encFrame) optimizeCoeffs(scanned, orig []int32, n int, plane int) {
 		}
 	}
 	costCur := fc.model.CoeffCost(plane, scanned, n)
-	costZero := fc.model.CoeffCost(plane, make([]int32, n*n), n)
+	costZero := fc.model.CoeffCost(plane, fc.zeroBuf[:n*n], n)
 	if fc.lambda*float64(costCur-costZero)/256 > distIncrease {
 		for i := 0; i <= last; i++ {
 			scanned[i] = 0
@@ -403,7 +435,8 @@ func (fc *encFrame) buildResidual(src []uint8, stride, sx, sy int,
 // reconTxBlock reconstructs a tx block into out (n×n) from scanned levels
 // and the prediction (leaf-sized, predStride, offset predOff).
 func reconTxBlock(scanned []int32, n, qp int, pred []uint8, predStride, predOff int, out []uint8) {
-	blk := make([]int32, n*n)
+	var blkArr [transform.MaxSize * transform.MaxSize]int32
+	blk := blkArr[:n*n]
 	transform.ScanInverse(scanned, blk, n)
 	transform.Dequantize(blk, qp)
 	transform.Inverse(blk, n)
@@ -448,7 +481,7 @@ func (fc *encFrame) commitLeaf(x, y, s int, ch blockChoice) {
 	}
 
 	// Luma.
-	pred := make([]uint8, s*s)
+	pred := fc.predBuf[:s*s]
 	fc.predictLuma(ch, x, y, s, pred)
 	if ch.skip {
 		storeBlock(fc.recon.Y, fc.pw, x, y, pred, s)
@@ -459,7 +492,7 @@ func (fc *encFrame) commitLeaf(x, y, s int, ch blockChoice) {
 	// Chroma.
 	cs := s / 2
 	cw, _ := video.ChromaDims(fc.pw, fc.ph)
-	cpred := make([]uint8, cs*cs)
+	cpred := fc.cpredBuf[:cs*cs]
 	for pi, plane := range []video.Plane{video.PlaneU, video.PlaneV} {
 		_ = pi
 		fc.predictChromaPlane(ch, plane, x, y, s, cpred)
@@ -488,9 +521,9 @@ func (fc *encFrame) commitLeaf(x, y, s int, ch blockChoice) {
 // reconstructs all tx blocks of one plane of a leaf.
 func (fc *encFrame) commitPlaneResidual(src, recon []uint8, stride, x, y int,
 	pred []uint8, s, tx, planeClass int) {
-	scanned := make([]int32, tx*tx)
-	orig := make([]int32, tx*tx)
-	resid := make([]int32, tx*tx)
+	scanned := fc.scanBuf[:tx*tx]
+	orig := fc.origBuf[:tx*tx]
+	resid := fc.residBuf[:tx*tx]
 	for by := 0; by < s; by += tx {
 		for bx := 0; bx < s; bx += tx {
 			fc.buildResidual(src, stride, x+bx, y+by, pred, s, bx, by, resid, tx)

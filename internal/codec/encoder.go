@@ -22,6 +22,11 @@ type Encoder struct {
 
 	refs     [numRefSlots]*video.Frame
 	refValid [numRefSlots]bool
+	// refPyr mirrors refs: the multi-resolution search pyramid of each
+	// reference plane, built once when the reconstruction is stored
+	// (paper §3.2 — the hardware's reference store feeds a
+	// multi-resolution motion search). Nil when pyramid search is off.
+	refPyr [numRefSlots]*motion.Pyramid
 
 	// model carries the adaptive entropy contexts across inter frames
 	// (VP9-class behavior: probabilities persist within a GOP and reset
@@ -215,10 +220,16 @@ func (e *Encoder) encodeOne(f *video.Frame, displayIdx int, keyframe, show, altr
 	hdrBytes := writeHeader(hdr)
 
 	recon := src.Clone()
+	// The source pyramid seeds this frame's motion searches; it is built
+	// once here and shared read-only by all tile goroutines.
+	var srcPyr *motion.Pyramid
+	if !keyframe && !e.cfg.DisablePyramidSearch {
+		srcPyr = motion.BuildPyramid(src.Y, e.pw, e.ph)
+	}
 	tileData := make([][]byte, tiles)
 	var carriedOut *entropy.Model
 	if tiles == 1 {
-		fc := newEncFrame(e, src, recon, qp, keyframe, 0, e.pw, e.model)
+		fc := newEncFrame(e, src, srcPyr, recon, qp, keyframe, 0, e.pw, e.model)
 		fc.encodeBlocks()
 		tileData[0] = fc.w.Bytes()
 		carriedOut = fc.model
@@ -234,7 +245,7 @@ func (e *Encoder) encodeOne(f *video.Frame, displayIdx int, keyframe, show, altr
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				fc := newEncFrame(e, src, recon, qp, keyframe, x0, x1, nil)
+				fc := newEncFrame(e, src, srcPyr, recon, qp, keyframe, x0, x1, nil)
 				fc.encodeBlocks()
 				tileData[t] = fc.w.Bytes()
 			}()
@@ -253,9 +264,16 @@ func (e *Encoder) encodeOne(f *video.Frame, displayIdx int, keyframe, show, altr
 		restByte = w
 	}
 	data := assembleEnvelope(hdrBytes, tileData, restByte)
+	// Cache the reconstruction's search pyramid alongside the reference:
+	// built once per frame no matter how many slots refresh.
+	var reconPyr *motion.Pyramid
 	for slot, r := range hdr.refresh {
 		if r {
+			if reconPyr == nil && !e.cfg.DisablePyramidSearch {
+				reconPyr = motion.BuildPyramid(recon.Y, e.pw, e.ph)
+			}
 			e.refs[slot] = recon
+			e.refPyr[slot] = reconPyr
 			e.refValid[slot] = true
 		}
 	}
@@ -286,10 +304,11 @@ func groupNoise(frames []*video.Frame) float64 {
 	ref := motion.Ref{Pix: prev.Y, W: prev.Width, H: prev.Height}
 	const n = 16
 	var sad, pixels int64
+	sc := motion.NewScratch()
 	for by := 0; by+n <= cur.Height; by += n * 2 {
 		for bx := 0; bx+n <= cur.Width; bx += n * 2 {
 			res := motion.Search(cur.Y[by*cur.Width+bx:], cur.Width, ref, bx, by,
-				motion.Zero, n, motion.SearchParams{RangeX: 8, RangeY: 8, SubPelDepth: 1})
+				motion.Zero, n, motion.SearchParams{RangeX: 8, RangeY: 8, SubPelDepth: 1}, sc)
 			sad += res.SAD
 			pixels += n * n
 		}

@@ -1,0 +1,79 @@
+package codec
+
+import (
+	"fmt"
+	"testing"
+
+	"openvcu/internal/codec/rc"
+	"openvcu/internal/video"
+)
+
+// bench720pFrames builds the synthetic 1280×720 clip used by the tracked
+// whole-frame encode benchmark (scripts/bench.sh reports the same
+// workload into BENCH_codec.json).
+func bench720pFrames(n int) []*video.Frame {
+	return video.NewSource(video.SourceConfig{
+		Width: 1280, Height: 720, Seed: 7, Detail: 0.5, Motion: 1.5,
+		ObjectMotion: 2, Objects: 2}).Frames(n)
+}
+
+// BenchmarkEncodeFrame720p is the headline hot-path benchmark: a 3-frame
+// 1280×720 VP9-class encode (keyframe + two inter frames), reported in
+// encoded megapixels per second.
+func BenchmarkEncodeFrame720p(b *testing.B) {
+	frames := bench720pFrames(3)
+	cfg := Config{Profile: VP9Class, Width: 1280, Height: 720,
+		RC: rc.Config{BaseQP: 32}}
+	b.ReportAllocs()
+	var pixels int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeSequence(cfg, frames); err != nil {
+			b.Fatal(err)
+		}
+		pixels += int64(len(frames)) * 1280 * 720
+	}
+	b.ReportMetric(float64(pixels)/b.Elapsed().Seconds()/1e6, "Mpix/s")
+}
+
+// BenchmarkEncodeFrame720pFlat is the same encode with pyramid search
+// disabled, isolating the multi-resolution seeding's contribution.
+func BenchmarkEncodeFrame720pFlat(b *testing.B) {
+	frames := bench720pFrames(3)
+	cfg := Config{Profile: VP9Class, Width: 1280, Height: 720,
+		RC: rc.Config{BaseQP: 32}, DisablePyramidSearch: true}
+	b.ReportAllocs()
+	var pixels int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeSequence(cfg, frames); err != nil {
+			b.Fatal(err)
+		}
+		pixels += int64(len(frames)) * 1280 * 720
+	}
+	b.ReportMetric(float64(pixels)/b.Elapsed().Seconds()/1e6, "Mpix/s")
+}
+
+// BenchmarkEncodeSpeeds tracks the speed ladder at 640×360 so regressions
+// off the default path are visible too.
+func BenchmarkEncodeSpeeds(b *testing.B) {
+	src := video.NewSource(video.SourceConfig{
+		Width: 640, Height: 360, Seed: 7, Detail: 0.5, Motion: 1.5,
+		ObjectMotion: 2, Objects: 2}).Frames(3)
+	for _, speed := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("speed%d", speed), func(b *testing.B) {
+			cfg := Config{Profile: VP9Class, Width: 640, Height: 360,
+				Speed: speed, RC: rc.Config{BaseQP: 32}}
+			b.ReportAllocs()
+			var pixels int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := EncodeSequence(cfg, src); err != nil {
+					b.Fatal(err)
+				}
+				pixels += int64(len(src)) * 640 * 360
+			}
+			b.ReportMetric(float64(pixels)/b.Elapsed().Seconds()/1e6, "Mpix/s")
+		})
+	}
+}

@@ -127,6 +127,7 @@ func TemporalFilter(frames []*video.Frame, center int, cfg TemporalFilterConfig)
 		wgt[i] = centerWeight
 	}
 	pred := make([]uint8, n*n)
+	sc := motion.NewScratch()
 	for fi, f := range frames {
 		if fi == center {
 			continue
@@ -140,8 +141,8 @@ func TemporalFilter(frames []*video.Frame, center int, cfg TemporalFilterConfig)
 					continue // skip partial border blocks
 				}
 				res := motion.Search(cur[by*w+bx:], w, ref, bx, by, motion.Zero, n,
-					motion.SearchParams{RangeX: cfg.SearchRange, RangeY: cfg.SearchRange, SubPelDepth: 1})
-				motion.SampleBlock(ref, bx, by, res.MV, pred, n)
+					motion.SearchParams{RangeX: cfg.SearchRange, RangeY: cfg.SearchRange, SubPelDepth: 1}, sc)
+				motion.SampleBlock(ref, bx, by, res.MV, pred, n, sc)
 				for y := 0; y < n; y++ {
 					for x := 0; x < n; x++ {
 						idx := (by+y)*w + bx + x

@@ -1,8 +1,23 @@
 // Package motion implements the motion estimation and compensation stage of
 // the encoder core (paper Fig. 4): multi-reference block search over a
-// bounded window (the SRAM reference store), diamond and exhaustive search,
-// sub-pel refinement down to 1/8-pel by bilinear interpolation, and
-// compound (two-reference averaged) prediction for the VP9-class profile.
+// bounded window (the SRAM reference store), multi-resolution pyramid
+// seeding, diamond and exhaustive search, sub-pel refinement down to
+// 1/8-pel, and compound (two-reference averaged) prediction for the
+// VP9-class profile.
+//
+// The pixel kernels are organized in three layers:
+//
+//   - swar.go: SWAR primitives processing 8 pixels per uint64 (SAD rows,
+//     compound averaging).
+//   - motion.go (this file): the interpolators and search, with fast
+//     fully-in-bounds paths that hoist edge clamping out of the inner
+//     loops and separable row/column passes for the sub-pel filters.
+//   - reference.go: the retained scalar kernels, bit-exact ground truth
+//     for the differential tests and the implementation of the clamped
+//     edge paths.
+//
+// Nothing in this package allocates per call (vculint hotalloc enforces
+// it); callers thread a *Scratch for the buffers the kernels need.
 package motion
 
 // MV is a motion vector in 1/8-pel units.
@@ -29,6 +44,10 @@ type Ref struct {
 	// (VP9's 8-tap family); the H.264-class profile keeps the simpler
 	// one — sub-pel prediction quality is one of the newer codec's tools.
 	Sharp bool
+	// Pyr, if non-nil, is the downsampled pyramid of Pix, enabling
+	// multi-resolution search seeding. The encoder builds it once per
+	// reference frame and caches it in the reference store.
+	Pyr *Pyramid
 }
 
 // catmullTaps[f] are the 4 integer taps (sum 64) of the Catmull-Rom
@@ -76,9 +95,9 @@ func clampCoord(v, max int) int {
 
 // SampleBlock fills dst (n×n row-major) with the motion-compensated
 // prediction for the block whose top-left is (bx, by), displaced by mv.
-// Fractional positions use bilinear interpolation; out-of-frame positions
-// use edge extension.
-func SampleBlock(ref Ref, bx, by int, mv MV, dst []uint8, n int) {
+// Fractional positions use the reference's sub-pel filter; out-of-frame
+// positions use edge extension. sc provides the interpolation scratch.
+func SampleBlock(ref Ref, bx, by int, mv MV, dst []uint8, n int, sc *Scratch) {
 	// Absolute position in 1/8-pel units; floor-divide so the fractional
 	// part is always non-negative regardless of the vector's sign.
 	px := bx*8 + int(mv.X)
@@ -88,100 +107,147 @@ func SampleBlock(ref Ref, bx, by int, mv MV, dst []uint8, n int) {
 	fx := px - ix*8
 	fy := py - iy*8
 	if fx == 0 && fy == 0 {
-		for y := 0; y < n; y++ {
-			sy := clampCoord(iy+y, ref.H)
-			for x := 0; x < n; x++ {
-				sx := clampCoord(ix+x, ref.W)
-				dst[y*n+x] = ref.Pix[sy*ref.W+sx]
+		if ix >= 0 && iy >= 0 && ix+n <= ref.W && iy+n <= ref.H {
+			src := ref.Pix[iy*ref.W+ix:]
+			for y := 0; y < n; y++ {
+				copy(dst[y*n:y*n+n], src[y*ref.W:y*ref.W+n])
 			}
+			return
 		}
+		sampleFullPelRef(ref, ix, iy, dst, n)
 		return
 	}
 	if ref.Sharp {
-		sampleSharp(ref, ix, iy, fx, fy, dst, n)
+		sampleSharp(ref, ix, iy, fx, fy, dst, n, sc)
 		return
 	}
-	for y := 0; y < n; y++ {
-		sy0 := clampCoord(iy+y, ref.H)
-		sy1 := clampCoord(iy+y+1, ref.H)
-		for x := 0; x < n; x++ {
-			sx0 := clampCoord(ix+x, ref.W)
-			sx1 := clampCoord(ix+x+1, ref.W)
-			p00 := int32(ref.Pix[sy0*ref.W+sx0])
-			p01 := int32(ref.Pix[sy0*ref.W+sx1])
-			p10 := int32(ref.Pix[sy1*ref.W+sx0])
-			p11 := int32(ref.Pix[sy1*ref.W+sx1])
-			top := p00*int32(8-fx) + p01*int32(fx)
-			bot := p10*int32(8-fx) + p11*int32(fx)
-			dst[y*n+x] = uint8((top*int32(8-fy) + bot*int32(fy) + 32) >> 6)
-		}
-	}
+	sampleBilinear(ref, ix, iy, fx, fy, dst, n, sc)
 }
 
-// sampleSharp applies the separable 4-tap Catmull-Rom interpolator at
-// phase (fx, fy)/8 with edge extension. Weights are Q6 per axis (Q12
-// combined).
-func sampleSharp(ref Ref, ix, iy, fx, fy int, dst []uint8, n int) {
-	tx := catmullTaps[fx]
-	ty := catmullTaps[fy]
-	for y := 0; y < n; y++ {
-		for x := 0; x < n; x++ {
-			var acc int32
-			for r := 0; r < 4; r++ {
-				sy := clampCoord(iy+y+r-1, ref.H)
-				row := ref.Pix[sy*ref.W:]
-				var h int32
-				for c := 0; c < 4; c++ {
-					sx := clampCoord(ix+x+c-1, ref.W)
-					h += tx[c] * int32(row[sx])
-				}
-				acc += ty[r] * h
+// sampleSharp applies the 4-tap Catmull-Rom interpolator at phase
+// (fx, fy)/8 in separable form: a horizontal pass over n+3 source rows
+// into an int16 intermediate (max magnitude 72·255 = 18360, comfortably
+// in range) followed by a vertical pass — 8 multiplies per output pixel
+// instead of the direct form's 16. Weights are Q6 per axis (Q12
+// combined); the integer intermediate makes the result bit-exact with
+// the direct scalar form in reference.go.
+func sampleSharp(ref Ref, ix, iy, fx, fy int, dst []uint8, n int, sc *Scratch) {
+	sc.setup(n)
+	hbuf := sc.interp
+	tx := &catmullTaps[fx]
+	ty := &catmullTaps[fy]
+	rows := n + 3
+	if ix >= 1 && iy >= 1 && ix+n+2 <= ref.W && iy+n+2 <= ref.H {
+		// Interior fast path: no clamping, rolling window of source taps.
+		for r := 0; r < rows; r++ {
+			src := ref.Pix[(iy+r-1)*ref.W+ix-1:]
+			hr := hbuf[r*n : r*n+n]
+			p0, p1, p2 := int32(src[0]), int32(src[1]), int32(src[2])
+			for x := 0; x < n; x++ {
+				p3 := int32(src[x+3])
+				hr[x] = int16(tx[0]*p0 + tx[1]*p1 + tx[2]*p2 + tx[3]*p3)
+				p0, p1, p2 = p1, p2, p3
 			}
-			v := (acc + 1<<11) >> 12
+		}
+	} else {
+		for r := 0; r < rows; r++ {
+			sy := clampCoord(iy+r-1, ref.H)
+			src := ref.Pix[sy*ref.W:]
+			hr := hbuf[r*n : r*n+n]
+			for x := 0; x < n; x++ {
+				h := tx[0]*int32(src[clampCoord(ix+x-1, ref.W)]) +
+					tx[1]*int32(src[clampCoord(ix+x, ref.W)]) +
+					tx[2]*int32(src[clampCoord(ix+x+1, ref.W)]) +
+					tx[3]*int32(src[clampCoord(ix+x+2, ref.W)])
+				hr[x] = int16(h)
+			}
+		}
+	}
+	for y := 0; y < n; y++ {
+		h0 := hbuf[y*n : y*n+n]
+		h1 := hbuf[(y+1)*n : (y+1)*n+n]
+		h2 := hbuf[(y+2)*n : (y+2)*n+n]
+		h3 := hbuf[(y+3)*n : (y+3)*n+n]
+		drow := dst[y*n : y*n+n]
+		for x := 0; x < n; x++ {
+			v := (ty[0]*int32(h0[x]) + ty[1]*int32(h1[x]) +
+				ty[2]*int32(h2[x]) + ty[3]*int32(h3[x]) + 1<<11) >> 12
 			if v < 0 {
 				v = 0
 			}
 			if v > 255 {
 				v = 255
 			}
-			dst[y*n+x] = uint8(v)
+			drow[x] = uint8(v)
+		}
+	}
+}
+
+// sampleBilinear applies the 2-tap bilinear interpolator in separable
+// form: horizontal Q3 pass into int16 (max 8·255 = 2040), then a Q3
+// vertical pass with the same +32 >> 6 rounding as the direct form, so
+// the output is bit-exact with it (no clamp needed: the result is always
+// in 0..255).
+func sampleBilinear(ref Ref, ix, iy, fx, fy int, dst []uint8, n int, sc *Scratch) {
+	sc.setup(n)
+	hbuf := sc.interp
+	w0, w1 := int32(8-fx), int32(fx)
+	v0, v1 := int32(8-fy), int32(fy)
+	rows := n + 1
+	if ix >= 0 && iy >= 0 && ix+n+1 <= ref.W && iy+n+1 <= ref.H {
+		for r := 0; r < rows; r++ {
+			src := ref.Pix[(iy+r)*ref.W+ix:]
+			hr := hbuf[r*n : r*n+n]
+			p0 := int32(src[0])
+			for x := 0; x < n; x++ {
+				p1 := int32(src[x+1])
+				hr[x] = int16(p0*w0 + p1*w1)
+				p0 = p1
+			}
+		}
+	} else {
+		for r := 0; r < rows; r++ {
+			sy := clampCoord(iy+r, ref.H)
+			src := ref.Pix[sy*ref.W:]
+			hr := hbuf[r*n : r*n+n]
+			for x := 0; x < n; x++ {
+				p0 := int32(src[clampCoord(ix+x, ref.W)])
+				p1 := int32(src[clampCoord(ix+x+1, ref.W)])
+				hr[x] = int16(p0*w0 + p1*w1)
+			}
+		}
+	}
+	for y := 0; y < n; y++ {
+		h0 := hbuf[y*n : y*n+n]
+		h1 := hbuf[(y+1)*n : (y+1)*n+n]
+		drow := dst[y*n : y*n+n]
+		for x := 0; x < n; x++ {
+			drow[x] = uint8((v0*int32(h0[x]) + v1*int32(h1[x]) + 32) >> 6)
 		}
 	}
 }
 
 // SampleCompound fills dst with the average of two single-reference
-// predictions (VP9 compound prediction).
-func SampleCompound(refA Ref, mvA MV, refB Ref, mvB MV, bx, by int, dst []uint8, n int) {
-	tmp := make([]uint8, n*n)
-	SampleBlock(refA, bx, by, mvA, dst, n)
-	SampleBlock(refB, bx, by, mvB, tmp, n)
-	for i := range dst[:n*n] {
-		dst[i] = uint8((int32(dst[i]) + int32(tmp[i]) + 1) >> 1)
-	}
+// predictions (VP9 compound prediction). The second prediction lands in
+// sc.pred and the blend runs 8 pixels per step.
+func SampleCompound(refA Ref, mvA MV, refB Ref, mvB MV, bx, by int, dst []uint8, n int, sc *Scratch) {
+	sc.setup(n)
+	SampleBlock(refA, bx, by, mvA, dst, n, sc)
+	tmp := sc.pred
+	SampleBlock(refB, bx, by, mvB, tmp, n, sc)
+	avgBlocks(dst[:n*n], tmp, n*n)
 }
 
 // blockSAD computes the SAD between the current block (cur with stride
-// curStride at origin) and the full-pel reference block at (ix, iy).
+// curStride at origin) and the full-pel reference block at (ix, iy),
+// with early exit once the running total reaches best. Fully-in-bounds
+// blocks take the SWAR path; edge-straddling blocks fall back to the
+// clamped scalar reference.
 func blockSAD(cur []uint8, curStride int, ref Ref, ix, iy, n int, best int64) int64 {
-	var sad int64
-	inBounds := ix >= 0 && iy >= 0 && ix+n <= ref.W && iy+n <= ref.H
-	if inBounds {
-		for y := 0; y < n; y++ {
-			crow := cur[y*curStride:]
-			rrow := ref.Pix[(iy+y)*ref.W+ix:]
-			for x := 0; x < n; x++ {
-				d := int32(crow[x]) - int32(rrow[x])
-				if d < 0 {
-					d = -d
-				}
-				sad += int64(d)
-			}
-			if sad >= best {
-				return sad // early exit
-			}
-		}
-		return sad
+	if ix >= 0 && iy >= 0 && ix+n <= ref.W && iy+n <= ref.H {
+		return sadPlanar(cur, curStride, ref.Pix[iy*ref.W+ix:], ref.W, n, best)
 	}
+	var sad int64
 	for y := 0; y < n; y++ {
 		sy := clampCoord(iy+y, ref.H)
 		for x := 0; x < n; x++ {
@@ -199,20 +265,14 @@ func blockSAD(cur []uint8, curStride int, ref Ref, ix, iy, n int, best int64) in
 	return sad
 }
 
-// subPelSAD computes SAD for an arbitrary (possibly fractional) mv.
-func subPelSAD(cur []uint8, curStride int, ref Ref, bx, by int, mv MV, n int, scratch []uint8) int64 {
-	SampleBlock(ref, bx, by, mv, scratch, n)
-	var sad int64
-	for y := 0; y < n; y++ {
-		for x := 0; x < n; x++ {
-			d := int32(cur[y*curStride+x]) - int32(scratch[y*n+x])
-			if d < 0 {
-				d = -d
-			}
-			sad += int64(d)
-		}
-	}
-	return sad
+// subPelSAD computes SAD for an arbitrary (possibly fractional) mv: the
+// candidate is interpolated into sc.pred and compared with the SWAR row
+// kernel.
+func subPelSAD(cur []uint8, curStride int, ref Ref, bx, by int, mv MV, n int, sc *Scratch) int64 {
+	sc.setup(n)
+	pred := sc.pred
+	SampleBlock(ref, bx, by, mv, pred, n, sc)
+	return sadPlanar(cur, curStride, pred, n, n, 1<<62)
 }
 
 // SearchParams bound the motion search. They model the hardware reference
@@ -231,11 +291,19 @@ type SearchParams struct {
 	// LambdaMVCost, if nonzero, adds an MV-magnitude penalty (in SAD units
 	// per 1/8-pel step) approximating the rate cost of coding the vector.
 	LambdaMVCost int64
+	// Pyramid enables multi-resolution seeding: when the reference
+	// carries a pyramid and CurPyr is set, the full-pel diamond starts
+	// from the coarse-level winner and skips the large-step phase.
+	Pyramid bool
+	// CurPyr is the pyramid of the current source plane, built once per
+	// frame by the encoder.
+	CurPyr *Pyramid
 }
 
 // HardwareWindow is the reference-store-limited search window of the VCU
-// encoder core.
-var HardwareWindow = SearchParams{RangeX: 128, RangeY: 64, SubPelDepth: 3, Exhaustive: false, LambdaMVCost: 2}
+// encoder core. The real hardware searches multi-resolution exhaustively;
+// with a pyramid attached this uses the coarse-to-fine model.
+var HardwareWindow = SearchParams{RangeX: 128, RangeY: 64, SubPelDepth: 3, Exhaustive: false, LambdaMVCost: 2, Pyramid: true}
 
 // Result is the outcome of a motion search.
 type Result struct {
@@ -246,8 +314,9 @@ type Result struct {
 // Search finds the best motion vector for the n×n block at (bx, by) of the
 // current plane (cur, stride curStride addresses the block's top-left
 // pixel). pred is the predicted vector used both as a search start and as
-// the rate-cost origin.
-func Search(cur []uint8, curStride int, ref Ref, bx, by int, pred MV, n int, p SearchParams) Result {
+// the rate-cost origin. sc provides the sub-pel scratch; it must not be
+// shared across goroutines.
+func Search(cur []uint8, curStride int, ref Ref, bx, by int, pred MV, n int, p SearchParams, sc *Scratch) Result {
 	mvCost := func(mv MV) int64 {
 		if p.LambdaMVCost == 0 {
 			return 0
@@ -285,6 +354,24 @@ func Search(cur []uint8, curStride int, ref Ref, bx, by int, pred MV, n int, p S
 		tryFull(px, py)
 	}
 
+	// Multi-resolution seeding: the coarse levels localize large motion,
+	// so the full-resolution diamond only needs small steps. Requires
+	// 4-aligned block geometry so the quarter-res block is well-formed.
+	usePyr := p.Pyramid && !p.Exhaustive && p.CurPyr != nil && ref.Pyr != nil &&
+		n >= 16 && n%4 == 0 && bx%4 == 0 && by%4 == 0
+	if usePyr {
+		sx, sy := pyramidSeed(p.CurPyr, ref.Pyr, bx, by, n, p)
+		// 3×3 full-res refinement around the seed: the upsampled coarse
+		// winner can be off by one in each axis (half-pel rounding at the
+		// half-res level), and the axis-only diamond below cannot recover
+		// a diagonal miss on textured content.
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				tryFull(sx+dx, sy+dy)
+			}
+		}
+	}
+
 	if p.Exhaustive {
 		for dy := -p.RangeY; dy <= p.RangeY; dy++ {
 			for dx := -p.RangeX; dx <= p.RangeX; dx++ {
@@ -292,8 +379,13 @@ func Search(cur []uint8, curStride int, ref Ref, bx, by int, pred MV, n int, p S
 			}
 		}
 	} else {
-		// Large-diamond-to-small-diamond search from the best start.
+		// Large-diamond-to-small-diamond search from the best start. With
+		// a pyramid seed the coarse walk is already done at quarter/half
+		// resolution: start at step 2 (the seed's upsampling uncertainty).
 		step := maxInt(p.RangeX/2, 1)
+		if usePyr {
+			step = 2
+		}
 		for step >= 1 {
 			improved := true
 			for improved {
@@ -316,25 +408,22 @@ func Search(cur []uint8, curStride int, ref Ref, bx, by int, pred MV, n int, p S
 	}
 
 	// Sub-pel refinement: successively halve the step in 1/8-pel units.
-	if p.SubPelDepth > 0 {
-		scratch := make([]uint8, n*n)
-		for depth := 1; depth <= p.SubPelDepth; depth++ {
-			step := int16(8 >> uint(depth)) // 4, 2, 1
-			improved := true
-			for improved {
-				improved = false
-				base := best.MV
-				for _, d := range [4]MV{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
-					mv := base.Add(d)
-					cost := mvCost(mv)
-					if cost >= best.SAD {
-						continue
-					}
-					sad := subPelSAD(cur, curStride, ref, bx, by, mv, n, scratch) + cost
-					if sad < best.SAD {
-						best = Result{mv, sad}
-						improved = true
-					}
+	for depth := 1; depth <= p.SubPelDepth; depth++ {
+		step := int16(8 >> uint(depth)) // 4, 2, 1
+		improved := true
+		for improved {
+			improved = false
+			base := best.MV
+			for _, d := range [4]MV{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
+				mv := base.Add(d)
+				cost := mvCost(mv)
+				if cost >= best.SAD {
+					continue
+				}
+				sad := subPelSAD(cur, curStride, ref, bx, by, mv, n, sc) + cost
+				if sad < best.SAD {
+					best = Result{mv, sad}
+					improved = true
 				}
 			}
 		}
@@ -346,17 +435,21 @@ func Search(cur []uint8, curStride int, ref Ref, bx, by int, pred MV, n int, p S
 // for both search initialization and differential MV coding. Missing
 // neighbors are treated as zero.
 func PredictMV(left, above, aboveRight MV, hasLeft, hasAbove, hasAR bool) MV {
-	cands := make([]MV, 0, 3)
+	var cands [3]MV
+	k := 0
 	if hasLeft {
-		cands = append(cands, left)
+		cands[k] = left
+		k++
 	}
 	if hasAbove {
-		cands = append(cands, above)
+		cands[k] = above
+		k++
 	}
 	if hasAR {
-		cands = append(cands, aboveRight)
+		cands[k] = aboveRight
+		k++
 	}
-	switch len(cands) {
+	switch k {
 	case 0:
 		return Zero
 	case 1:

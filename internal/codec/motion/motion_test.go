@@ -45,7 +45,7 @@ func TestSearchFindsExactTranslation(t *testing.T) {
 	ref := Ref{Pix: refPix, W: w, H: h}
 	p := SearchParams{RangeX: 16, RangeY: 16, SubPelDepth: 0, Exhaustive: true}
 	bx, by := 48, 40
-	res := Search(curPix[by*w+bx:], w, ref, bx, by, Zero, 16, p)
+	res := Search(curPix[by*w+bx:], w, ref, bx, by, Zero, 16, p, NewScratch())
 	if res.MV.X != 5*8 || res.MV.Y != -3*8 {
 		t.Fatalf("found MV (%d,%d)/8, want (40,-24)/8; sad=%d", res.MV.X, res.MV.Y, res.SAD)
 	}
@@ -61,9 +61,9 @@ func TestDiamondMatchesExhaustiveOnSmoothContent(t *testing.T) {
 	ref := Ref{Pix: refPix, W: w, H: h}
 	bx, by := 32, 32
 	ex := Search(curPix[by*w+bx:], w, ref, bx, by, Zero, 16,
-		SearchParams{RangeX: 12, RangeY: 12, Exhaustive: true})
+		SearchParams{RangeX: 12, RangeY: 12, Exhaustive: true}, NewScratch())
 	di := Search(curPix[by*w+bx:], w, ref, bx, by, Zero, 16,
-		SearchParams{RangeX: 12, RangeY: 12, Exhaustive: false})
+		SearchParams{RangeX: 12, RangeY: 12, Exhaustive: false}, NewScratch())
 	if ex.SAD != 0 {
 		t.Fatalf("exhaustive should find exact match, sad=%d", ex.SAD)
 	}
@@ -89,9 +89,9 @@ func TestSubPelRefinementImproves(t *testing.T) {
 	ref := Ref{Pix: refPix, W: w, H: h}
 	bx, by := 32, 24
 	full := Search(curPix[by*w+bx:], w, ref, bx, by, Zero, 16,
-		SearchParams{RangeX: 8, RangeY: 8, SubPelDepth: 0, Exhaustive: true})
+		SearchParams{RangeX: 8, RangeY: 8, SubPelDepth: 0, Exhaustive: true}, NewScratch())
 	half := Search(curPix[by*w+bx:], w, ref, bx, by, Zero, 16,
-		SearchParams{RangeX: 8, RangeY: 8, SubPelDepth: 1, Exhaustive: true})
+		SearchParams{RangeX: 8, RangeY: 8, SubPelDepth: 1, Exhaustive: true}, NewScratch())
 	if half.SAD >= full.SAD {
 		t.Fatalf("half-pel refinement did not improve: full=%d half=%d", full.SAD, half.SAD)
 	}
@@ -105,7 +105,7 @@ func TestSampleBlockFullPelIdentity(t *testing.T) {
 	pix := makePlane(w, h, 4)
 	ref := Ref{Pix: pix, W: w, H: h}
 	dst := make([]uint8, 64)
-	SampleBlock(ref, 8, 8, Zero, dst, 8)
+	SampleBlock(ref, 8, 8, Zero, dst, 8, NewScratch())
 	for y := 0; y < 8; y++ {
 		for x := 0; x < 8; x++ {
 			if dst[y*8+x] != pix[(8+y)*w+8+x] {
@@ -124,7 +124,7 @@ func TestSampleBlockNegativeFraction(t *testing.T) {
 	}
 	ref := Ref{Pix: pix, W: w, H: h}
 	dst := make([]uint8, 16)
-	SampleBlock(ref, 4, 4, MV{X: -1}, dst, 4)
+	SampleBlock(ref, 4, 4, MV{X: -1}, dst, 4, NewScratch())
 	// position 4 - 1/8: between col 3 (30) and col 4 (40): 40*7/8+30/8 = 38.75 -> 39
 	if dst[0] != 39 {
 		t.Fatalf("negative fraction sample = %d, want 39", dst[0])
@@ -140,7 +140,7 @@ func TestSampleCompoundAverages(t *testing.T) {
 		b[i] = 200
 	}
 	dst := make([]uint8, 16)
-	SampleCompound(Ref{Pix: a, W: w, H: h}, Zero, Ref{Pix: b, W: w, H: h}, Zero, 4, 4, dst, 4)
+	SampleCompound(Ref{Pix: a, W: w, H: h}, Zero, Ref{Pix: b, W: w, H: h}, Zero, 4, 4, dst, 4, NewScratch())
 	for _, v := range dst {
 		if v != 150 {
 			t.Fatalf("compound = %d, want 150", v)
@@ -159,7 +159,7 @@ func TestMVCostPenaltyPrefersPredicted(t *testing.T) {
 	ref := Ref{Pix: pix, W: w, H: h}
 	pred := MV{X: 16, Y: 8} // 2,1 full pel
 	res := Search(pix[32*w+32:], w, ref, 32, 32, pred, 8,
-		SearchParams{RangeX: 4, RangeY: 4, Exhaustive: true, LambdaMVCost: 5})
+		SearchParams{RangeX: 4, RangeY: 4, Exhaustive: true, LambdaMVCost: 5}, NewScratch())
 	if res.MV != pred {
 		t.Fatalf("search returned (%d,%d), want predicted (16,8)", res.MV.X, res.MV.Y)
 	}
@@ -184,7 +184,7 @@ func TestSearchStaysInWindow(t *testing.T) {
 	curPix := shift(refPix, w, h, 40, 0) // true motion beyond the window
 	ref := Ref{Pix: refPix, W: w, H: h}
 	p := SearchParams{RangeX: 8, RangeY: 8, Exhaustive: true}
-	res := Search(curPix[128*w+128:], w, ref, 128, 128, Zero, 16, p)
+	res := Search(curPix[128*w+128:], w, ref, 128, 128, Zero, 16, p, NewScratch())
 	if res.MV.X > 8*8 || res.MV.X < -8*8 || res.MV.Y > 8*8 || res.MV.Y < -8*8 {
 		t.Fatalf("MV (%d,%d) escaped the search window", res.MV.X, res.MV.Y)
 	}
@@ -197,8 +197,10 @@ func BenchmarkDiamondSearch16(b *testing.B) {
 	ref := Ref{Pix: refPix, W: w, H: h}
 	p := SearchParams{RangeX: 16, RangeY: 16, SubPelDepth: 2, LambdaMVCost: 2}
 	b.ReportAllocs()
+	sc := NewScratch()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Search(curPix[100*w+100:], w, ref, 100, 100, Zero, 16, p)
+		Search(curPix[100*w+100:], w, ref, 100, 100, Zero, 16, p, sc)
 	}
 }
 
@@ -209,8 +211,10 @@ func BenchmarkExhaustiveSearch16(b *testing.B) {
 	ref := Ref{Pix: refPix, W: w, H: h}
 	p := SearchParams{RangeX: 16, RangeY: 16, Exhaustive: true}
 	b.ReportAllocs()
+	sc := NewScratch()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Search(curPix[100*w+100:], w, ref, 100, 100, Zero, 16, p)
+		Search(curPix[100*w+100:], w, ref, 100, 100, Zero, 16, p, sc)
 	}
 }
 
@@ -269,9 +273,9 @@ func TestRefineSubPelSATDImproves(t *testing.T) {
 	ref := Ref{Pix: refPix, W: w, H: h}
 	bx, by := 32, 24
 	full := Search(curPix[by*w+bx:], w, ref, bx, by, Zero, 16,
-		SearchParams{RangeX: 8, RangeY: 8, SubPelDepth: 0, Exhaustive: true})
+		SearchParams{RangeX: 8, RangeY: 8, SubPelDepth: 0, Exhaustive: true}, NewScratch())
 	refined := RefineSubPelSATD(curPix[by*w+bx:], w, ref, bx, by, full, 16,
-		SearchParams{SubPelDepth: 2})
+		SearchParams{SubPelDepth: 2}, NewScratch())
 	startCost := BlockSATD(curPix[by*w+bx:], w, sample(ref, bx, by, full.MV, 16), 16)
 	if refined.SAD > startCost {
 		t.Fatalf("SATD refinement went backwards: %d -> %d", startCost, refined.SAD)
@@ -283,6 +287,6 @@ func TestRefineSubPelSATDImproves(t *testing.T) {
 
 func sample(ref Ref, bx, by int, mv MV, n int) []uint8 {
 	dst := make([]uint8, n*n)
-	SampleBlock(ref, bx, by, mv, dst, n)
+	SampleBlock(ref, bx, by, mv, dst, n, NewScratch())
 	return dst
 }

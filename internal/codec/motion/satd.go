@@ -70,11 +70,13 @@ func BlockSATD(cur []uint8, curStride int, pred []uint8, n int) int64 {
 
 // RefineSubPelSATD re-runs the sub-pel refinement of a full-pel search
 // result using SATD instead of SAD, returning the improved vector. Used
-// by quality (Speed 0) encoding.
-func RefineSubPelSATD(cur []uint8, curStride int, ref Ref, bx, by int, start Result, n int, p SearchParams) Result {
-	scratch := make([]uint8, n*n)
+// by quality (Speed 0) encoding. Candidates are interpolated into
+// sc.pred.
+func RefineSubPelSATD(cur []uint8, curStride int, ref Ref, bx, by int, start Result, n int, p SearchParams, sc *Scratch) Result {
+	sc.setup(n)
+	scratch := sc.pred
 	cost := func(mv MV) int64 {
-		SampleBlock(ref, bx, by, mv, scratch, n)
+		SampleBlock(ref, bx, by, mv, scratch, n, sc)
 		return BlockSATD(cur, curStride, scratch, n)
 	}
 	best := Result{MV: start.MV, SAD: cost(start.MV)}

@@ -1,0 +1,99 @@
+package motion
+
+// SWAR (SIMD-within-a-register) pixel kernels: 8 pixels per uint64 load.
+// These model the VCU's wide datapath (paper §3.2 — the hardware encoder
+// core processes whole sample rows per cycle) within pure Go. Every kernel
+// here is bit-exact against the scalar references in reference.go; the
+// differential tests in kernels_test.go enforce that across block sizes,
+// strides, edge positions, and all fractional phases.
+//
+// The loads go through encoding/binary's LittleEndian, which the compiler
+// turns into a single MOV on little-endian targets. Byte order does not
+// affect correctness: SAD and averaging are per-byte operations whose
+// horizontal reductions are order-independent.
+
+import "encoding/binary"
+
+const (
+	swarMSB  = 0x8080808080808080 // per-byte sign bit
+	swarLow7 = 0x7f7f7f7f7f7f7f7f
+	swarLo16 = 0x00ff00ff00ff00ff // even bytes of each 16-bit lane
+	swarOnes = 0x0001000100010001 // horizontal-fold multiplier
+)
+
+// absDiffU64 returns the per-byte absolute difference |a-b| of two packed
+// 8-byte vectors. Standard SWAR construction: compute the wrapped per-byte
+// difference d with the borrow chain cut at byte boundaries, recover the
+// per-byte borrow-out (a<b) mask, and conditionally negate. When a byte
+// borrows, d is nonzero, so the two's-complement negation (^d)+1 cannot
+// carry across the byte boundary.
+func absDiffU64(a, b uint64) uint64 {
+	d := ((a | swarMSB) - (b &^ swarMSB)) ^ ((a ^ ^b) & swarMSB)
+	borrow := ((^a & b) | ((^a | b) & d)) & swarMSB
+	lt := borrow >> 7 // 0x01 in each byte where a < b
+	return (d ^ (lt * 0xff)) + lt
+}
+
+// avgRoundU64 returns the per-byte rounding average (a+b+1)>>1, matching
+// the compound-prediction blend. Identity: a+b = (a|b)+(a&b), so
+// (a+b+1)>>1 == (a|b) - ((a^b)>>1). The mask keeps the shift from leaking
+// a neighbor byte's low bit into this byte's high bit.
+func avgRoundU64(a, b uint64) uint64 {
+	return (a | b) - (((a ^ b) >> 1) & swarLow7)
+}
+
+// sadRow returns the SAD of two n-pixel rows. The packed absolute
+// differences are accumulated in eight 16-bit lanes (each lane holds the
+// sum of the even or odd bytes: at most 16 chunks = 4080 per lane for the
+// largest n of 128, well under 65535) and folded with one multiply.
+func sadRow(a, b []uint8, n int) int64 {
+	var acc uint64
+	x := 0
+	for ; x+8 <= n; x += 8 {
+		v := absDiffU64(binary.LittleEndian.Uint64(a[x:]), binary.LittleEndian.Uint64(b[x:]))
+		acc += (v & swarLo16) + ((v >> 8) & swarLo16)
+	}
+	sum := int64((acc * swarOnes) >> 48)
+	for ; x < n; x++ { // 4-wide blocks leave a scalar tail
+		d := int32(a[x]) - int32(b[x])
+		if d < 0 {
+			d = -d
+		}
+		sum += int64(d)
+	}
+	return sum
+}
+
+// sadPlanar computes the SAD between an n×n block of a (stride aStride)
+// and an n×n block of b (stride bStride), with per-row early exit once the
+// running total reaches best. Both blocks must be fully in bounds.
+func sadPlanar(a []uint8, aStride int, b []uint8, bStride, n int, best int64) int64 {
+	var sad int64
+	for y := 0; y < n; y++ {
+		sad += sadRow(a[y*aStride:], b[y*bStride:], n)
+		if sad >= best {
+			return sad
+		}
+	}
+	return sad
+}
+
+// PlanarSAD is the exported SAD entry point for benchmarks and tooling:
+// SAD between an n×n block of a and an n×n block of b at the given
+// strides, no early exit. Both blocks must be fully in bounds.
+func PlanarSAD(a []uint8, aStride int, b []uint8, bStride, n int) int64 {
+	return sadPlanar(a, aStride, b, bStride, n, 1<<62)
+}
+
+// avgBlocks overwrites dst[:count] with the per-byte rounding average of
+// dst and src, 8 bytes at a time.
+func avgBlocks(dst, src []uint8, count int) {
+	i := 0
+	for ; i+8 <= count; i += 8 {
+		v := avgRoundU64(binary.LittleEndian.Uint64(dst[i:]), binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < count; i++ {
+		dst[i] = uint8((int32(dst[i]) + int32(src[i]) + 1) >> 1)
+	}
+}

@@ -45,19 +45,31 @@ type Neighbors struct {
 	HasLeft  bool
 }
 
+// MaxN is the largest block size the predictors serve (the AV1-class
+// superblock).
+const MaxN = 128
+
+// NeighborBuf backs one gathered neighbor set without allocating: the
+// returned Neighbors slices alias its arrays. One buffer per
+// single-threaded coding context; the contents are only valid until the
+// next gather.
+type NeighborBuf struct {
+	above, left [MaxN]uint8
+}
+
 // GatherNeighbors extracts the neighbor set for the n×n block at (x, y) in
 // plane data of width w, height h. recon must contain reconstructed pixels
 // for everything above and left of the block in coding order.
-func GatherNeighbors(recon []uint8, w, h, x, y, n int) Neighbors {
-	return GatherNeighborsBounded(recon, w, h, x, y, n, 0)
+func GatherNeighbors(recon []uint8, w, h, x, y, n int, buf *NeighborBuf) Neighbors {
+	return GatherNeighborsBounded(recon, w, h, x, y, n, 0, buf)
 }
 
 // GatherNeighborsBounded is GatherNeighbors with a left availability
 // bound: blocks at or left of minX have no left neighbors, and the pixels
 // beyond the bound are never read — required for tile columns, whose left
 // neighbor may be encoded concurrently by another goroutine.
-func GatherNeighborsBounded(recon []uint8, w, h, x, y, n, minX int) Neighbors {
-	nb := Neighbors{Above: make([]uint8, n), Left: make([]uint8, n)}
+func GatherNeighborsBounded(recon []uint8, w, h, x, y, n, minX int, buf *NeighborBuf) Neighbors {
+	nb := Neighbors{Above: buf.above[:n], Left: buf.left[:n]}
 	if y > 0 {
 		nb.HasAbove = true
 		for i := 0; i < n; i++ {

@@ -13,12 +13,19 @@ import "math"
 // Sizes supported by the transform stage.
 var Sizes = []int{4, 8, 16, 32}
 
-// cosBasis[n] is the n×n integer DCT basis scaled by 1<<basisShift.
-// Row i, column j holds round(c(i) * cos((2j+1) i pi / 2n) * sqrt(2/n) * 2^basisShift)
+// MaxSize is the largest supported transform dimension; callers size
+// stack scratch blocks with it.
+const MaxSize = 32
+
+// cosBasis[n] is the n×n integer DCT basis scaled by 1<<basisShift,
+// stored row-major with stride n (flat slices: the transforms are on the
+// encode hot path and must not chase per-row pointers or hash a map in
+// their inner loops). Row i, column j holds
+// round(c(i) * cos((2j+1) i pi / 2n) * sqrt(2/n) * 2^basisShift)
 // with c(0)=1/sqrt(2), c(i>0)=1.
 const basisShift = 12
 
-var cosBasis = map[int][][]int32{}
+var cosBasis [MaxSize + 1][]int32
 
 func init() {
 	for _, n := range Sizes {
@@ -26,17 +33,16 @@ func init() {
 	}
 }
 
-func buildBasis(n int) [][]int32 {
-	b := make([][]int32, n)
+func buildBasis(n int) []int32 {
+	b := make([]int32, n*n)
 	for i := 0; i < n; i++ {
-		b[i] = make([]int32, n)
 		ci := math.Sqrt(2.0 / float64(n))
 		if i == 0 {
 			ci *= math.Sqrt(0.5)
 		}
 		for j := 0; j < n; j++ {
 			v := ci * math.Cos(float64(2*j+1)*float64(i)*math.Pi/float64(2*n))
-			b[i][j] = int32(math.Round(v * (1 << basisShift)))
+			b[i*n+j] = int32(math.Round(v * (1 << basisShift)))
 		}
 	}
 	return b
@@ -45,60 +51,100 @@ func buildBasis(n int) [][]int32 {
 // Forward applies the 2-D forward transform to an n×n residual block
 // (row-major int32, values in roughly [-255, 255]) in place, producing
 // coefficients at unit scale (the basis scaling is fully removed, so
-// quantization sees natural-magnitude coefficients).
+// quantization sees natural-magnitude coefficients). Scratch lives on the
+// stack; the function allocates nothing.
 func Forward(block []int32, n int) {
 	basis := cosBasis[n]
-	tmp := make([]int64, n*n)
+	var tmpArr [MaxSize * MaxSize]int64
+	tmp := tmpArr[:n*n]
 	// rows: tmp = block * basisT  (tmp[i][k] = sum_j block[i][j]*basis[k][j])
 	for i := 0; i < n; i++ {
+		row := block[i*n : i*n+n]
 		for k := 0; k < n; k++ {
+			brow := basis[k*n : k*n+n]
 			var acc int64
 			for j := 0; j < n; j++ {
-				acc += int64(block[i*n+j]) * int64(basis[k][j])
+				acc += int64(row[j]) * int64(brow[j])
 			}
 			tmp[i*n+k] = acc
 		}
 	}
-	// cols: out[k][l] = sum_i basis[k][i] * tmp[i][l], then descale 2*basisShift
+	// cols: out[k][l] = sum_i basis[k][i] * tmp[i][l], then descale
+	// 2*basisShift. Accumulating whole output rows keeps the inner loop on
+	// contiguous tmp rows; integer addition is associative, so the
+	// reordering is bit-exact with the direct column walk.
 	const round = int64(1) << (2*basisShift - 1)
+	var accArr [MaxSize]int64
 	for k := 0; k < n; k++ {
-		for l := 0; l < n; l++ {
-			var acc int64
-			for i := 0; i < n; i++ {
-				acc += int64(basis[k][i]) * tmp[i*n+l]
+		acc := accArr[:n]
+		for l := range acc {
+			acc[l] = 0
+		}
+		brow := basis[k*n : k*n+n]
+		for i := 0; i < n; i++ {
+			b := int64(brow[i])
+			trow := tmp[i*n : i*n+n]
+			for l := 0; l < n; l++ {
+				acc[l] += b * trow[l]
 			}
-			block[k*n+l] = int32((acc + round) >> (2 * basisShift))
+		}
+		for l := 0; l < n; l++ {
+			block[k*n+l] = int32((acc[l] + round) >> (2 * basisShift))
 		}
 	}
 }
 
 // Inverse applies the 2-D inverse transform in place, reconstructing the
-// residual from unit-scale coefficients.
+// residual from unit-scale coefficients. Quantized blocks are sparse, so
+// both passes skip zero rows/levels — exact, since skipped terms
+// contribute zero to the integer accumulators.
 func Inverse(block []int32, n int) {
 	basis := cosBasis[n]
-	tmp := make([]int64, n*n)
-	// rows of coefficients against transposed basis:
-	// tmp[i][j] = sum_k basis[k][i] ... do columns first:
-	// x[i][j] = sum_k sum_l basis[k][i] * c[k][l] * basis[l][j]
+	var tmpArr [MaxSize * MaxSize]int64
+	tmp := tmpArr[:n*n]
+	var rowLive [MaxSize]bool
+	// rows: tmp[k][j] = sum_l block[k][l] * basis[l][j]
+	var accArr [MaxSize]int64
 	for k := 0; k < n; k++ {
-		for j := 0; j < n; j++ {
-			var acc int64
-			for l := 0; l < n; l++ {
-				acc += int64(block[k*n+l]) * int64(basis[l][j])
-			}
-			tmp[k*n+j] = acc
+		crow := block[k*n : k*n+n]
+		acc := accArr[:n]
+		for j := range acc {
+			acc[j] = 0
 		}
+		live := false
+		for l := 0; l < n; l++ {
+			c := int64(crow[l])
+			if c == 0 {
+				continue
+			}
+			live = true
+			brow := basis[l*n : l*n+n]
+			for j := 0; j < n; j++ {
+				acc[j] += c * int64(brow[j])
+			}
+		}
+		rowLive[k] = live
+		copy(tmp[k*n:k*n+n], acc)
 	}
+	// cols: out[i][j] = sum_k basis[k][i] * tmp[k][j]
 	const round = int64(1) << (2*basisShift - 1)
-	out := make([]int32, n*n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			var acc int64
-			for k := 0; k < n; k++ {
-				acc += int64(cosBasis[n][k][i]) * tmp[k*n+j]
+		acc := accArr[:n]
+		for j := range acc {
+			acc[j] = 0
+		}
+		for k := 0; k < n; k++ {
+			if !rowLive[k] {
+				continue
 			}
-			out[i*n+j] = int32((acc + round) >> (2 * basisShift))
+			b := int64(basis[k*n+i])
+			trow := tmp[k*n : k*n+n]
+			for j := 0; j < n; j++ {
+				acc[j] += b * trow[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			block[i*n+j] = int32((acc[j] + round) >> (2 * basisShift))
 		}
 	}
-	copy(block, out)
 }

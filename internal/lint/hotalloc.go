@@ -15,6 +15,17 @@ var hotDirs = []string{
 	"internal/video",
 }
 
+// hotKernelDirs are the innermost pixel-kernel packages (SAD,
+// interpolation, intra prediction). These run per block inside the
+// per-superblock RD loop, so even a once-per-call allocation — not just
+// one inside a loop — multiplies into millions per frame. Kernels here
+// must thread a caller-owned scratch buffer (motion.Scratch,
+// predict.NeighborBuf) instead of allocating.
+var hotKernelDirs = []string{
+	"internal/codec/motion",
+	"internal/codec/predict",
+}
+
 // setupPrefixes name functions that run once per stream/frame setup and
 // are allowed to allocate freely.
 var setupPrefixes = []string{
@@ -28,7 +39,10 @@ func init() {
 		Doc: "flags allocations in loops in the pixel-path packages " +
 			"(internal/codec/..., internal/video): make/new and string " +
 			"concatenation in any loop, append in nested loops; setup " +
-			"functions (New*/Init*/Setup*/...) are exempt",
+			"functions (New*/Init*/Setup*/...) are exempt. In the " +
+			"pixel-kernel packages (internal/codec/motion, " +
+			"internal/codec/predict) make/new is flagged anywhere in a " +
+			"non-setup function — kernels must use caller-owned scratch",
 		Run: runHotAlloc,
 	})
 }
@@ -37,6 +51,7 @@ func runHotAlloc(pass *Pass) {
 	if !dirMatchesAny(pass.Pkg.Dir, hotDirs) {
 		return
 	}
+	kernel := dirMatchesAny(pass.Pkg.Dir, hotKernelDirs)
 	for _, f := range pass.Pkg.Files {
 		if f.IsTest {
 			continue
@@ -45,7 +60,7 @@ func runHotAlloc(pass *Pass) {
 			if isSetupFunc(name) {
 				return
 			}
-			checkAllocs(pass, body, 0)
+			checkAllocs(pass, body, 0, kernel)
 		})
 	}
 }
@@ -61,7 +76,9 @@ func isSetupFunc(name string) bool {
 
 // checkAllocs walks statements tracking loop nesting depth. Function
 // literals reset the walk (they are visited separately by funcBodies).
-func checkAllocs(pass *Pass, n ast.Node, depth int) {
+// With kernel set, make/new is flagged at any depth, not just in loops:
+// pixel kernels are themselves the body of a hot loop in their callers.
+func checkAllocs(pass *Pass, n ast.Node, depth int, kernel bool) {
 	// reported tracks RHS expressions already covered by a `+=` finding
 	// so the inner BinaryExpr does not produce a second diagnostic.
 	reported := map[ast.Node]bool{}
@@ -73,32 +90,40 @@ func checkAllocs(pass *Pass, n ast.Node, depth int) {
 			// Loop headers (init/cond/post) run once or are cheap
 			// comparisons; only the body is treated as hot.
 			if x.Body != nil {
-				checkAllocs(pass, x.Body, depth+1)
+				checkAllocs(pass, x.Body, depth+1, kernel)
 			}
 			return false
 		case *ast.RangeStmt:
 			if x.Body != nil {
-				checkAllocs(pass, x.Body, depth+1)
+				checkAllocs(pass, x.Body, depth+1, kernel)
 			}
 			return false
 		case *ast.CallExpr:
-			if depth == 0 {
+			if depth == 0 && !kernel {
 				return true
 			}
 			switch fn := x.Fun.(type) {
 			case *ast.Ident:
 				switch fn.Name {
 				case "make":
-					pass.Reportf(x.Pos(), "make() inside a hot loop; hoist the buffer out of the loop or reuse a scratch slice")
+					if depth == 0 {
+						pass.Reportf(x.Pos(), "make() in a pixel-kernel function; thread a caller-owned scratch buffer instead")
+					} else {
+						pass.Reportf(x.Pos(), "make() inside a hot loop; hoist the buffer out of the loop or reuse a scratch slice")
+					}
 				case "new":
-					pass.Reportf(x.Pos(), "new() inside a hot loop; hoist the allocation out of the loop")
+					if depth == 0 {
+						pass.Reportf(x.Pos(), "new() in a pixel-kernel function; thread a caller-owned scratch buffer instead")
+					} else {
+						pass.Reportf(x.Pos(), "new() inside a hot loop; hoist the allocation out of the loop")
+					}
 				case "append":
 					if depth >= 2 {
 						pass.Reportf(x.Pos(), "append() inside a nested hot loop; pre-size the slice before the pixel loop")
 					}
 				}
 			case *ast.SelectorExpr:
-				if id, ok := fn.X.(*ast.Ident); ok && id.Name == "fmt" &&
+				if id, ok := fn.X.(*ast.Ident); ok && depth >= 1 && id.Name == "fmt" &&
 					strings.HasPrefix(fn.Sel.Name, "Sprint") {
 					pass.Reportf(x.Pos(), "fmt.%s allocates inside a hot loop; format outside the loop", fn.Sel.Name)
 				}

@@ -111,8 +111,15 @@ func runFixture(t *testing.T, analyzer, dir string) {
 func TestDeterminismFixture(t *testing.T) { runFixture(t, "determinism", "internal/sim") }
 func TestLockHygieneFixture(t *testing.T) { runFixture(t, "lockhygiene", "internal/sched") }
 func TestHotAllocFixture(t *testing.T)    { runFixture(t, "hotalloc", "internal/codec") }
-func TestBigCopyFixture(t *testing.T)     { runFixture(t, "bigcopy", "internal/video") }
-func TestErrDropFixture(t *testing.T)     { runFixture(t, "errdrop", "internal/transcode") }
+
+// TestHotAllocKernelFixture exercises the stricter pixel-kernel rule in
+// isolation: under internal/codec/motion make/new is flagged at any
+// depth, not just inside loops.
+func TestHotAllocKernelFixture(t *testing.T) {
+	runFixture(t, "hotalloc", "internal/codec/motion")
+}
+func TestBigCopyFixture(t *testing.T) { runFixture(t, "bigcopy", "internal/video") }
+func TestErrDropFixture(t *testing.T) { runFixture(t, "errdrop", "internal/transcode") }
 
 // TestRepoTreeIsClean is the integration gate: the real module tree
 // must produce zero diagnostics with every analyzer enabled. If this

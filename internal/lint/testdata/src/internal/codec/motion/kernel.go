@@ -1,0 +1,47 @@
+// Package motion is a hotalloc-analyzer fixture for the stricter
+// pixel-kernel rule: under internal/codec/motion (and .../predict),
+// make/new is flagged at any depth in non-setup functions — kernels run
+// per block inside the callers' RD loops, so even a once-per-call
+// allocation is hot.
+package motion
+
+type scratch struct {
+	pred []uint8
+}
+
+func sampleBlock(dst []uint8, n int, sc *scratch) {
+	tmp := make([]uint8, n*n) // want "make\(\) in a pixel-kernel function; thread a caller-owned scratch buffer"
+	_ = tmp
+	p := new(scratch) // want "new\(\) in a pixel-kernel function; thread a caller-owned scratch buffer"
+	_ = p
+	for i := 0; i < n; i++ {
+		row := make([]uint8, n) // want "make\(\) inside a hot loop"
+		copy(dst[i*n:], row)
+	}
+}
+
+// NewScratch is a setup function: the stricter rule does not apply.
+func NewScratch(n int) *scratch {
+	return &scratch{pred: make([]uint8, n*n)}
+}
+
+// setupBuffers has a lowercase setup prefix and is likewise exempt.
+func setupBuffers(sc *scratch, n int) {
+	if cap(sc.pred) < n*n {
+		sc.pred = make([]uint8, n*n)
+	}
+}
+
+// searchUsesScratch is the approved shape: no allocations, only
+// caller-owned scratch.
+func searchUsesScratch(cur, ref []uint8, n int, sc *scratch) int64 {
+	var sad int64
+	for i := 0; i < n*n; i++ {
+		d := int64(cur[i]) - int64(ref[i])
+		if d < 0 {
+			d = -d
+		}
+		sad += d
+	}
+	return sad
+}

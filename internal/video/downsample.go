@@ -1,0 +1,37 @@
+package video
+
+// Downsample2x fills dst with the 2:1 box-filtered (2×2 rounding average)
+// reduction of the w×h plane src and returns the reduced dimensions
+// (⌈w/2⌉, ⌈h/2⌉). Odd edges replicate the last row/column. dst must have
+// at least ⌈w/2⌉·⌈h/2⌉ capacity; it is the caller's buffer so pyramid
+// construction can stay allocation-free when levels are reused.
+//
+// This is the decimation step of the multi-resolution motion-search
+// pyramid (paper §3.2: the VCU's motion engine searches coarse-to-fine
+// over downsampled planes).
+func Downsample2x(src []uint8, w, h int, dst []uint8) (int, int) {
+	dw := (w + 1) / 2
+	dh := (h + 1) / 2
+	for dy := 0; dy < dh; dy++ {
+		y0 := 2 * dy
+		y1 := y0 + 1
+		if y1 >= h {
+			y1 = h - 1
+		}
+		r0 := src[y0*w:]
+		r1 := src[y1*w:]
+		drow := dst[dy*dw:]
+		dx := 0
+		for ; 2*dx+1 < w; dx++ {
+			x := 2 * dx
+			s := int32(r0[x]) + int32(r0[x+1]) + int32(r1[x]) + int32(r1[x+1])
+			drow[dx] = uint8((s + 2) >> 2)
+		}
+		if dx < dw { // odd width: replicate the last column
+			x := w - 1
+			s := 2*int32(r0[x]) + 2*int32(r1[x])
+			drow[dx] = uint8((s + 2) >> 2)
+		}
+	}
+	return dw, dh
+}

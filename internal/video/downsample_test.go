@@ -1,0 +1,68 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// downsample2xRef is the obvious clamped scalar reference.
+func downsample2xRef(src []uint8, w, h int) ([]uint8, int, int) {
+	dw, dh := (w+1)/2, (h+1)/2
+	dst := make([]uint8, dw*dh)
+	for dy := 0; dy < dh; dy++ {
+		for dx := 0; dx < dw; dx++ {
+			var s int32
+			for oy := 0; oy < 2; oy++ {
+				for ox := 0; ox < 2; ox++ {
+					x, y := 2*dx+ox, 2*dy+oy
+					if x >= w {
+						x = w - 1
+					}
+					if y >= h {
+						y = h - 1
+					}
+					s += int32(src[y*w+x])
+				}
+			}
+			dst[dy*dw+dx] = uint8((s + 2) >> 2)
+		}
+	}
+	return dst, dw, dh
+}
+
+func TestDownsample2xMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{2, 2}, {3, 3}, {8, 6}, {7, 5}, {64, 48}, {65, 47}, {1, 1}, {1, 4}, {5, 1}} {
+		w, h := dims[0], dims[1]
+		src := make([]uint8, w*h)
+		for i := range src {
+			src[i] = uint8(rng.Intn(256))
+		}
+		want, ww, wh := downsample2xRef(src, w, h)
+		got := make([]uint8, ww*wh)
+		gw, gh := Downsample2x(src, w, h, got)
+		if gw != ww || gh != wh {
+			t.Fatalf("%dx%d: dims (%d,%d), want (%d,%d)", w, h, gw, gh, ww, wh)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%dx%d: pixel %d = %d, want %d", w, h, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkDownsample2x720p(b *testing.B) {
+	w, h := 1280, 720
+	src := make([]uint8, w*h)
+	for i := range src {
+		src[i] = uint8(i * 7)
+	}
+	dst := make([]uint8, ((w+1)/2)*((h+1)/2))
+	b.SetBytes(int64(w * h))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Downsample2x(src, w, h, dst)
+	}
+}

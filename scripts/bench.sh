@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# bench.sh — the tracked encoder hot-path benchmark run (ISSUE 2).
+#
+# Runs, in order:
+#   1. the kernel microbenchmarks of the pixel-path packages
+#      (motion SAD/interpolation/search, transform, video downsample),
+#      printed for inspection
+#   2. cmd/vcubench, which re-measures the tracked workloads (whole-frame
+#      720p encode, kernels, quality guards, pyramid-vs-flat BD-rate)
+#      and rewrites BENCH_codec.json at the repository root
+#
+# Pass -quick to skip the BD-rate RD sweep (a few minutes of encodes).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+QUICK=""
+if [ "${1:-}" = "-quick" ]; then
+    QUICK="-quick"
+fi
+
+echo "== kernel benchmarks"
+go test -run=NONE -bench=. -benchmem \
+    ./internal/codec/motion ./internal/codec/transform ./internal/video
+
+echo "== tracked workloads (BENCH_codec.json)"
+go run ./cmd/vcubench $QUICK

@@ -9,6 +9,7 @@
 #   4. go build      the whole module
 #   5. go test       the whole module
 #   6. go test -race the concurrent packages
+#   7. bench smoke   kernel benchmarks compile and run (1 iteration)
 #
 # Every PR must leave this script exiting 0.
 set -u
@@ -44,6 +45,10 @@ step "go build" go build ./...
 step "go test" go test ./...
 # shellcheck disable=SC2086
 step "go test -race (concurrent packages)" go test -race $RACE_PKGS
+# Kernel packages only: the root codec package's whole-frame benchmarks
+# are minutes-long and belong to scripts/bench.sh, not the gate.
+step "bench smoke (kernel packages)" go test -run=NONE -bench=. -benchtime=1x \
+    ./internal/codec/motion ./internal/codec/transform ./internal/video
 
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) failed" >&2
