@@ -3,9 +3,9 @@
 # their own.
 
 GO ?= go
-RACE_PKGS = ./internal/sched ./internal/transcode ./internal/cluster ./internal/codec
+RACE_PKGS = ./internal/sched ./internal/transcode ./internal/cluster ./internal/codec ./internal/video
 
-.PHONY: check lint race build test fmt bench
+.PHONY: check lint lint-json race build test fmt bench
 
 check:
 	./scripts/check.sh
@@ -17,6 +17,10 @@ bench:
 
 lint:
 	$(GO) run ./cmd/vculint ./...
+
+# Machine-readable lint report, same shape CI uploads from check.sh.
+lint-json:
+	$(GO) run ./cmd/vculint -json ./... >lint_report.json
 
 race:
 	$(GO) test -race $(RACE_PKGS)

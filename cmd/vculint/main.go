@@ -9,9 +9,34 @@
 // Flags:
 //
 //	-json        emit diagnostics as a JSON array (machine-readable,
-//	             consumed by fleetsim/bench tooling)
+//	             consumed by fleetsim/bench tooling and written to
+//	             lint_report.json by scripts/check.sh)
 //	-rules a,b   run only the named analyzers
 //	-list        print registered analyzers and exit
+//
+// Syntactic analyzers (PR 1): determinism, lockhygiene, hotalloc,
+// errdrop, bigcopy.
+//
+// Dataflow analyzers (PR 2, built on the type-aware layer in
+// internal/lint/dataflow.go):
+//
+//	scratchshare  a *motion.Scratch / *predict.NeighborBuf parameter
+//	              must not escape the callee (stored, returned, sent,
+//	              or captured by a goroutine)
+//	sharedmut     reference-slot frame/pyramid caches are written only
+//	              inside constructor/build functions; everywhere else
+//	              tile workers share them read-only
+//	swarwidth     in internal/codec/motion and internal/bits: constant
+//	              shifts past the operand width, 64-bit masks that are
+//	              not byte/16/32-bit lane-periodic, and narrowing
+//	              conversions of SWAR lane accumulators
+//	goleak        a go statement in the scheduling/transcode/cluster/
+//	              codec packages must be joined in the spawning
+//	              function (WaitGroup or channel)
+//
+// Useful selections:
+//
+//	vculint -rules scratchshare,sharedmut,swarwidth,goleak ./...
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 package main

@@ -147,6 +147,7 @@ func (dec *Decoder) decode(data []byte) (*video.Frame, error) {
 	}
 	for slot, r := range hdr.refresh {
 		if r {
+			//lint:ignore sharedmut slot rotation between frames: tile decoders have joined, no reader is live
 			dec.refs[slot] = recon
 			dec.refValid[slot] = true
 		}

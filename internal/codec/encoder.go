@@ -272,7 +272,9 @@ func (e *Encoder) encodeOne(f *video.Frame, displayIdx int, keyframe, show, altr
 			if reconPyr == nil && !e.cfg.DisablePyramidSearch {
 				reconPyr = motion.BuildPyramid(recon.Y, e.pw, e.ph)
 			}
+			//lint:ignore sharedmut slot rotation between frames: tile workers have joined, no reader is live
 			e.refs[slot] = recon
+			//lint:ignore sharedmut same rotation point: the next frame snapshots the slot before spawning tiles
 			e.refPyr[slot] = reconPyr
 			e.refValid[slot] = true
 		}

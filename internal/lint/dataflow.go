@@ -1,0 +1,746 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file is the type-aware, intra-procedural dataflow layer built on
+// the module symbol index: a small canonical type representation
+// (dfType), a resolver that chases named types, struct fields (embedded
+// ones included) and function/method results across packages, and a
+// per-function scope (funcScope) that types local variables and tracks
+// whether each one originates from a fresh allocation in the current
+// function. It stays stdlib-only (go/ast + go/token, no go/types): when
+// something cannot be resolved the answer is nil/unknown, and every
+// consumer treats unknown conservatively — rules only report when the
+// relevant types did resolve, so resolution failures can silence a
+// finding but never invent one.
+
+// typeKind classifies a dfType.
+type typeKind int
+
+const (
+	kindUnknown typeKind = iota
+	kindBasic
+	kindNamed
+	kindPointer
+	kindSlice
+	kindArray
+	kindMap
+	kindChan
+	kindFunc
+	kindInterface
+	kindStruct
+)
+
+// dfType is a canonical type. Named types carry a module-qualified name
+// "pkgdir.TypeName" (e.g. "internal/codec/motion.Pyramid"); types from
+// outside the module carry "importpath.TypeName" and resolve no
+// further. Composite kinds keep only their element type — that is all
+// the rules need.
+type dfType struct {
+	kind typeKind
+	name string  // kindBasic: predeclared name; kindNamed: qualified name
+	elem *dfType // pointer/slice/array/map(value)/chan element
+}
+
+// basicInt describes a predeclared integer type.
+type basicInt struct {
+	width    int
+	unsigned bool
+}
+
+var basicInts = map[string]basicInt{
+	"int8": {8, false}, "int16": {16, false}, "int32": {32, false},
+	"int64": {64, false}, "int": {64, false}, "rune": {32, false},
+	"uint8": {8, true}, "uint16": {16, true}, "uint32": {32, true},
+	"uint64": {64, true}, "uint": {64, true}, "uintptr": {64, true},
+	"byte": {8, true},
+}
+
+// basicNonInts are the remaining predeclared types recognised as basic.
+var basicNonInts = map[string]bool{
+	"bool": true, "string": true, "float32": true, "float64": true,
+	"complex64": true, "complex128": true, "error": true, "any": true,
+}
+
+func basicType(name string) *dfType { return &dfType{kind: kindBasic, name: name} }
+
+// untypedInt is the type given to integer literals; width 0, so the
+// width-sensitive checks skip untyped operands.
+var untypedInt = &dfType{kind: kindBasic, name: "untyped int"}
+
+// String renders the type for conflict detection and messages.
+func (t *dfType) String() string {
+	if t == nil {
+		return "?"
+	}
+	switch t.kind {
+	case kindBasic, kindNamed:
+		return t.name
+	case kindPointer:
+		return "*" + t.elem.String()
+	case kindSlice:
+		return "[]" + t.elem.String()
+	case kindArray:
+		return "[N]" + t.elem.String()
+	case kindMap:
+		return "map[...]" + t.elem.String()
+	case kindChan:
+		return "chan " + t.elem.String()
+	case kindFunc:
+		return "func"
+	case kindInterface:
+		return "interface"
+	case kindStruct:
+		return "struct"
+	}
+	return "?"
+}
+
+// deref unwraps one level of pointer.
+func (t *dfType) deref() *dfType {
+	if t != nil && t.kind == kindPointer && t.elem != nil {
+		return t.elem
+	}
+	return t
+}
+
+// isPtrTo reports whether t is a pointer to the qualified named type.
+func (t *dfType) isPtrTo(name string) bool {
+	return t != nil && t.kind == kindPointer && t.elem != nil &&
+		t.elem.kind == kindNamed && t.elem.name == name
+}
+
+// dirForImport resolves an import path to a module package directory by
+// longest-suffix match ("openvcu/internal/codec/motion" is the tree dir
+// "internal/codec/motion"). Stdlib and external paths return "".
+func (idx *Index) dirForImport(path string) string {
+	best := ""
+	for dir := range idx.pkgDirs {
+		if dir == "." {
+			continue
+		}
+		if (path == dir || strings.HasSuffix(path, "/"+dir)) && len(dir) > len(best) {
+			best = dir
+		}
+	}
+	return best
+}
+
+// resolveType resolves a type expression appearing in file f of package
+// directory dir to a dfType, or nil when unknown.
+func (idx *Index) resolveType(e ast.Expr, f *File, dir string) *dfType {
+	return idx.resolveTypeDepth(e, f, dir, 0)
+}
+
+func (idx *Index) resolveTypeDepth(e ast.Expr, f *File, dir string, depth int) *dfType {
+	if depth > 16 {
+		return nil
+	}
+	switch t := e.(type) {
+	case *ast.Ident:
+		if _, ok := basicInts[t.Name]; ok {
+			return basicType(t.Name)
+		}
+		if basicNonInts[t.Name] {
+			return basicType(t.Name)
+		}
+		key := dir + "." + t.Name
+		if _, ok := idx.typeDecls[key]; ok {
+			return &dfType{kind: kindNamed, name: key}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		id, ok := t.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		path, imported := f.imports[id.Name]
+		if !imported {
+			return nil
+		}
+		if d := idx.dirForImport(path); d != "" {
+			key := d + "." + t.Sel.Name
+			if _, ok := idx.typeDecls[key]; ok {
+				return &dfType{kind: kindNamed, name: key}
+			}
+			return nil
+		}
+		// External named type (sync.WaitGroup, bytes.Buffer, ...):
+		// comparable by name, unresolvable beyond that.
+		return &dfType{kind: kindNamed, name: path + "." + t.Sel.Name}
+	case *ast.StarExpr:
+		if el := idx.resolveTypeDepth(t.X, f, dir, depth+1); el != nil {
+			return &dfType{kind: kindPointer, elem: el}
+		}
+		return nil
+	case *ast.ArrayType:
+		el := idx.resolveTypeDepth(t.Elt, f, dir, depth+1)
+		if el == nil {
+			return nil
+		}
+		if t.Len == nil {
+			return &dfType{kind: kindSlice, elem: el}
+		}
+		return &dfType{kind: kindArray, elem: el}
+	case *ast.Ellipsis:
+		if el := idx.resolveTypeDepth(t.Elt, f, dir, depth+1); el != nil {
+			return &dfType{kind: kindSlice, elem: el}
+		}
+		return nil
+	case *ast.MapType:
+		el := idx.resolveTypeDepth(t.Value, f, dir, depth+1)
+		return &dfType{kind: kindMap, elem: el}
+	case *ast.ChanType:
+		el := idx.resolveTypeDepth(t.Value, f, dir, depth+1)
+		return &dfType{kind: kindChan, elem: el}
+	case *ast.FuncType:
+		return &dfType{kind: kindFunc}
+	case *ast.InterfaceType:
+		return &dfType{kind: kindInterface}
+	case *ast.StructType:
+		return &dfType{kind: kindStruct}
+	case *ast.ParenExpr:
+		return idx.resolveTypeDepth(t.X, f, dir, depth+1)
+	case *ast.IndexExpr:
+		return idx.resolveTypeDepth(t.X, f, dir, depth+1)
+	case *ast.IndexListExpr:
+		return idx.resolveTypeDepth(t.X, f, dir, depth+1)
+	}
+	return nil
+}
+
+// structOf chases a named type to its underlying struct declaration,
+// returning the struct AST plus the file/dir context its field types
+// resolve in. nil when t is not (a pointer to) a module struct type.
+func (idx *Index) structOf(t *dfType, depth int) (*ast.StructType, *File, string) {
+	if depth > 8 {
+		return nil, nil, ""
+	}
+	t = t.deref()
+	if t == nil || t.kind != kindNamed {
+		return nil, nil, ""
+	}
+	td, ok := idx.typeDecls[t.name]
+	if !ok {
+		return nil, nil, ""
+	}
+	switch u := td.spec.Type.(type) {
+	case *ast.StructType:
+		return u, td.file, td.pkg.Dir
+	case *ast.Ident, *ast.SelectorExpr:
+		if next := idx.resolveTypeDepth(u, td.file, td.pkg.Dir, 0); next != nil {
+			return idx.structOf(next, depth+1)
+		}
+	}
+	return nil, nil, ""
+}
+
+// fieldType resolves the type of field name on t, chasing pointers and
+// embedded struct fields (depth-limited).
+func (idx *Index) fieldType(t *dfType, name string, depth int) *dfType {
+	if depth > 8 {
+		return nil
+	}
+	st, file, dir := idx.structOf(t, 0)
+	if st == nil {
+		return nil
+	}
+	var embedded []ast.Expr
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			if typeBaseName(field.Type) == name {
+				return idx.resolveType(field.Type, file, dir)
+			}
+			embedded = append(embedded, field.Type)
+			continue
+		}
+		for _, fn := range field.Names {
+			if fn.Name == name {
+				return idx.resolveType(field.Type, file, dir)
+			}
+		}
+	}
+	for _, et := range embedded {
+		if base := idx.resolveType(et, file, dir); base != nil {
+			if ft := idx.fieldType(base, name, depth+1); ft != nil {
+				return ft
+			}
+		}
+	}
+	return nil
+}
+
+// funcResultTypes resolves the declared result types of the function or
+// method at key ("dir.Func" or "dir.Recv.Method"). Multiple same-key
+// declarations use the first; nil when unknown.
+func (idx *Index) funcResultTypes(key string) []*dfType {
+	fns := idx.funcDecls[key]
+	if len(fns) == 0 {
+		return nil
+	}
+	fd := fns[0]
+	ft := fd.decl.Type
+	if ft.Results == nil {
+		return []*dfType{}
+	}
+	var out []*dfType
+	for _, field := range ft.Results.List {
+		t := idx.resolveType(field.Type, fd.file, fd.pkg.Dir)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// intInfo reports the bit width and signedness of an integer type,
+// chasing named types (including aliases) to their underlying basic
+// type. ok is false for non-integers and unresolved types.
+func (idx *Index) intInfo(t *dfType, depth int) (width int, unsigned bool, ok bool) {
+	if t == nil || depth > 8 {
+		return 0, false, false
+	}
+	switch t.kind {
+	case kindBasic:
+		bi, isInt := basicInts[t.name]
+		return bi.width, bi.unsigned, isInt
+	case kindNamed:
+		td, found := idx.typeDecls[t.name]
+		if !found {
+			return 0, false, false
+		}
+		if u := idx.resolveType(td.spec.Type, td.file, td.pkg.Dir); u != nil {
+			return idx.intInfo(u, depth+1)
+		}
+	}
+	return 0, false, false
+}
+
+// constIntValue evaluates an expression to a constant integer using
+// literals and the module constant index, in the context of file f /
+// package dir.
+func (idx *Index) constIntValue(e ast.Expr, f *File, dir string) (int64, bool) {
+	c, ok := idx.evalConst(e, f, dir, 0)
+	return c.val, ok
+}
+
+// funcScope types the local variables of one function body and tracks
+// which of them hold values freshly constructed inside the function
+// (composite literals, &composite, make/new, constructor-named calls).
+// Parameters and receivers are typed but never fresh. A name assigned
+// conflicting types degrades to unknown; a name ever assigned a
+// non-fresh value stops being fresh — both conservative for the rules.
+type funcScope struct {
+	idx   *Index
+	f     *File
+	dir   string
+	vars  map[string]*dfType // declared name -> type (nil = unknown)
+	fresh map[string]bool
+}
+
+// newFuncScope builds the scope for fd: receiver and parameters first,
+// then a source-order pass over :=, var declarations and range clauses
+// in the body (function literals included — their locals simply join
+// the flat namespace, degrading shared names to unknown).
+func newFuncScope(idx *Index, f *File, dir string, fd *ast.FuncDecl) *funcScope {
+	s := &funcScope{idx: idx, f: f, dir: dir, vars: map[string]*dfType{}, fresh: map[string]bool{}}
+	bind := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			t := idx.resolveType(field.Type, f, dir)
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					s.vars[name.Name] = t
+				}
+			}
+		}
+	}
+	bind(fd.Recv)
+	bind(fd.Type.Params)
+	bind(fd.Type.Results)
+	if fd.Body == nil {
+		return s
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			s.recordAssign(st)
+		case *ast.RangeStmt:
+			s.recordRange(st)
+		case *ast.GenDecl:
+			if st.Tok == token.VAR {
+				s.recordVarDecl(st)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// set records a binding, merging with any previous one: conflicting
+// types become unknown, and fresh only survives if every assignment to
+// the name was fresh.
+func (s *funcScope) set(name string, t *dfType, fresh bool) {
+	if name == "_" || name == "" {
+		return
+	}
+	if prev, seen := s.vars[name]; seen {
+		if prev != nil && t != nil && prev.String() != t.String() {
+			t = nil
+		} else if t == nil {
+			t = prev
+		}
+		fresh = fresh && s.fresh[name]
+	}
+	s.vars[name] = t
+	s.fresh[name] = fresh
+}
+
+func (s *funcScope) recordAssign(st *ast.AssignStmt) {
+	if st.Tok != token.DEFINE && st.Tok != token.ASSIGN {
+		return // compound assignment: type and origin unchanged
+	}
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// Multi-value: call results are typed; map/assert/receive
+		// two-value forms are unknown.
+		var ts []*dfType
+		fresh := false
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+			ts = s.callTypes(call)
+			fresh = s.freshExpr(st.Rhs[0])
+		}
+		for i, lhs := range st.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var t *dfType
+			if i < len(ts) {
+				t = ts[i]
+			}
+			s.set(id.Name, t, fresh && t != nil)
+		}
+		return
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || i >= len(st.Rhs) {
+			continue
+		}
+		s.set(id.Name, s.typeOf(st.Rhs[i]), s.freshExpr(st.Rhs[i]))
+	}
+}
+
+func (s *funcScope) recordRange(st *ast.RangeStmt) {
+	if st.Tok != token.DEFINE {
+		return
+	}
+	xt := s.typeOf(st.X).deref()
+	var kt, vt *dfType
+	if xt != nil {
+		switch xt.kind {
+		case kindSlice, kindArray:
+			kt, vt = basicType("int"), xt.elem
+		case kindMap:
+			vt = xt.elem
+		case kindChan:
+			kt = xt.elem
+		case kindBasic:
+			if xt.name == "string" {
+				kt, vt = basicType("int"), basicType("rune")
+			}
+		}
+	}
+	if id, ok := st.Key.(*ast.Ident); ok && st.Key != nil {
+		s.set(id.Name, kt, false)
+	}
+	if id, ok := st.Value.(*ast.Ident); ok && st.Value != nil {
+		s.set(id.Name, vt, false)
+	}
+}
+
+func (s *funcScope) recordVarDecl(gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		var declared *dfType
+		if vs.Type != nil {
+			declared = s.idx.resolveType(vs.Type, s.f, s.dir)
+		}
+		for i, name := range vs.Names {
+			t, fresh := declared, false
+			if t == nil && i < len(vs.Values) {
+				t = s.typeOf(vs.Values[i])
+				fresh = s.freshExpr(vs.Values[i])
+			}
+			s.set(name.Name, t, fresh)
+		}
+	}
+}
+
+// typeOf types an expression against the scope; nil when unknown.
+func (s *funcScope) typeOf(e ast.Expr) *dfType {
+	return s.typeOfDepth(e, 0)
+}
+
+func (s *funcScope) typeOfDepth(e ast.Expr, depth int) *dfType {
+	if depth > 24 {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if t, ok := s.vars[x.Name]; ok {
+			return t
+		}
+		switch x.Name {
+		case "true", "false":
+			return basicType("bool")
+		case "nil":
+			return nil
+		}
+		if _, ok := s.idx.intConsts[s.dir+"."+x.Name]; ok {
+			return untypedInt
+		}
+		return nil
+	case *ast.BasicLit:
+		switch x.Kind {
+		case token.INT:
+			return untypedInt
+		case token.STRING:
+			return basicType("string")
+		case token.FLOAT:
+			return basicType("float64")
+		case token.CHAR:
+			return basicType("rune")
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isVar := s.vars[id.Name]; !isVar {
+				if path, imported := s.f.imports[id.Name]; imported {
+					// Qualified package symbol: only consts are typed.
+					if d := s.idx.dirForImport(path); d != "" {
+						if _, ok := s.idx.intConsts[d+"."+x.Sel.Name]; ok {
+							return untypedInt
+						}
+					}
+					return nil
+				}
+			}
+		}
+		base := s.typeOfDepth(x.X, depth+1)
+		return s.idx.fieldType(base, x.Sel.Name, 0)
+	case *ast.IndexExpr:
+		base := s.typeOfDepth(x.X, depth+1).deref()
+		if base == nil {
+			return nil
+		}
+		switch base.kind {
+		case kindSlice, kindArray, kindMap:
+			return base.elem
+		case kindBasic:
+			if base.name == "string" {
+				return basicType("byte")
+			}
+		}
+		return nil
+	case *ast.SliceExpr:
+		base := s.typeOfDepth(x.X, depth+1).deref()
+		if base == nil {
+			return nil
+		}
+		switch base.kind {
+		case kindSlice:
+			return base
+		case kindArray:
+			return &dfType{kind: kindSlice, elem: base.elem}
+		case kindBasic:
+			if base.name == "string" {
+				return base
+			}
+		}
+		return nil
+	case *ast.StarExpr:
+		t := s.typeOfDepth(x.X, depth+1)
+		if t != nil && t.kind == kindPointer {
+			return t.elem
+		}
+		return nil
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.AND:
+			if el := s.typeOfDepth(x.X, depth+1); el != nil {
+				return &dfType{kind: kindPointer, elem: el}
+			}
+			return nil
+		case token.ARROW:
+			t := s.typeOfDepth(x.X, depth+1)
+			if t != nil && t.kind == kindChan {
+				return t.elem
+			}
+			return nil
+		case token.NOT:
+			return basicType("bool")
+		default:
+			return s.typeOfDepth(x.X, depth+1)
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return basicType("bool")
+		case token.SHL, token.SHR:
+			return s.typeOfDepth(x.X, depth+1)
+		}
+		if t := s.typeOfDepth(x.X, depth+1); t != nil && t != untypedInt {
+			return t
+		}
+		return s.typeOfDepth(x.Y, depth+1)
+	case *ast.ParenExpr:
+		return s.typeOfDepth(x.X, depth+1)
+	case *ast.CallExpr:
+		ts := s.callTypes(x)
+		if len(ts) == 1 {
+			return ts[0]
+		}
+		return nil
+	case *ast.CompositeLit:
+		if x.Type != nil {
+			return s.idx.resolveType(x.Type, s.f, s.dir)
+		}
+		return nil
+	case *ast.TypeAssertExpr:
+		if x.Type != nil {
+			return s.idx.resolveType(x.Type, s.f, s.dir)
+		}
+		return nil
+	case *ast.FuncLit:
+		return &dfType{kind: kindFunc}
+	}
+	return nil
+}
+
+// callTypes types a call's results: builtins, conversions (to basic and
+// module named types), module free functions, qualified package
+// functions, and methods on resolvable receivers.
+func (s *funcScope) callTypes(call *ast.CallExpr) []*dfType {
+	one := func(t *dfType) []*dfType {
+		if t == nil {
+			return nil
+		}
+		return []*dfType{t}
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		switch fn.Name {
+		case "make":
+			if len(call.Args) > 0 {
+				return one(s.idx.resolveType(call.Args[0], s.f, s.dir))
+			}
+			return nil
+		case "new":
+			if len(call.Args) > 0 {
+				if el := s.idx.resolveType(call.Args[0], s.f, s.dir); el != nil {
+					return one(&dfType{kind: kindPointer, elem: el})
+				}
+			}
+			return nil
+		case "append":
+			if len(call.Args) > 0 {
+				return one(s.typeOf(call.Args[0]))
+			}
+			return nil
+		case "len", "cap":
+			return one(basicType("int"))
+		}
+		if _, ok := basicInts[fn.Name]; ok {
+			return one(basicType(fn.Name))
+		}
+		if basicNonInts[fn.Name] {
+			return one(basicType(fn.Name))
+		}
+		key := s.dir + "." + fn.Name
+		if _, ok := s.idx.typeDecls[key]; ok {
+			return one(&dfType{kind: kindNamed, name: key}) // conversion
+		}
+		return s.idx.funcResultTypes(key)
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			if _, isVar := s.vars[id.Name]; !isVar {
+				if path, imported := s.f.imports[id.Name]; imported {
+					d := s.idx.dirForImport(path)
+					if d == "" {
+						return nil
+					}
+					key := d + "." + fn.Sel.Name
+					if _, ok := s.idx.typeDecls[key]; ok {
+						return one(&dfType{kind: kindNamed, name: key}) // conversion
+					}
+					return s.idx.funcResultTypes(key)
+				}
+			}
+		}
+		recv := s.typeOf(fn.X).deref()
+		if recv != nil && recv.kind == kindNamed {
+			return s.idx.funcResultTypes(recv.name + "." + fn.Sel.Name)
+		}
+		return nil
+	case *ast.ParenExpr:
+		inner := *call
+		inner.Fun = fn.X
+		return s.callTypes(&inner)
+	case *ast.ArrayType, *ast.StarExpr, *ast.MapType, *ast.ChanType, *ast.InterfaceType:
+		return one(s.idx.resolveType(call.Fun, s.f, s.dir)) // conversion
+	}
+	return nil
+}
+
+// freshExpr reports whether e constructs a value inside this function:
+// composite literals, &composite, make/new, calls to constructor-named
+// functions (New*/Build*/Make*/Alloc*/Clone*, setup prefixes), or a
+// local already known to be fresh.
+func (s *funcScope) freshExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := x.X.(*ast.CompositeLit)
+			return ok
+		}
+		return false
+	case *ast.CallExpr:
+		name := ""
+		switch fn := x.Fun.(type) {
+		case *ast.Ident:
+			name = fn.Name
+		case *ast.SelectorExpr:
+			name = fn.Sel.Name
+		}
+		if name == "make" || name == "new" {
+			return true
+		}
+		return isSetupFunc(name) || strings.HasPrefix(name, "Clone") || strings.HasPrefix(name, "clone")
+	case *ast.Ident:
+		return s.fresh[x.Name]
+	case *ast.ParenExpr:
+		return s.freshExpr(x.X)
+	}
+	return false
+}
+
+// isFresh reports whether the named local is known to hold a value
+// constructed inside this function.
+func (s *funcScope) isFresh(name string) bool { return s.fresh[name] }

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadTree parses a source tree and builds its index, for unit tests
+// that poke at the resolver directly.
+func loadTree(t *testing.T, root string) (*Index, []*Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, parseDiags, err := loadPackages(fset, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range parseDiags {
+		t.Fatalf("parse diagnostic in test tree: %s", d.String())
+	}
+	return buildIndex(pkgs), pkgs
+}
+
+func TestDirForImportSuffixMatch(t *testing.T) {
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := loadTree(t, root)
+	cases := []struct{ path, want string }{
+		{"openvcu/internal/codec/motion", "internal/codec/motion"},
+		{"openvcu/internal/video", "internal/video"},
+		{"sync", ""},
+		{"example.com/other/module", ""},
+	}
+	for _, c := range cases {
+		if got := idx.dirForImport(c.path); got != c.want {
+			t.Errorf("dirForImport(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+func TestFieldAndResultResolution(t *testing.T) {
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := loadTree(t, root)
+
+	st := &dfType{kind: kindNamed, name: "internal/refcache.store"}
+	if ft := idx.fieldType(st, "refPyr", 0); !isCacheFieldType(ft) {
+		t.Errorf("store.refPyr resolved to %s, want a reference-slot cache shape", ft)
+	}
+	if ft := idx.fieldType(st, "curPyr", 0); !ft.isPtrTo("internal/codec/motion.Pyramid") {
+		t.Errorf("store.curPyr resolved to %s, want *motion.Pyramid", ft)
+	}
+	if ft := idx.fieldType(st, "nosuchfield", 0); ft != nil {
+		t.Errorf("unknown field resolved to %s, want nil", ft)
+	}
+
+	rs := idx.funcResultTypes("internal/codec/motion.BuildPyramid")
+	if len(rs) != 1 || !rs[0].isPtrTo("internal/codec/motion.Pyramid") {
+		t.Errorf("BuildPyramid results = %v, want one *motion.Pyramid", rs)
+	}
+}
+
+func TestFieldResolutionThroughEmbedding(t *testing.T) {
+	dir := t.TempDir()
+	src := `package a
+
+type base struct {
+	Buf []uint8
+}
+
+type outer struct {
+	*base
+	N int
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := loadTree(t, dir)
+	ot := &dfType{kind: kindNamed, name: "..outer"} // root package dir is "."
+	ft := idx.fieldType(ot, "Buf", 0)
+	if ft == nil || ft.kind != kindSlice || ft.elem == nil || ft.elem.name != "uint8" {
+		t.Errorf("outer.Buf through embedded *base resolved to %s, want []uint8", ft)
+	}
+}
+
+func TestFuncScopeFreshnessAndTyping(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+type T struct {
+	N int
+}
+
+func NewT() *T { return &T{} }
+
+func f(shared *T) {
+	built := NewT()
+	alias := built
+	loaned := shared
+	lit := &T{N: 1}
+	var acc uint64
+	acc += 1
+	_ = acc
+	_, _, _ = alias, loaned, lit
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, pkgs := loadTree(t, dir)
+	var f *File
+	var fd *ast.FuncDecl
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.AST.Decls {
+				if d, ok := decl.(*ast.FuncDecl); ok && d.Name.Name == "f" {
+					f, fd = file, d
+				}
+			}
+		}
+	}
+	if fd == nil {
+		t.Fatal("func f not found")
+	}
+	sc := newFuncScope(idx, f, pkgs[0].Dir, fd)
+
+	for name, wantFresh := range map[string]bool{
+		"built": true, "alias": true, "lit": true,
+		"shared": false, "loaned": false,
+	} {
+		if got := sc.isFresh(name); got != wantFresh {
+			t.Errorf("isFresh(%s) = %v, want %v", name, got, wantFresh)
+		}
+	}
+	for _, name := range []string{"built", "alias", "loaned", "shared", "lit"} {
+		tt := sc.vars[name]
+		if !tt.isPtrTo(pkgs[0].Dir + ".T") {
+			t.Errorf("typeOf(%s) = %s, want *T", name, tt)
+		}
+	}
+	if w, unsigned, ok := idx.intInfo(sc.vars["acc"], 0); !ok || w != 64 || !unsigned {
+		t.Errorf("acc typed as (%d, unsigned=%v, ok=%v), want uint64", w, unsigned, ok)
+	}
+}

@@ -196,12 +196,28 @@ func importAliases(f *ast.File) map[string]string {
 	return m
 }
 
+// pseudoRules are diagnostic sources that are not registered analyzers
+// but are still valid in //lint:ignore directives.
+var pseudoRules = map[string]bool{
+	"parse":         true,
+	"lintdirective": true,
+	"*":             true,
+}
+
+// knownRule reports whether name is addressable by an ignore directive:
+// a registered analyzer, a pseudo-rule, or the wildcard.
+func knownRule(name string) bool {
+	return pseudoRules[name] || Lookup(name) != nil
+}
+
 // collectIgnores scans a file's comments for //lint:ignore directives
 // and records which rules are suppressed on which lines. A directive
 // suppresses its own line and the following line, so it works both as a
-// trailing comment and as a standalone comment above the finding.
-// Malformed directives (missing rule or reason) are reported under the
-// pseudo-rule "lintdirective".
+// trailing comment and as a standalone comment above the finding. The
+// rule field may be a comma-separated list. Malformed directives
+// (missing rule or reason) and unknown rule names — which would
+// otherwise sit in the tree silently never matching anything — are
+// reported under the pseudo-rule "lintdirective".
 func collectIgnores(fset *token.FileSet, f *ast.File, ignores map[int]map[string]bool, diags *[]Diagnostic) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -223,6 +239,17 @@ func collectIgnores(fset *token.FileSet, f *ast.File, ignores map[int]map[string
 				continue
 			}
 			for _, rule := range strings.Split(fields[0], ",") {
+				if !knownRule(rule) {
+					*diags = append(*diags, Diagnostic{
+						Rule:    "lintdirective",
+						Message: fmt.Sprintf("unknown rule %q in //lint:ignore directive", rule),
+						Pos:     pos,
+						File:    pos.Filename,
+						Line:    pos.Line,
+						Col:     pos.Column,
+					})
+					continue
+				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					set := ignores[line]
 					if set == nil {

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// goleakDirs are the packages that spawn goroutines on the serving
+// path. A goroutine whose lifetime is not tied to a WaitGroup or
+// channel join in the spawning function outlives its work item: it
+// leaks scheduler slots, keeps frame buffers reachable, and turns a
+// bounded transcode into an unbounded one under retry storms.
+var goleakDirs = []string{
+	"internal/transcode",
+	"internal/sched",
+	"internal/cluster",
+	"internal/codec",
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "goleak",
+		Doc: "in internal/transcode, internal/sched, internal/cluster " +
+			"and internal/codec, flags a go statement not joined in the " +
+			"same function: the goroutine must call Done on a WaitGroup " +
+			"that the function Waits on, or send/close a channel the " +
+			"function receives from (or be handed one of those as an " +
+			"argument)",
+		Run: runGoLeak,
+	})
+}
+
+func runGoLeak(pass *Pass) {
+	if !dirMatchesAny(pass.Pkg.Dir, goleakDirs) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoLeak(pass, f, fd)
+		}
+	}
+}
+
+func checkGoLeak(pass *Pass, f *File, fd *ast.FuncDecl) {
+	sc := newFuncScope(pass.Index, f, pass.Pkg.Dir, fd)
+
+	// waited: canonical receivers of .Wait() calls anywhere in the
+	// function — WaitGroups the function joins on.
+	// received: canonical channels the function receives from (<-ch,
+	// range ch, select case <-ch).
+	waited := map[string]bool{}
+	received := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if recv, ok := methodCall(x, "Wait"); ok {
+				waited[recv] = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if s := exprString(x.X); s != "" {
+					received[s] = true
+				}
+			}
+		case *ast.RangeStmt:
+			t := sc.typeOf(x.X)
+			if t != nil && t.kind == kindChan {
+				if s := exprString(x.X); s != "" {
+					received[s] = true
+				}
+			}
+		}
+		return true
+	})
+
+	joins := func(name string) bool { return waited[name] || received[name] }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		joined := false
+		if lit, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if joined {
+					return false
+				}
+				switch y := m.(type) {
+				case *ast.CallExpr:
+					// wg.Done() / close(ch) on a joined handle.
+					if recv, ok := methodCall(y, "Done"); ok && waited[recv] {
+						joined = true
+					}
+					if id, isIdent := y.Fun.(*ast.Ident); isIdent && id.Name == "close" && len(y.Args) == 1 {
+						if received[exprString(y.Args[0])] {
+							joined = true
+						}
+					}
+				case *ast.SendStmt:
+					if received[exprString(y.Chan)] {
+						joined = true
+					}
+				}
+				return true
+			})
+		}
+		// A joined handle passed as an argument (go worker(&wg, ch))
+		// ties the goroutine's lifetime to it as well.
+		for _, arg := range g.Call.Args {
+			if joined {
+				break
+			}
+			e := arg
+			if u, isAddr := e.(*ast.UnaryExpr); isAddr && u.Op == token.AND {
+				e = u.X
+			}
+			if s := exprString(e); s != "" && joins(s) {
+				joined = true
+			}
+		}
+		if !joined {
+			pass.Reportf(g.Pos(),
+				"goroutine is not joined in this function: no Done on a waited WaitGroup, no send/close on a received channel")
+		}
+		return true
+	})
+}

@@ -2,13 +2,17 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strconv"
+	"strings"
 )
 
 // Index is module-wide symbol information built from a single parse of
 // every package, used by analyzers that need cross-package facts
 // without full type checking: which function names return errors
-// (errdrop) and how big each struct type is (bigcopy).
+// (errdrop), how big each struct type is (bigcopy), and — for the
+// dataflow layer in dataflow.go — where every named type, function,
+// method and integer constant is declared.
 type Index struct {
 	// errFuncs maps a function or method name to whether every
 	// declaration of that name in the module has error as its final
@@ -22,6 +26,47 @@ type Index struct {
 	// ignored). Ambiguous bare names resolve to the largest candidate.
 	structSizes    map[string]int64
 	ambiguousSizes map[string]bool
+
+	// pkgDirs is the set of package directories seen in this module,
+	// used to resolve import paths by longest-suffix match (the module
+	// is parsed by directory, so "openvcu/internal/codec/motion" is
+	// identified with the tree dir "internal/codec/motion").
+	pkgDirs map[string]bool
+
+	// typeDecls maps "dir.TypeName" to the declaring spec plus the file
+	// context needed to resolve the right-hand side (imports, package
+	// dir). Redeclarations across same-dir packages keep the first.
+	typeDecls map[string]*typeDecl
+
+	// funcDecls maps "dir.FuncName" (free functions) and
+	// "dir.RecvType.Method" (methods, pointer receivers unwrapped) to
+	// every declaration of that key.
+	funcDecls map[string][]*funcDecl
+
+	// intConsts maps "dir.ConstName" to package-level integer constant
+	// values, recording whether the source literal was a full 16-digit
+	// hex word (a SWAR lane mask, checked by swarwidth).
+	intConsts map[string]intConst
+}
+
+// typeDecl is one named type declaration with its resolution context.
+type typeDecl struct {
+	pkg  *Package
+	file *File
+	spec *ast.TypeSpec
+}
+
+// funcDecl is one function or method declaration with its context.
+type funcDecl struct {
+	pkg  *Package
+	file *File
+	decl *ast.FuncDecl
+}
+
+// intConst is an evaluated package-level integer constant.
+type intConst struct {
+	val     int64
+	wideHex bool // literal was written as a 16-hex-digit word
 }
 
 // buildIndex scans all parsed packages.
@@ -30,7 +75,12 @@ func buildIndex(pkgs []*Package) *Index {
 		errFuncs:       map[string]bool{},
 		structSizes:    map[string]int64{},
 		ambiguousSizes: map[string]bool{},
+		pkgDirs:        map[string]bool{},
+		typeDecls:      map[string]*typeDecl{},
+		funcDecls:      map[string][]*funcDecl{},
+		intConsts:      map[string]intConst{},
 	}
+	idx.collectSymbols(pkgs)
 	// Pass 1: record type specs so size resolution can chase named
 	// types across packages.
 	type namedSpec struct {
@@ -216,4 +266,172 @@ func (idx *Index) ReturnsError(name string) bool {
 func (idx *Index) Declared(name string) bool {
 	_, ok := idx.errFuncs[name]
 	return ok
+}
+
+// collectSymbols records the qualified declaration maps consumed by the
+// dataflow layer: named types, functions/methods, and integer consts.
+func (idx *Index) collectSymbols(pkgs []*Package) {
+	for _, pkg := range pkgs {
+		idx.pkgDirs[pkg.Dir] = true
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					key := pkg.Dir + "." + d.Name.Name
+					if d.Recv != nil && len(d.Recv.List) > 0 {
+						recv := typeBaseName(d.Recv.List[0].Type)
+						if recv == "" {
+							continue
+						}
+						key = pkg.Dir + "." + recv + "." + d.Name.Name
+					}
+					idx.funcDecls[key] = append(idx.funcDecls[key], &funcDecl{pkg: pkg, file: f, decl: d})
+				case *ast.GenDecl:
+					for _, s := range d.Specs {
+						if ts, ok := s.(*ast.TypeSpec); ok {
+							key := pkg.Dir + "." + ts.Name.Name
+							if _, seen := idx.typeDecls[key]; !seen {
+								idx.typeDecls[key] = &typeDecl{pkg: pkg, file: f, spec: ts}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Integer constants, evaluated to a fixpoint so one const may refer
+	// to another regardless of file order. iota specs are skipped: the
+	// rules that consume constants (shift counts, lane masks) never
+	// need enumerators.
+	for pass := 0; pass < 2; pass++ {
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.AST.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok || gd.Tok != token.CONST {
+						continue
+					}
+					for _, s := range gd.Specs {
+						vs, ok := s.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for i, name := range vs.Names {
+							if i >= len(vs.Values) {
+								continue
+							}
+							key := pkg.Dir + "." + name.Name
+							if _, done := idx.intConsts[key]; done {
+								continue
+							}
+							if c, ok := idx.evalConst(vs.Values[i], f, pkg.Dir, 0); ok {
+								idx.intConsts[key] = c
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// evalConst evaluates a constant integer expression: literals, refs to
+// already-indexed constants (same package or alias-qualified), and the
+// usual arithmetic/bitwise operators. ok is false for anything else
+// (iota, floats, strings, unresolved names).
+func (idx *Index) evalConst(e ast.Expr, f *File, dir string, depth int) (intConst, bool) {
+	if depth > 8 {
+		return intConst{}, false
+	}
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		if x.Kind != token.INT {
+			return intConst{}, false
+		}
+		v, err := strconv.ParseUint(x.Value, 0, 64)
+		if err != nil {
+			return intConst{}, false
+		}
+		wide := (strings.HasPrefix(x.Value, "0x") || strings.HasPrefix(x.Value, "0X")) &&
+			len(strings.ReplaceAll(x.Value[2:], "_", "")) == 16
+		return intConst{val: int64(v), wideHex: wide}, true
+	case *ast.Ident:
+		c, ok := idx.intConsts[dir+"."+x.Name]
+		return c, ok
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		if !ok {
+			return intConst{}, false
+		}
+		path, imported := f.imports[id.Name]
+		if !imported {
+			return intConst{}, false
+		}
+		d := idx.dirForImport(path)
+		if d == "" {
+			return intConst{}, false
+		}
+		c, ok := idx.intConsts[d+"."+x.Sel.Name]
+		return c, ok
+	case *ast.ParenExpr:
+		return idx.evalConst(x.X, f, dir, depth+1)
+	case *ast.UnaryExpr:
+		c, ok := idx.evalConst(x.X, f, dir, depth+1)
+		if !ok {
+			return intConst{}, false
+		}
+		switch x.Op {
+		case token.SUB:
+			return intConst{val: -c.val}, true
+		case token.XOR:
+			return intConst{val: ^c.val}, true
+		case token.ADD:
+			return c, true
+		}
+		return intConst{}, false
+	case *ast.BinaryExpr:
+		a, okA := idx.evalConst(x.X, f, dir, depth+1)
+		b, okB := idx.evalConst(x.Y, f, dir, depth+1)
+		if !okA || !okB {
+			return intConst{}, false
+		}
+		switch x.Op {
+		case token.ADD:
+			return intConst{val: a.val + b.val}, true
+		case token.SUB:
+			return intConst{val: a.val - b.val}, true
+		case token.MUL:
+			return intConst{val: a.val * b.val}, true
+		case token.QUO:
+			if b.val == 0 {
+				return intConst{}, false
+			}
+			return intConst{val: a.val / b.val}, true
+		case token.REM:
+			if b.val == 0 {
+				return intConst{}, false
+			}
+			return intConst{val: a.val % b.val}, true
+		case token.AND:
+			return intConst{val: a.val & b.val}, true
+		case token.OR:
+			return intConst{val: a.val | b.val}, true
+		case token.XOR:
+			return intConst{val: a.val ^ b.val}, true
+		case token.AND_NOT:
+			return intConst{val: a.val &^ b.val}, true
+		case token.SHL:
+			if b.val < 0 || b.val > 63 {
+				return intConst{}, false
+			}
+			return intConst{val: a.val << uint(b.val)}, true
+		case token.SHR:
+			if b.val < 0 || b.val > 63 {
+				return intConst{}, false
+			}
+			return intConst{val: int64(uint64(a.val) >> uint(b.val))}, true
+		}
+		return intConst{}, false
+	}
+	return intConst{}, false
 }

@@ -121,6 +121,14 @@ func TestHotAllocKernelFixture(t *testing.T) {
 func TestBigCopyFixture(t *testing.T) { runFixture(t, "bigcopy", "internal/video") }
 func TestErrDropFixture(t *testing.T) { runFixture(t, "errdrop", "internal/transcode") }
 
+// The four dataflow-layer rules (this PR): each fixture contains at
+// least one true positive that the syntactic passes cannot see —
+// the verdict depends on cross-package type resolution.
+func TestScratchShareFixture(t *testing.T) { runFixture(t, "scratchshare", "internal/enc") }
+func TestSharedMutFixture(t *testing.T)    { runFixture(t, "sharedmut", "internal/refcache") }
+func TestSwarWidthFixture(t *testing.T)    { runFixture(t, "swarwidth", "internal/bits") }
+func TestGoLeakFixture(t *testing.T)       { runFixture(t, "goleak", "internal/cluster") }
+
 // TestRepoTreeIsClean is the integration gate: the real module tree
 // must produce zero diagnostics with every analyzer enabled. If this
 // fails, either fix the finding or annotate it with //lint:ignore and
@@ -192,6 +200,98 @@ func c() {
 	}
 	if diags[0].Rule != "errdrop" || diags[0].Line != 15 {
 		t.Fatalf("unexpected diagnostic %v", diags[0])
+	}
+}
+
+// TestCommaSeparatedIgnore verifies that one directive may silence
+// several rules at once, and that listing extra rules does not break
+// the match for the rule that actually fires.
+func TestCommaSeparatedIgnore(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func mayFail() error { return nil }
+
+func a() {
+	//lint:ignore errdrop,lockhygiene fixture accepts both on this line
+	mayFail()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(Config{Root: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("comma-separated directive did not suppress: %v", diags)
+	}
+}
+
+// TestUnknownRuleInIgnoreDirective verifies that a rule name no
+// analyzer owns is reported instead of silently never matching, and
+// that known rules in the same comma list still suppress.
+func TestUnknownRuleInIgnoreDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func mayFail() error { return nil }
+
+func a() {
+	//lint:ignore nosuchrule,errdrop the first name is a typo
+	mayFail()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(Config{Root: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the lintdirective finding, got %v", diags)
+	}
+	d := diags[0]
+	if d.Rule != "lintdirective" || !strings.Contains(d.Message, `unknown rule "nosuchrule"`) {
+		t.Fatalf("unexpected diagnostic %v", d)
+	}
+}
+
+// TestTypeResolutionFailure runs every analyzer over a file that
+// parses cleanly but whose types all come from an unresolvable
+// external package: the dataflow layer must degrade to unknown —
+// producing no findings — rather than crash or guess.
+func TestTypeResolutionFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+import ext "example.com/vendored/ext"
+
+type holder struct {
+	cache ext.Cache
+	refs  [4]*ext.Frame
+}
+
+func f(h *holder, c ext.Cache, fr *ext.Frame) *ext.Frame {
+	h.cache = c
+	h.refs[0] = fr
+	v := ext.Fetch()
+	v.Levels[0] = nil
+	go ext.Run()
+	return fr
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(Config{Root: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unresolvable types must not produce findings, got %v", diags)
 	}
 }
 

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// scratchTypes are the caller-owned kernel scratch buffers (PR 2's
+// allocation-free hot path): a pointer to one of these passed into a
+// function is a loan, not a transfer — the callee may use it for the
+// duration of the call only. Storing it in a struct field, returning
+// it, or capturing it in a spawned goroutine lets two encode contexts
+// share one buffer and corrupts predictions silently.
+var scratchTypes = map[string]bool{
+	"internal/codec/motion.Scratch":      true,
+	"internal/codec/predict.NeighborBuf": true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "scratchshare",
+		Doc: "flags escaping *motion.Scratch / *predict.NeighborBuf " +
+			"parameters: returning the parameter, storing it into a " +
+			"struct field or composite literal, sending it on a channel, " +
+			"or capturing it in a go statement. Scratch buffers are " +
+			"caller-owned loans; an escape lets two encode contexts " +
+			"share one buffer",
+		Run: runScratchShare,
+	})
+}
+
+func runScratchShare(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScratchEscapes(pass, f, fd)
+		}
+	}
+}
+
+// scratchDisplayName renders the tracked qualified type name for
+// messages ("motion.Scratch").
+func scratchDisplayName(qualified string) string {
+	if i := strings.LastIndexByte(qualified, '/'); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}
+
+func checkScratchEscapes(pass *Pass, f *File, fd *ast.FuncDecl) {
+	// tracked maps a name to the qualified scratch type it aliases.
+	// Seeded from receiver + parameters, grown by plain-ident aliasing
+	// (alias := sc) in source order.
+	tracked := map[string]string{}
+	seed := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			t := pass.Index.resolveType(field.Type, f, pass.Pkg.Dir)
+			if t == nil || t.kind != kindPointer || t.elem == nil ||
+				t.elem.kind != kindNamed || !scratchTypes[t.elem.name] {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					tracked[name.Name] = t.elem.name
+				}
+			}
+		}
+	}
+	seed(fd.Recv)
+	seed(fd.Type.Params)
+	if len(tracked) == 0 {
+		return
+	}
+
+	trackedIdent := func(e ast.Expr) (string, string, bool) {
+		for {
+			p, ok := e.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			e = p.X
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return "", "", false
+		}
+		q, isTracked := tracked[id.Name]
+		return id.Name, q, isTracked
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				name, q, ok := trackedIdent(st.Rhs[i])
+				if !ok {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					// Plain aliasing stays inside the function.
+					if l.Name != "_" {
+						tracked[l.Name] = q
+					}
+				default:
+					pass.Reportf(st.Pos(),
+						"*%s parameter %s stored into %s; scratch buffers are caller-owned and must not escape",
+						scratchDisplayName(q), name, exprString(lhs))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if name, q, ok := trackedIdent(res); ok {
+					pass.Reportf(res.Pos(),
+						"*%s parameter %s returned; scratch buffers are caller-owned and must not escape",
+						scratchDisplayName(q), name)
+				}
+			}
+		case *ast.SendStmt:
+			if name, q, ok := trackedIdent(st.Value); ok {
+				pass.Reportf(st.Pos(),
+					"*%s parameter %s sent on a channel; scratch buffers are caller-owned and must not escape",
+					scratchDisplayName(q), name)
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if name, q, ok := trackedIdent(v); ok {
+					pass.Reportf(v.Pos(),
+						"*%s parameter %s captured in a composite literal; scratch buffers are caller-owned and must not escape",
+						scratchDisplayName(q), name)
+				}
+			}
+		case *ast.GoStmt:
+			reported := false
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if reported {
+						return false
+					}
+					if id, ok := m.(*ast.Ident); ok {
+						if q, isTracked := tracked[id.Name]; isTracked {
+							pass.Reportf(st.Pos(),
+								"*%s parameter %s captured by a go statement; the goroutine may outlive the call that owns the buffer",
+								scratchDisplayName(q), id.Name)
+							reported = true
+						}
+					}
+					return true
+				})
+			}
+			for _, arg := range st.Call.Args {
+				if reported {
+					break
+				}
+				if name, q, ok := trackedIdent(arg); ok {
+					pass.Reportf(st.Pos(),
+						"*%s parameter %s passed to a go statement; the goroutine may outlive the call that owns the buffer",
+						scratchDisplayName(q), name)
+					reported = true
+				}
+			}
+		}
+		return true
+	})
+}

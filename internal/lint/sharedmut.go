@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The per-reference-slot caches ([N]*video.Frame, [N]*motion.Pyramid
+// arrays and scalar *motion.Pyramid fields) are built once per frame
+// and then shared read-only across concurrently encoding tile workers,
+// with no locks — PR 2's pyramid design. Any write reachable from them
+// outside a constructor/build function is a data race waiting for a
+// tile count > 1.
+
+// cacheElemTypes are the named types whose pointers populate the
+// reference-slot caches.
+var cacheElemTypes = map[string]bool{
+	"internal/video.Frame":          true,
+	"internal/codec/motion.Pyramid": true,
+}
+
+// pyramidTypes are the types making up cached pyramid content; a write
+// through a value of one of these types mutates what tile workers read.
+var pyramidTypes = map[string]bool{
+	"internal/codec/motion.Pyramid":  true,
+	"internal/codec/motion.PyrLevel": true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "sharedmut",
+		Doc: "flags writes to the per-reference-slot frame/pyramid " +
+			"caches ([N]*video.Frame, [N]*motion.Pyramid, scalar " +
+			"*motion.Pyramid fields) and writes through values read " +
+			"from them, outside constructor/build functions. The caches " +
+			"are shared read-only across tile workers without locks",
+		Run: runSharedMut,
+	})
+}
+
+// isCacheFieldType reports whether a struct field of this type is a
+// reference-slot cache.
+func isCacheFieldType(t *dfType) bool {
+	if t == nil {
+		return false
+	}
+	if t.kind == kindArray && t.elem != nil && t.elem.kind == kindPointer &&
+		t.elem.elem != nil && t.elem.elem.kind == kindNamed && cacheElemTypes[t.elem.elem.name] {
+		return true
+	}
+	return t.kind == kindPointer && t.elem != nil && t.elem.kind == kindNamed &&
+		t.elem.name == "internal/codec/motion.Pyramid"
+}
+
+// chainInfo is what walking an lvalue/rvalue selector-index chain from
+// its root identifier learns.
+type chainInfo struct {
+	t          *dfType    // type of the full expression (nil = unknown)
+	root       *ast.Ident // leftmost identifier, nil if the root is not an ident
+	cacheField bool       // a step accessed a reference-slot cache field
+	crossedPtr bool       // a step dereferenced a pointer or indexed a slice
+	pyramid    bool       // a step traversed cached pyramid content
+}
+
+// walkChain resolves e stepwise so each selector/index step can be
+// classified against the cache shapes.
+func walkChain(sc *funcScope, e ast.Expr) chainInfo {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return chainInfo{t: sc.typeOf(x), root: x}
+	case *ast.ParenExpr:
+		return walkChain(sc, x.X)
+	case *ast.SelectorExpr:
+		base := walkChain(sc, x.X)
+		info := base
+		bt := base.t
+		if bt != nil && bt.kind == kindPointer {
+			info.crossedPtr = true
+		}
+		if bd := bt.deref(); bd != nil && bd.kind == kindNamed && pyramidTypes[bd.name] {
+			info.pyramid = true
+		}
+		info.t = sc.idx.fieldType(bt, x.Sel.Name, 0)
+		if isCacheFieldType(info.t) {
+			info.cacheField = true
+		}
+		return info
+	case *ast.IndexExpr:
+		base := walkChain(sc, x.X)
+		info := base
+		bt := base.t
+		if bt != nil && bt.kind == kindPointer {
+			info.crossedPtr = true
+			bt = bt.elem
+		}
+		if bt != nil && bt.kind == kindNamed && pyramidTypes[bt.name] {
+			info.pyramid = true
+		}
+		if bt != nil {
+			switch bt.kind {
+			case kindSlice, kindMap:
+				info.crossedPtr = true
+				info.t = bt.elem
+			case kindArray:
+				info.t = bt.elem
+			default:
+				info.t = nil
+			}
+		} else {
+			info.t = nil
+		}
+		return info
+	case *ast.StarExpr:
+		base := walkChain(sc, x.X)
+		info := base
+		if base.t != nil && base.t.kind == kindPointer {
+			info.crossedPtr = true
+			info.t = base.t.elem
+			if info.t != nil && info.t.kind == kindNamed && pyramidTypes[info.t.name] {
+				info.pyramid = true
+			}
+		} else {
+			info.t = nil
+		}
+		return info
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			base := walkChain(sc, x.X)
+			info := base
+			if base.t != nil {
+				info.t = &dfType{kind: kindPointer, elem: base.t}
+			} else {
+				info.t = nil
+			}
+			return info
+		}
+	}
+	return chainInfo{}
+}
+
+func runSharedMut(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isSetupFunc(fd.Name.Name) {
+				continue
+			}
+			checkSharedMut(pass, f, fd)
+		}
+	}
+}
+
+func checkSharedMut(pass *Pass, f *File, fd *ast.FuncDecl) {
+	sc := newFuncScope(pass.Index, f, pass.Pkg.Dir, fd)
+
+	// tainted: locals whose value was read out of a cache field, so a
+	// pointer-crossing write through them mutates shared state.
+	tainted := map[string]bool{}
+
+	checkWrite := func(pos token.Pos, lhs ast.Expr) {
+		if _, plain := lhs.(*ast.Ident); plain {
+			return // rebinding a local is never a cache write
+		}
+		info := walkChain(sc, lhs)
+		if info.root != nil && sc.isFresh(info.root.Name) {
+			return // value constructed in this function: not shared yet
+		}
+		switch {
+		case info.cacheField:
+			pass.Reportf(pos,
+				"write to reference-slot cache %s outside a constructor; tile workers share the cache read-only",
+				exprString(lhs))
+		case info.root != nil && tainted[info.root.Name] && info.crossedPtr:
+			pass.Reportf(pos,
+				"write through %s, read from a reference-slot cache; cached frames/pyramids are immutable after construction",
+				exprString(lhs))
+		case info.pyramid:
+			pass.Reportf(pos,
+				"write to cached pyramid content %s outside its build function; pyramids are shared read-only across tiles",
+				exprString(lhs))
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				checkWrite(lhs.Pos(), lhs)
+				// Taint locals assigned from cache reads (p := e.refPyr[0]).
+				if st.Tok != token.DEFINE && st.Tok != token.ASSIGN {
+					continue
+				}
+				id, isIdent := lhs.(*ast.Ident)
+				if !isIdent || i >= len(st.Rhs) {
+					continue
+				}
+				rhs := walkChain(sc, st.Rhs[i])
+				if rhs.cacheField {
+					tainted[id.Name] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			checkWrite(st.X.Pos(), st.X)
+		}
+		return true
+	})
+}

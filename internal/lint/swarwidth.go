@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// swarDirs are the packages doing uint64 lane arithmetic (SWAR pixel
+// kernels) and sub-word bit packing, where a wrong shift count or a
+// mask that does not respect the lane layout corrupts pixels silently
+// instead of crashing.
+var swarDirs = []string{
+	"internal/codec/motion",
+	"internal/bits",
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "swarwidth",
+		Doc: "in internal/codec/motion and internal/bits, flags " +
+			"constant shifts >= the operand's bit width (always zero or " +
+			"implementation-defined intent), 64-bit masks that are not " +
+			"byte/16/32-bit lane-periodic, and integer conversions that " +
+			"narrow or reinterpret an accumulator variable",
+		Run: runSwarWidth,
+	})
+}
+
+func runSwarWidth(pass *Pass) {
+	if !dirMatchesAny(pass.Pkg.Dir, swarDirs) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSwarWidth(pass, f, fd)
+		}
+	}
+}
+
+// lanePeriodic reports whether a 64-bit word repeats with a byte,
+// 16-bit or 32-bit period — the lane layouts the SWAR kernels use.
+func lanePeriodic(v uint64) bool {
+	b := v & 0xff
+	if v == b*0x0101010101010101 {
+		return true
+	}
+	h := v & 0xffff
+	if v == h*0x0001000100010001 {
+		return true
+	}
+	return v == (v&0xffffffff)*0x0000000100000001
+}
+
+func checkSwarWidth(pass *Pass, f *File, fd *ast.FuncDecl) {
+	sc := newFuncScope(pass.Index, f, pass.Pkg.Dir, fd)
+	idx := pass.Index
+
+	// accumulated: bare locals built up with compound assignment —
+	// the lane accumulators whose narrowing loses carries.
+	accumulated := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN, token.SHL_ASSIGN:
+			for _, lhs := range st.Lhs {
+				if id, isIdent := lhs.(*ast.Ident); isIdent {
+					accumulated[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// wideHexConst resolves e to a 64-bit lane-mask constant: either a
+	// 16-hex-digit literal or a reference to a const declared with one.
+	wideHexConst := func(e ast.Expr) (uint64, bool) {
+		switch x := e.(type) {
+		case *ast.BasicLit:
+			c, ok := idx.evalConst(x, f, pass.Pkg.Dir, 0)
+			return uint64(c.val), ok && c.wideHex
+		case *ast.Ident, *ast.SelectorExpr:
+			c, ok := idx.evalConst(e, f, pass.Pkg.Dir, 0)
+			return uint64(c.val), ok && c.wideHex
+		}
+		return 0, false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.SHL, token.SHR:
+				count, ok := idx.constIntValue(x.Y, f, pass.Pkg.Dir)
+				if !ok {
+					return true
+				}
+				w, _, okW := idx.intInfo(sc.typeOf(x.X), 0)
+				if okW && count >= int64(w) {
+					pass.Reportf(x.Pos(),
+						"shift count %d >= bit width %d of %s; the result is always zero",
+						count, w, exprString(x.X))
+				}
+			case token.AND, token.OR, token.XOR, token.AND_NOT:
+				for _, op := range []ast.Expr{x.X, x.Y} {
+					if v, ok := wideHexConst(op); ok && !lanePeriodic(v) {
+						pass.Reportf(op.Pos(),
+							"64-bit mask %#016x is not byte/16/32-bit lane-periodic; it does not cover an even lane layout",
+							v)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Conversion of a bare accumulator: T(acc).
+			if len(x.Args) != 1 {
+				return true
+			}
+			arg, ok := x.Args[0].(*ast.Ident)
+			if !ok || !accumulated[arg.Name] {
+				return true
+			}
+			var target *dfType
+			switch fn := x.Fun.(type) {
+			case *ast.Ident:
+				if _, isInt := basicInts[fn.Name]; isInt {
+					target = basicType(fn.Name)
+				} else if t := idx.resolveType(fn, f, pass.Pkg.Dir); t != nil && t.kind == kindNamed {
+					target = t
+				}
+			case *ast.SelectorExpr:
+				if t := idx.resolveType(fn, f, pass.Pkg.Dir); t != nil && t.kind == kindNamed {
+					target = t
+				}
+			}
+			if target == nil {
+				return true
+			}
+			wT, uT, okT := idx.intInfo(target, 0)
+			wX, uX, okX := idx.intInfo(sc.typeOf(arg), 0)
+			if !okT || !okX {
+				return true
+			}
+			if wT < wX {
+				pass.Reportf(x.Pos(),
+					"conversion %s truncates accumulator %s from %d to %d bits; fold lanes before narrowing",
+					convName(x.Fun), arg.Name, wX, wT)
+			} else if wT == wX && uT != uX {
+				pass.Reportf(x.Pos(),
+					"conversion %s reinterprets the sign of accumulator %s; a high lane bit becomes a sign bit",
+					convName(x.Fun), arg.Name)
+			}
+		}
+		return true
+	})
+}
+
+// convName renders a conversion target for messages.
+func convName(e ast.Expr) string {
+	if s := exprString(e); s != "" {
+		return s
+	}
+	return fmt.Sprintf("%T", e)
+}

@@ -1,0 +1,74 @@
+// Package cluster is a goleak-analyzer fixture: a go statement must be
+// joined in the spawning function — Done on a waited WaitGroup, or a
+// send/close on a channel the function receives from. The negative
+// cases need the join-handle matching; the channel-range case needs
+// the dataflow layer to type the range operand.
+package cluster
+
+import "sync"
+
+func fanOutJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func channelJoined() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}
+
+func closeJoined() int {
+	ch := make(chan int)
+	go func() {
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+func argJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func detached() {
+	go func() {}() // want "goroutine is not joined in this function"
+}
+
+func detachedNamed() {
+	go background() // want "goroutine is not joined in this function"
+}
+
+func waitsOnWrongGroup() {
+	var wg, other sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine is not joined in this function"
+		defer other.Done()
+	}()
+	wg.Wait()
+}
+
+func suppressedDetach() {
+	//lint:ignore goleak fixture accepted background goroutine, process-lifetime by design
+	go background()
+}
+
+func worker(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+func background() {}

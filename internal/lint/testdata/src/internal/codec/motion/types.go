@@ -1,0 +1,31 @@
+package motion
+
+// Support types for the scratchshare/sharedmut fixtures: the same
+// shapes as the real motion package, resolved by the dataflow layer
+// through the module index. No allocations and no want annotations —
+// this file must stay invisible to the hotalloc fixture runs that scan
+// this directory.
+
+// Scratch owns the reusable per-call kernel buffers.
+type Scratch struct {
+	Pred []uint8
+}
+
+// PyrLevel is one downsampled plane of a search pyramid.
+type PyrLevel struct {
+	Pix  []uint8
+	W, H int
+}
+
+// Pyramid is the cached 2-level search pyramid, shared read-only
+// across tile workers once built.
+type Pyramid struct {
+	Levels [2]PyrLevel
+}
+
+// BuildPyramid is the pyramid constructor (setup-prefixed).
+func BuildPyramid(pix []uint8, w, h int) *Pyramid {
+	p := &Pyramid{}
+	p.Levels[0] = PyrLevel{Pix: pix, W: w, H: h}
+	return p
+}

@@ -1,0 +1,8 @@
+package predict
+
+// NeighborBuf mirrors the real caller-owned intra-prediction border
+// buffer for the scratchshare fixture.
+type NeighborBuf struct {
+	Above [80]uint8
+	Left  [80]uint8
+}

@@ -1,0 +1,70 @@
+// Package enc is a scratchshare-analyzer fixture: *motion.Scratch and
+// *predict.NeighborBuf parameters are caller-owned loans and must not
+// escape the call. Every positive here needs cross-package type
+// resolution — a syntactic pass cannot tell these pointers from any
+// other parameter.
+package enc
+
+import (
+	"openvcu/internal/codec/motion"
+	"openvcu/internal/codec/predict"
+)
+
+type pipeline struct {
+	sc *motion.Scratch
+	nb *predict.NeighborBuf
+}
+
+func storeScratch(p *pipeline, sc *motion.Scratch) {
+	p.sc = sc // want "stored into p.sc; scratch buffers are caller-owned"
+}
+
+func storeNeighbors(p *pipeline, nb *predict.NeighborBuf) {
+	p.nb = nb // want "NeighborBuf parameter nb stored into p.nb"
+}
+
+func returnScratch(sc *motion.Scratch) *motion.Scratch {
+	return sc // want "parameter sc returned; scratch buffers are caller-owned"
+}
+
+func captureScratch(sc *motion.Scratch) {
+	go func() { // want "captured by a go statement"
+		use(sc)
+	}()
+}
+
+func spawnWorker(sc *motion.Scratch) {
+	go use(sc) // want "passed to a go statement"
+}
+
+func packScratch(sc *motion.Scratch) pipeline {
+	return pipeline{sc: sc} // want "captured in a composite literal"
+}
+
+func aliasEscape(p *pipeline, sc *motion.Scratch) {
+	alias := sc
+	p.sc = alias // want "parameter alias stored into p.sc"
+}
+
+// passThrough is the approved shape: the loan is forwarded down the
+// call chain and never outlives the call.
+func passThrough(sc *motion.Scratch) {
+	use(sc)
+}
+
+// fieldUse reads and writes the buffer contents, which is what the
+// loan is for.
+func fieldUse(sc *motion.Scratch) uint8 {
+	if len(sc.Pred) > 0 {
+		sc.Pred[0] = 1
+		return sc.Pred[0]
+	}
+	return 0
+}
+
+func suppressedStore(p *pipeline, sc *motion.Scratch) {
+	//lint:ignore scratchshare fixture accepted handoff, caller documents ownership transfer
+	p.sc = sc
+}
+
+func use(sc *motion.Scratch) {}

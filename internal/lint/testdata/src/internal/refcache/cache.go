@@ -1,0 +1,85 @@
+// Package refcache is a sharedmut-analyzer fixture: the reference-slot
+// frame/pyramid caches are written only inside constructor/build
+// functions; everywhere else tile workers share them read-only. The
+// positives need field-type resolution across packages plus
+// local-origin dataflow — a syntactic pass sees only ordinary
+// assignments.
+package refcache
+
+import (
+	"openvcu/internal/codec/motion"
+	"openvcu/internal/video"
+)
+
+type store struct {
+	refs   [4]*video.Frame
+	refPyr [4]*motion.Pyramid
+	curPyr *motion.Pyramid
+}
+
+// NewStore is a constructor: cache writes are its job.
+func NewStore(f *video.Frame) *store {
+	s := &store{}
+	s.refs[0] = f
+	s.refPyr[0] = motion.BuildPyramid(nil, 0, 0)
+	return s
+}
+
+// BuildCaches has a setup prefix, so writes to a shared parameter are
+// allowed even without local origin.
+func BuildCaches(s *store, f *video.Frame) {
+	s.refs[0] = f
+}
+
+func rotate(s *store, recon *video.Frame) {
+	s.refs[0] = recon // want "write to reference-slot cache s.refs\[0\] outside a constructor"
+}
+
+func swapPyramids(s *store, p *motion.Pyramid) {
+	s.refPyr[1] = p // want "write to reference-slot cache s.refPyr\[1\]"
+	s.curPyr = p    // want "write to reference-slot cache s.curPyr"
+}
+
+func deepPyramidWrite(s *store) {
+	p := s.refPyr[0]
+	p.Levels[0].W = 3 // want "write through p.Levels\[0\].W, read from a reference-slot cache"
+}
+
+func deepFrameWrite(s *store) {
+	f := s.refs[0]
+	f.Y[0] = 1 // want "write through f.Y\[0\], read from a reference-slot cache"
+}
+
+func mutatePyramid(p *motion.Pyramid) {
+	p.Levels[0].W = 4 // want "write to cached pyramid content"
+}
+
+// localPyramid mutates a pyramid it just built: not shared yet.
+func localPyramid(pix []uint8) *motion.Pyramid {
+	p := motion.BuildPyramid(pix, 8, 8)
+	p.Levels[0].W = 4
+	return p
+}
+
+// localStore writes caches on a store constructed in this function:
+// no other goroutine can see it.
+func localStore(f *video.Frame) *store {
+	s := &store{}
+	s.refs[0] = f
+	return s
+}
+
+// readers may traverse the cache freely.
+func lastFrame(s *store) *video.Frame {
+	return s.refs[0]
+}
+
+func levelWidth(s *store) int {
+	p := s.refPyr[0]
+	return p.Levels[0].W
+}
+
+func evict(s *store) {
+	//lint:ignore sharedmut fixture accepted eviction point between frames, no reader live
+	s.refs[2] = nil
+}

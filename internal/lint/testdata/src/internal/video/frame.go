@@ -1,0 +1,9 @@
+package video
+
+// Frame mirrors the real YUV frame type for the sharedmut fixture.
+// Deliberately under the bigcopy threshold so this support file adds
+// nothing to the bigcopy fixture runs over this directory.
+type Frame struct {
+	Width, Height int
+	Y             []uint8
+}

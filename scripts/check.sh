@@ -6,6 +6,9 @@
 #   2. go vet        toolchain static checks
 #   3. vculint       project-specific analyzers (internal/lint):
 #                    determinism, lockhygiene, hotalloc, errdrop, bigcopy
+#                    plus the dataflow rules scratchshare, sharedmut,
+#                    swarwidth, goleak; the JSON report is written to
+#                    lint_report.json either way
 #   4. go build      the whole module
 #   5. go test       the whole module
 #   6. go test -race the concurrent packages
@@ -36,11 +39,23 @@ check_fmt() {
     fi
 }
 
-RACE_PKGS="./internal/sched ./internal/transcode ./internal/cluster ./internal/codec"
+# check_lint captures the machine-readable report unconditionally so CI
+# can upload lint_report.json, and fails the gate on any non-suppressed
+# finding (vculint exits 1 when a rule fires).
+check_lint() {
+    if go run ./cmd/vculint -json ./... >lint_report.json; then
+        return 0
+    fi
+    echo "vculint findings (lint_report.json):" >&2
+    cat lint_report.json >&2
+    return 1
+}
+
+RACE_PKGS="./internal/sched ./internal/transcode ./internal/cluster ./internal/codec ./internal/video"
 
 step "gofmt" check_fmt
 step "go vet" go vet ./...
-step "vculint" go run ./cmd/vculint ./...
+step "vculint" check_lint
 step "go build" go build ./...
 step "go test" go test ./...
 # shellcheck disable=SC2086
