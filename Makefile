@@ -5,7 +5,7 @@
 GO ?= go
 RACE_PKGS = ./internal/sched ./internal/transcode ./internal/cluster ./internal/codec ./internal/video
 
-.PHONY: check lint lint-json race build test fmt bench
+.PHONY: check lint lint-json race build test fmt bench chaos fuzz
 
 check:
 	./scripts/check.sh
@@ -24,6 +24,17 @@ lint-json:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Long-schedule deterministic chaos run (§4.4 fault lifecycle): more
+# videos, faults and host crashes than the tier-1 variant, under -race,
+# printing the invariant summary (watchdog fires, hedges, repair cycle,
+# failure classes).
+chaos:
+	CHAOS_LONG=1 $(GO) test -race -v -run 'TestChaos' ./internal/cluster
+
+# Extended decoder fuzzing (the gate runs a 10s smoke).
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=2m -run=NONE ./internal/codec
 
 build:
 	$(GO) build ./...

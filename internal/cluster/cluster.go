@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,6 +19,17 @@ import (
 	"openvcu/internal/sched"
 	"openvcu/internal/sim"
 	"openvcu/internal/vcu"
+)
+
+// Cluster-level failure classes (device-level classes live in
+// internal/vcu as typed errors the cluster matches with errors.Is).
+var (
+	// errWorkerRestart marks a step whose worker process restarted
+	// underneath it (§4.4 abort-on-failure): the result is untrusted.
+	errWorkerRestart = errors.New("cluster: worker restarted under step")
+	// errIntegrity marks a chunk caught by the high-level integrity
+	// checks of §4.4.
+	errIntegrity = errors.New("cluster: chunk failed integrity verification")
 )
 
 // StepKind is the type of work a step performs. Transcoding runs on VCU
@@ -63,6 +75,21 @@ type Step struct {
 	RanOnVCU []int
 	// escapeCounted dedupes escaped-corruption accounting.
 	escapeCounted bool
+	// execGen increments whenever the step settles (completes or is
+	// requeued); executions launched under an older generation are void
+	// — the coordination point between a primary, its hedge and their
+	// watchdogs.
+	execGen int
+	// liveExecs counts running copies of the current generation: 1, or
+	// 2 while a straggler hedge is in flight.
+	liveExecs int
+	// hedged marks that a hedge was launched for the current generation.
+	hedged bool
+	// OverflowPlaced records that at least one placement of this step
+	// fell outside its video's consistent-hash affinity set (the set
+	// had no capacity). The chaos harness excludes such steps from the
+	// strict blast-radius invariant.
+	OverflowPlaced bool
 	// Corrupted marks silent output corruption that escaped detection so
 	// far (in real-pixels mode: the bitstream was actually tampered).
 	Corrupted bool
@@ -147,6 +174,28 @@ type Config struct {
 	// corruption for faulty VCUs, and actual decode/length verification
 	// at assembly (replacing IntegrityCheckProb with emergent behavior).
 	RealPixels RealPixelsConfig
+	// WatchdogMultiplier scales the cost model's expected step time
+	// (sched.ExpectedStepSeconds) into a sim-time deadline for every
+	// dispatched step. On expiry the step is cancelled, the timeout is
+	// charged to the VCU's telemetry (counting toward its disable
+	// threshold) and the step is requeued with backoff. 0 disables the
+	// watchdog — and with it the only recovery path from FaultHang.
+	WatchdogMultiplier float64
+	// HedgeMultiplier, when > 0, launches a second copy of a
+	// still-running step once it has been in flight for this multiple
+	// of its expected time (the p99-equivalent straggler hedge). First
+	// completion wins; the loser's result is discarded.
+	HedgeMultiplier float64
+	// RetryBackoffBase is the requeue delay after a step's first
+	// failure; attempt n waits Base<<(n-1), capped at RetryBackoffMax.
+	// 0 requeues immediately.
+	RetryBackoffBase time.Duration
+	RetryBackoffMax  time.Duration
+	// RepairLatency is how long a host spends in the §4.4 repair
+	// workflow before readmission. A repaired host re-runs golden
+	// screening per VCU before its capacity rejoins the scheduler. 0
+	// means repairs never return (the pre-lifecycle behavior).
+	RepairLatency time.Duration
 	// Seed drives the deterministic pseudo-random integrity sampling.
 	Seed uint64
 }
@@ -164,11 +213,17 @@ func DefaultConfig(hosts int) Config {
 		FaultScanPeriod:       30 * time.Second,
 		DisableFaultThreshold: 8,
 		StepTargetSeconds:     10,
+		WatchdogMultiplier:    8,
+		RetryBackoffBase:      500 * time.Millisecond,
+		RetryBackoffMax:       30 * time.Second,
+		RepairLatency:         30 * time.Minute,
 		Seed:                  1,
 	}
 }
 
-// Stats counts cluster-level outcomes.
+// Stats counts cluster-level outcomes. The struct is flat and
+// comparable: the chaos harness asserts two runs with the same seed
+// produce identical Stats with ==.
 type Stats struct {
 	StepsCompleted     int64
 	StepsFailed        int64
@@ -184,6 +239,65 @@ type Stats struct {
 	GoldenRejections   int64
 	WorkerAborts       int64
 	PoolRebalances     int64
+	// WatchdogFires counts step deadlines expired by the watchdog.
+	WatchdogFires int64
+	// HedgesLaunched/HedgesWon count straggler hedges and the cases
+	// where the hedge finished before the primary.
+	HedgesLaunched int64
+	HedgesWon      int64
+	// HostsCrashed counts host-level failures (§4.4 chassis/CPU/cable).
+	HostsCrashed int64
+	// HostsReadmitted counts hosts returned from the repair workflow;
+	// ReadmitRejections counts VCUs that failed golden re-screening at
+	// readmission and stayed quarantined.
+	HostsReadmitted   int64
+	ReadmitRejections int64
+	// Failures buckets step failures by typed error class (§4.4 "fault
+	// correlation").
+	Failures FailureClasses
+}
+
+// FailureClasses tallies step failures by fault class, so a fail-stop
+// device, a watchdog-recovered hang, a host crash and a caught
+// corruption are distinguishable in the cluster's own telemetry.
+type FailureClasses struct {
+	Stop      int64 // fail-stop device faults (vcu.ErrDeviceStop)
+	Transient int64 // soft errors that clear (vcu.ErrTransient)
+	Deadline  int64 // watchdog expiries (vcu.ErrDeadlineExceeded)
+	Crash     int64 // host crashes under the step (vcu.ErrHostCrashed)
+	Aborted   int64 // queue teardown (vcu.ErrAborted)
+	Restart   int64 // worker restarted under the step
+	Memory    int64 // device DRAM exhaustion (vcu.ErrMemoryExhausted)
+	Integrity int64 // integrity-check rejections
+	Other     int64 // anything unclassified
+}
+
+// count buckets one failure by errors.Is class.
+func (fc *FailureClasses) count(err error) {
+	switch {
+	case errors.Is(err, vcu.ErrDeviceStop):
+		fc.Stop++
+	case errors.Is(err, vcu.ErrTransient):
+		fc.Transient++
+	case errors.Is(err, vcu.ErrDeadlineExceeded):
+		fc.Deadline++
+	case errors.Is(err, vcu.ErrHostCrashed):
+		fc.Crash++
+	case errors.Is(err, vcu.ErrAborted),
+		errors.Is(err, vcu.ErrDisabled),
+		errors.Is(err, vcu.ErrQueueClosed):
+		// Teardown class: the device or its queue went away under the
+		// step (abort-on-failure, disable, crash teardown).
+		fc.Aborted++
+	case errors.Is(err, errWorkerRestart):
+		fc.Restart++
+	case errors.Is(err, vcu.ErrMemoryExhausted):
+		fc.Memory++
+	case errors.Is(err, errIntegrity):
+		fc.Integrity++
+	default:
+		fc.Other++
+	}
 }
 
 // Cluster is one data center cell: hosts full of VCUs, a worker per VCU,
@@ -206,9 +320,16 @@ type Cluster struct {
 	poolOf map[int]sched.UseCase
 
 	hostsInRepair int
+	// inRepair tracks which hosts are currently in the repair workflow
+	// (a crashed host is disabled too, but must still be *sent* to
+	// repair by the fault scan once a repair slot frees up).
+	inRepair map[int]bool
 
 	Stats Stats
 }
+
+// HostsInRepair returns the number of hosts currently out for repair.
+func (c *Cluster) HostsInRepair() int { return c.hostsInRepair }
 
 // clusterWorker binds a scheduler worker to a VCU.
 type clusterWorker struct {
@@ -231,7 +352,8 @@ func New(cfg Config) *Cluster {
 // buildCluster assembles a cluster on the given engine (regions share one
 // engine across clusters).
 func buildCluster(cfg Config, eng *sim.Engine) *Cluster {
-	c := &Cluster{Eng: eng, cfg: cfg, byVCU: map[int]*clusterWorker{}, rng: cfg.Seed*2 + 1}
+	c := &Cluster{Eng: eng, cfg: cfg, byVCU: map[int]*clusterWorker{},
+		inRepair: map[int]bool{}, rng: cfg.Seed*2 + 1}
 	if cfg.LegacySingleSlot {
 		slots := cfg.LegacySlots
 		if slots <= 0 {
@@ -416,11 +538,33 @@ func (c *Cluster) tryPlace(s *Step) bool {
 		c.Eng.Schedule(dur, func() { c.completeStep(s, nil, false) })
 		return true
 	}
-	req := s.Request
-	need := c.workerType.Cost(req)
+	cw, a, overflow := c.placeTranscode(s, -1)
+	if cw == nil {
+		return false
+	}
+	s.State = StepRunning
+	s.liveExecs = 1
+	s.hedged = false
+	if overflow {
+		s.OverflowPlaced = true
+	}
+	s.RanOnVCU = append(s.RanOnVCU, cw.vcu.ID)
+	c.runTranscode(s, cw, a, false)
+	return true
+}
+
+// placeTranscode reserves a worker for s, preferring the video's
+// consistent-hash affinity set and overflowing to any VCU only when the
+// set has no capacity (affinity reduces blast radius, it must not
+// strand work). avoidVCU additionally vetoes one device — the hedge's
+// primary. Returns overflow=true when the placement fell outside the
+// affinity set.
+func (c *Cluster) placeTranscode(s *Step, avoidVCU int) (*clusterWorker, *sched.Assignment, bool) {
+	need := c.workerType.Cost(s.Request)
 	baseExclude := func(w *sched.Worker) bool {
 		cw := c.byVCU[w.ID]
-		if cw == nil || cw.refused || cw.vcu.Disabled() || cw.host.Disabled() || s.triedVCUs[w.ID] {
+		if cw == nil || cw.refused || cw.vcu.Disabled() || cw.host.Disabled() ||
+			s.triedVCUs[w.ID] || w.ID == avoidVCU {
 			return true
 		}
 		if c.poolOf != nil && c.poolOf[w.ID] != stepPool(s) {
@@ -428,12 +572,10 @@ func (c *Cluster) tryPlace(s *Step) bool {
 		}
 		return false
 	}
+	overflow := false
 	var a *sched.Assignment
 	var err error
 	if c.ring != nil {
-		// Prefer the video's consistent-hash affinity set; overflow to
-		// any VCU only when the set has no capacity (affinity reduces
-		// blast radius, it must not strand work).
 		k := c.cfg.AffinitySize
 		if k <= 0 {
 			k = 4
@@ -444,28 +586,57 @@ func (c *Cluster) tryPlace(s *Step) bool {
 		})
 		if err != nil {
 			c.Stats.AffinityOverflows++
+			overflow = true
 		}
 	}
 	if a == nil {
 		a, err = c.scheduler.Schedule(need, baseExclude)
 		if err != nil {
-			return false
+			return nil, nil, false
 		}
 	}
-	cw := c.byVCU[a.Worker.ID]
-	s.State = StepRunning
-	s.RanOnVCU = append(s.RanOnVCU, cw.vcu.ID)
-	c.runTranscode(s, cw, a)
-	return true
+	return c.byVCU[a.Worker.ID], a, overflow
 }
 
-// runTranscode executes the step's ops on the worker's VCU through the
-// firmware queue: one decode, then the output encodes. The step's
-// worst-case frame footprint is allocated from device DRAM up front — the
-// hard limit the bin-packing DRAM dimension exists to respect (a
-// single-slot scheduler can over-admit into this and fail here).
-func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment) {
+// stepDeadline is the watchdog deadline for one execution of s, derived
+// from the cost model's expected completion time. Live steps cannot
+// finish before their wall duration, so the deadline floors at twice
+// the chunk's wall time.
+func (c *Cluster) stepDeadline(s *Step) time.Duration {
+	d := time.Duration(c.cfg.WatchdogMultiplier *
+		sched.ExpectedStepSeconds(s.Request) * float64(time.Second))
+	if r := s.Request; r.Realtime && r.FPS > 0 {
+		frames := r.ChunkFrames
+		if frames <= 0 {
+			frames = 150
+		}
+		wall := time.Duration(float64(frames) / float64(r.FPS) * float64(time.Second))
+		if d < 2*wall {
+			d = 2 * wall
+		}
+	}
+	return d
+}
+
+// hedgeDelay is how long a step may run before a second copy launches.
+func (c *Cluster) hedgeDelay(s *Step) time.Duration {
+	return time.Duration(c.cfg.HedgeMultiplier *
+		sched.ExpectedStepSeconds(s.Request) * float64(time.Second))
+}
+
+// runTranscode executes one copy of the step's ops on the worker's VCU
+// through the firmware queue: one decode, then the output encodes. The
+// step's worst-case frame footprint is allocated from device DRAM up
+// front — the hard limit the bin-packing DRAM dimension exists to
+// respect (a single-slot scheduler can over-admit into this and fail
+// here). The execution carries the step's current generation token: the
+// first copy to settle the step (complete it, or requeue it after the
+// last live copy fails) bumps s.execGen, voiding its sibling and any
+// pending watchdog — the losing copy still releases its resources on
+// its own completion or deadline, but cannot re-settle the step.
+func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment, isHedge bool) {
 	req := s.Request
+	token := s.execGen
 	frames := req.ChunkFrames
 	if frames <= 0 {
 		frames = 150
@@ -481,7 +652,7 @@ func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment) 
 	if err := cw.vcu.AllocMemory(footprint); err != nil {
 		c.Stats.MemoryExhaustions++
 		a.Release()
-		c.failStep(s, cw, err)
+		c.execFailed(s, cw, err)
 		return
 	}
 
@@ -493,15 +664,43 @@ func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment) 
 		finished = true
 		cw.vcu.FreeMemory(footprint)
 		a.Release()
+		if s.execGen != token {
+			// A sibling already settled the step; this copy only had to
+			// give back its resources.
+			return
+		}
 		if gen != cw.generation && err == nil {
-			err = fmt.Errorf("worker restarted under step")
+			err = fmt.Errorf("%w (vcu %d)", errWorkerRestart, cw.vcu.ID)
 		}
 		if err != nil {
-			c.failStep(s, cw, err)
+			c.execFailed(s, cw, err)
 			return
+		}
+		s.execGen++ // settle: void the sibling and both watchdogs
+		s.liveExecs = 0
+		if isHedge {
+			c.Stats.HedgesWon++
 		}
 		c.completeStep(s, cw, corrupted)
 		c.dispatch()
+	}
+
+	if c.cfg.WatchdogMultiplier > 0 {
+		deadline := c.stepDeadline(s)
+		c.Eng.Schedule(deadline, func() {
+			if finished {
+				return
+			}
+			// Fires even for a voided copy: a hung loser would otherwise
+			// hold its reservation and DRAM forever.
+			c.Stats.WatchdogFires++
+			cw.vcu.ChargeTimeout()
+			finish(fmt.Errorf("%w after %v (vcu %d)",
+				vcu.ErrDeadlineExceeded, deadline, cw.vcu.ID), false)
+		})
+	}
+	if !isHedge && c.cfg.HedgeMultiplier > 0 {
+		c.Eng.Schedule(c.hedgeDelay(s), func() { c.maybeHedge(s, token, cw.vcu.ID) })
 	}
 
 	// Live steps pace at the chunk's wall duration: completion cannot
@@ -561,6 +760,48 @@ func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment) 
 	}
 }
 
+// maybeHedge launches a second copy of a still-running step on a
+// different VCU (the p99 straggler hedge). The copy is skipped when the
+// step already settled, a hedge was already sent, or no capacity exists
+// — hedging is opportunistic, never required for progress.
+func (c *Cluster) maybeHedge(s *Step, token int, primaryVCU int) {
+	if s.execGen != token || s.hedged || s.State != StepRunning {
+		return
+	}
+	cw, a, overflow := c.placeTranscode(s, primaryVCU)
+	if cw == nil {
+		return
+	}
+	s.hedged = true
+	s.liveExecs++
+	if overflow {
+		s.OverflowPlaced = true
+	}
+	s.RanOnVCU = append(s.RanOnVCU, cw.vcu.ID)
+	c.Stats.HedgesLaunched++
+	c.runTranscode(s, cw, a, true)
+}
+
+// execFailed handles the failure of one execution copy: classify and
+// charge the failure, exclude the VCU, and — only when no sibling copy
+// is still running — settle the step by requeueing it with backoff.
+func (c *Cluster) execFailed(s *Step, cw *clusterWorker, err error) {
+	c.Stats.StepsFailed++
+	c.Stats.Failures.count(err)
+	if cw != nil {
+		s.triedVCUs[cw.vcu.ID] = true
+		c.abortWorker(cw)
+	}
+	s.liveExecs--
+	if s.liveExecs > 0 {
+		return // the surviving copy will settle the step
+	}
+	s.execGen++
+	s.Attempts++
+	c.Stats.Retries++
+	c.requeueAfter(s, c.retryDelay(s.Attempts))
+}
+
 // assembleVerify runs the real §4.4 integrity checks: decode every chunk
 // and compare its length to the input. Failing chunks are re-opened for
 // retry and the assemble step goes back to waiting on them. Returns true
@@ -585,7 +826,7 @@ func (c *Cluster) assembleVerify(s *Step) bool {
 		if len(b.RanOnVCU) > 0 {
 			cw = c.byVCU[b.RanOnVCU[len(b.RanOnVCU)-1]]
 		}
-		c.failStep(b, cw, fmt.Errorf("chunk failed integrity verification"))
+		c.failStep(b, cw, errIntegrity)
 	}
 	s.State = StepPending // assemble re-arms once the chunks are redone
 	c.dispatch()
@@ -607,7 +848,7 @@ func (c *Cluster) completeStep(s *Step, cw *clusterWorker, corrupted bool) {
 		if c.rand() < c.cfg.IntegrityCheckProb {
 			// Caught: treat as a failure and retry elsewhere.
 			c.Stats.CorruptionsCaught++
-			c.failStep(s, cw, fmt.Errorf("integrity check failed"))
+			c.failStep(s, cw, errIntegrity)
 			return
 		}
 		c.Stats.CorruptionsEscaped++
@@ -638,24 +879,70 @@ func (c *Cluster) completeStep(s *Step, cw *clusterWorker, corrupted bool) {
 	c.dispatch()
 }
 
-// failStep handles a step failure: exclude the VCU, apply the §4.4
-// mitigations and requeue.
+// failStep handles a step failure outside the execution path (memory
+// admission, integrity rejection, real-pixels verification): exclude
+// the VCU, apply the §4.4 mitigations and requeue with backoff.
 func (c *Cluster) failStep(s *Step, cw *clusterWorker, err error) {
 	c.Stats.StepsFailed++
+	c.Stats.Failures.count(err)
 	s.Attempts++
 	c.Stats.Retries++
 	if cw != nil {
 		s.triedVCUs[cw.vcu.ID] = true
-		if c.cfg.AbortOnFailure {
-			// "A transcoding worker, upon encountering a hardware
-			// failure, immediately aborts all work on the VCU."
-			c.Stats.WorkerAborts++
-			cw.queueFW.Close()
-			c.Eng.Schedule(time.Second, func() { c.startWorker(cw) })
-		}
+		c.abortWorker(cw)
 	}
-	c.enqueue(s)
-	c.dispatch()
+	c.requeueAfter(s, c.retryDelay(s.Attempts))
+}
+
+// abortWorker applies the §4.4 abort-on-failure mitigation: "a
+// transcoding worker, upon encountering a hardware failure, immediately
+// aborts all work on the VCU" and restarts shortly after. Skipped for
+// hosts that are down — there is no worker left to restart.
+func (c *Cluster) abortWorker(cw *clusterWorker) {
+	if !c.cfg.AbortOnFailure || cw.host.Disabled() || cw.queueFW == nil {
+		return
+	}
+	c.Stats.WorkerAborts++
+	cw.queueFW.Close()
+	c.Eng.Schedule(time.Second, func() {
+		if cw.host.Disabled() || c.inRepair[cw.host.ID] {
+			return // the readmit path restarts workers itself
+		}
+		c.startWorker(cw)
+	})
+}
+
+// retryDelay is the capped exponential backoff before attempt n+1:
+// Base<<(n-1), capped at RetryBackoffMax.
+func (c *Cluster) retryDelay(attempts int) time.Duration {
+	base := c.cfg.RetryBackoffBase
+	if base <= 0 || attempts <= 0 {
+		return 0
+	}
+	shift := attempts - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := base << uint(shift)
+	if lim := c.cfg.RetryBackoffMax; lim > 0 && d > lim {
+		d = lim
+	}
+	return d
+}
+
+// requeueAfter returns a failed step to the ready queue after the
+// backoff delay (immediately when zero).
+func (c *Cluster) requeueAfter(s *Step, d time.Duration) {
+	if d <= 0 {
+		c.enqueue(s)
+		c.dispatch()
+		return
+	}
+	s.State = StepFailed // parked in backoff
+	c.Eng.Schedule(d, func() {
+		c.enqueue(s)
+		c.dispatch()
+	})
 }
 
 // scheduleFaultScan installs the periodic failure-management sweep.
@@ -666,20 +953,23 @@ func (c *Cluster) scheduleFaultScan() {
 	})
 }
 
-// faultScan disables VCUs whose telemetry crossed the fault threshold and
-// sends hosts with too many dead VCUs to repair, respecting the repair
-// cap.
+// faultScan disables VCUs whose telemetry crossed the fault threshold
+// (watchdog timeouts count: a hung or pathologically slow device must
+// trip the same breaker as a failing one) and sends hosts with too many
+// dead VCUs — including crashed hosts — to repair, respecting the
+// repair cap. Hosts already in the repair workflow are skipped; a
+// crashed host that missed a repair slot is retried every sweep.
 func (c *Cluster) faultScan() {
 	for _, cw := range c.workers {
 		t := cw.vcu.Telemetry
-		faults := t.OpsFailed + t.OpsCorrupted + t.ECCErrors
+		faults := t.OpsFailed + t.OpsCorrupted + t.ECCErrors + t.OpsTimedOut
 		if !cw.vcu.Disabled() && faults >= c.cfg.DisableFaultThreshold {
 			cw.vcu.Disable()
 			c.Stats.VCUsDisabled++
 		}
 	}
 	for _, h := range c.Hosts {
-		if h.Disabled() {
+		if c.inRepair[h.ID] {
 			continue
 		}
 		dead := 0
@@ -690,15 +980,72 @@ func (c *Cluster) faultScan() {
 		}
 		// "It is not cost effective to send a system to repair when a
 		// small fraction of the VCUs have failed."
-		if dead*4 >= len(h.VCUs) {
+		if dead > 0 && dead*4 >= len(h.VCUs) {
 			if c.hostsInRepair >= c.cfg.MaxHostsInRepair {
 				c.Stats.RepairsDeferred++
 				continue
 			}
-			h.Disable()
-			c.hostsInRepair++
-			c.Stats.HostsSentToRepair++
+			c.sendToRepair(h)
 		}
 	}
 	c.dispatch()
+}
+
+// sendToRepair pulls a host out of service into the §4.4 repair
+// workflow. The teardown is a crash from the steps' perspective:
+// pending ops abort, in-flight ops are lost. When RepairLatency is
+// positive the host is readmitted after it elapses; zero models the
+// pre-lifecycle behavior where repairs never return.
+func (c *Cluster) sendToRepair(h *vcu.Host) {
+	h.Crash()
+	c.inRepair[h.ID] = true
+	c.hostsInRepair++
+	c.Stats.HostsSentToRepair++
+	if c.cfg.RepairLatency > 0 {
+		c.Eng.Schedule(c.cfg.RepairLatency, func() { c.readmitHost(h) })
+	}
+}
+
+// readmitHost returns a repaired host to service: the repair slot is
+// freed (this, not host death, is what keeps MaxHostsInRepair from
+// permanently exhausting), every VCU is repaired and re-screened with
+// the golden tasks, and worker capacity is re-registered with the
+// scheduler. A VCU that fails re-screening — a persistent manufacturing
+// escape repair cannot fix — stays quarantined (refused) while its
+// healthy siblings serve.
+func (c *Cluster) readmitHost(h *vcu.Host) {
+	delete(c.inRepair, h.ID)
+	c.hostsInRepair--
+	c.Stats.HostsReadmitted++
+	h.Enable()
+	for _, v := range h.VCUs {
+		v.Repair()
+		cw := c.byVCU[v.ID]
+		if cw == nil {
+			continue
+		}
+		cw.sw.ResetCapacity()
+		c.startWorker(cw)
+		if cw.refused {
+			c.Stats.ReadmitRejections++
+		}
+	}
+	c.dispatch()
+}
+
+// CrashHost fail-stops host idx at the current sim time — the §4.4
+// host-level failure domain ("CPU, cables, chassis") taking all its
+// VCUs down at once. In-flight ops on the host deliver
+// vcu.ErrHostCrashed, pending ops abort, and the host stays dark until
+// the fault scan claims a repair slot for it.
+func (c *Cluster) CrashHost(idx int) {
+	if idx < 0 || idx >= len(c.Hosts) {
+		return
+	}
+	h := c.Hosts[idx]
+	if h.Disabled() {
+		return
+	}
+	h.Crash()
+	c.Stats.HostsCrashed++
 }

@@ -83,6 +83,7 @@ func (r *Region) Stats() Stats {
 		total.Retries += s.Retries
 		total.SoftwareFallbacks += s.SoftwareFallbacks
 		total.AffinityOverflows += s.AffinityOverflows
+		total.MemoryExhaustions += s.MemoryExhaustions
 		total.CorruptionsCaught += s.CorruptionsCaught
 		total.CorruptionsEscaped += s.CorruptionsEscaped
 		total.VCUsDisabled += s.VCUsDisabled
@@ -90,6 +91,22 @@ func (r *Region) Stats() Stats {
 		total.RepairsDeferred += s.RepairsDeferred
 		total.GoldenRejections += s.GoldenRejections
 		total.WorkerAborts += s.WorkerAborts
+		total.PoolRebalances += s.PoolRebalances
+		total.WatchdogFires += s.WatchdogFires
+		total.HedgesLaunched += s.HedgesLaunched
+		total.HedgesWon += s.HedgesWon
+		total.HostsCrashed += s.HostsCrashed
+		total.HostsReadmitted += s.HostsReadmitted
+		total.ReadmitRejections += s.ReadmitRejections
+		total.Failures.Stop += s.Failures.Stop
+		total.Failures.Transient += s.Failures.Transient
+		total.Failures.Deadline += s.Failures.Deadline
+		total.Failures.Crash += s.Failures.Crash
+		total.Failures.Aborted += s.Failures.Aborted
+		total.Failures.Restart += s.Failures.Restart
+		total.Failures.Memory += s.Failures.Memory
+		total.Failures.Integrity += s.Failures.Integrity
+		total.Failures.Other += s.Failures.Other
 	}
 	return total
 }

@@ -1,0 +1,52 @@
+package codec
+
+import (
+	"testing"
+
+	"openvcu/internal/codec/rc"
+	"openvcu/internal/video"
+)
+
+// fuzzSeedPackets returns valid packets of both hardware profiles, the
+// seed corpus FuzzDecode mutates from (testdata/fuzz/FuzzDecode holds
+// the same packets checked in, so CI needs no encoder warm-up to start
+// from interesting inputs).
+func fuzzSeedPackets(tb testing.TB) [][]byte {
+	var seeds [][]byte
+	for _, profile := range []Profile{H264Class, VP9Class} {
+		frames := video.NewSource(video.SourceConfig{
+			Width: 64, Height: 48, Seed: 31, Detail: 0.6, Motion: 1, Objects: 1}).Frames(3)
+		res, err := EncodeSequence(Config{Profile: profile, Width: 64, Height: 48,
+			RC: rc.Config{BaseQP: 32}}, frames)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for _, p := range res.Packets {
+			seeds = append(seeds, p.Data)
+		}
+	}
+	return seeds
+}
+
+// FuzzDecode is the §4.4 robustness contract as a fuzz target: an
+// arbitrary byte string fed to the decoder must produce a frame or a
+// clean error — never a panic, hang, or runaway allocation — and a
+// failed packet must not poison the decoder for subsequent input.
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeedPackets(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder()
+		frame, err := dec.Decode(data)
+		if err == nil && frame != nil {
+			if frame.Width <= 0 || frame.Height <= 0 ||
+				frame.Width > maxFrameDim || frame.Height > maxFrameDim {
+				t.Fatalf("accepted frame with dimensions %dx%d", frame.Width, frame.Height)
+			}
+		}
+		// State poisoning: whatever the first packet did, the same
+		// decoder must survive seeing it again.
+		_, _ = dec.Decode(data)
+	})
+}

@@ -72,8 +72,28 @@ func readHeader(data []byte) (frameHeader, error) {
 	if h.width <= 0 || h.height <= 0 {
 		return h, fmt.Errorf("codec: invalid frame dimensions %dx%d", h.width, h.height)
 	}
+	// Level constraints: without them a 30-byte packet can demand a
+	// ~100 MB frame allocation and seconds of decode work — a
+	// decoder-bomb the fuzzer finds immediately.
+	if h.width > maxFrameDim || h.height > maxFrameDim {
+		return h, fmt.Errorf("codec: frame dimensions %dx%d exceed level limit %d",
+			h.width, h.height, maxFrameDim)
+	}
+	if h.width*h.height > maxFramePixels {
+		return h, fmt.Errorf("codec: frame area %dx%d exceeds level limit %d samples",
+			h.width, h.height, maxFramePixels)
+	}
 	return h, nil
 }
+
+// maxFrameDim and maxFramePixels are the largest dimension and luma
+// sample count a conforming stream may declare — 4K UHD with headroom,
+// matching the hardware's level limit. The 13-bit dimension fields
+// could otherwise claim 8191x8191.
+const (
+	maxFrameDim    = 4096
+	maxFramePixels = 4096 * 2304
+)
 
 func b2i(b bool) int {
 	if b {

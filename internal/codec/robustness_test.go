@@ -43,6 +43,65 @@ func TestDecoderSurvivesBitstreamCorruption(t *testing.T) {
 	}
 }
 
+// TestDecoderStateNotPoisonedByCorruption: after rejecting a corrupted
+// packet, the same decoder instance must keep working — no panics on
+// subsequent input, and once it sees a fresh keyframe the stream
+// decodes cleanly again. A decoder that has to be thrown away after
+// every bad packet would turn one corrupt chunk into a whole-stream
+// outage (§4.4 blast radius).
+func TestDecoderStateNotPoisonedByCorruption(t *testing.T) {
+	frames := video.NewSource(video.SourceConfig{
+		Width: 96, Height: 64, Seed: 83, Detail: 0.6, Motion: 1, Objects: 1}).Frames(4)
+	for _, profile := range []Profile{H264Class, VP9Class} {
+		res, err := EncodeSequence(Config{Profile: profile, Width: 96, Height: 64,
+			RC: rc.Config{BaseQP: 32}}, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := uint64(17)
+		next := func(n int) int {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return int(rng % uint64(n))
+		}
+		for trial := 0; trial < 50; trial++ {
+			dec := NewDecoder()
+			// Feed a corrupted copy of a random packet first; it may
+			// error or produce garbage, but must not poison the decoder.
+			bad := append([]byte(nil), res.Packets[next(len(res.Packets))].Data...)
+			for i := 0; i < 4; i++ {
+				bad[next(len(bad))] ^= byte(1 + next(255))
+			}
+			_, _ = dec.Decode(bad)
+			// Now play the valid stream into the SAME decoder. From the
+			// keyframe on, every packet must decode without error.
+			sawKey := false
+			for pi, p := range res.Packets {
+				f, err := dec.Decode(p.Data)
+				if pi == 0 && err == nil {
+					sawKey = true
+				}
+				if sawKey && err != nil {
+					t.Fatalf("profile %v trial %d: valid packet %d failed after corruption: %v",
+						profile, trial, pi, err)
+				}
+				if sawKey && pi == 0 && f == nil {
+					t.Fatal("keyframe produced no frame")
+				}
+			}
+			if !sawKey {
+				// The corrupted packet may have locked in mismatched
+				// stream dimensions; that is a clean, reported error —
+				// but it must be consistent, not a crash.
+				if _, err := dec.Decode(res.Packets[0].Data); err == nil {
+					t.Fatalf("profile %v trial %d: keyframe rejected then accepted", profile, trial)
+				}
+			}
+		}
+	}
+}
+
 // TestDecoderSurvivesTruncation feeds every prefix length of a packet.
 func TestDecoderSurvivesTruncation(t *testing.T) {
 	frames := video.NewSource(video.SourceConfig{

@@ -1,0 +1,101 @@
+package fleetsim
+
+import (
+	"time"
+
+	"openvcu/internal/cluster"
+	"openvcu/internal/codec"
+	"openvcu/internal/vcu"
+	"openvcu/internal/video"
+)
+
+// This file wires the §4.4 fault lifecycle into the longitudinal
+// simulator: a fleet serving a steady upload load while a seeded chaos
+// schedule (internal/cluster/chaos.go) breaks devices and crashes
+// hosts, sampled as a healthy-host capacity series. The paper's claim
+// under test: capped repair queues plus the repair→readmit workflow
+// bound transient capacity loss and return the fleet to steady state.
+
+// CapacitySample is one point of the capacity-under-churn series.
+type CapacitySample struct {
+	// Hour is sim time in hours.
+	Hour float64
+	// HealthyHosts is the number of hosts up and not in repair.
+	HealthyHosts int
+	// Completed is the cumulative count of finished videos.
+	Completed int
+}
+
+// ChurnConfig parameterizes the capacity-under-churn run.
+type ChurnConfig struct {
+	Seed        uint64
+	Hosts       int
+	VCUFaults   int
+	HostCrashes int
+	// Window is the chaos injection span; Horizon the full run length;
+	// SampleEvery the capacity sampling period.
+	Window      time.Duration
+	Horizon     time.Duration
+	SampleEvery time.Duration
+	// Videos is the background upload load, spread across Window.
+	Videos int
+}
+
+// DefaultChurnConfig is a day-long run: faults land over the first six
+// hours, repairs drain over the rest.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Seed: 11, Hosts: 4, VCUFaults: 30, HostCrashes: 3,
+		Window: 6 * time.Hour, Horizon: 24 * time.Hour,
+		SampleEvery: 30 * time.Minute, Videos: 48,
+	}
+}
+
+// CapacityUnderChurn runs the cluster under the chaos schedule and
+// returns the sampled capacity series. Same config, same series —
+// the run is fully deterministic.
+func CapacityUnderChurn(cfg ChurnConfig) []CapacitySample {
+	ccfg := cluster.DefaultConfig(cfg.Hosts)
+	ccfg.ConsistentHashing = true
+	ccfg.RepairLatency = 2 * time.Hour
+	ccfg.Seed = cfg.Seed
+	c := cluster.New(ccfg)
+	c.ApplyChaos(cluster.GenerateChaos(cluster.ChaosConfig{
+		Seed:        cfg.Seed,
+		Window:      cfg.Window,
+		Hosts:       cfg.Hosts,
+		VCUsPerHost: ccfg.Params.VCUsPerHost(),
+		VCUFaults:   cfg.VCUFaults,
+		HostCrashes: cfg.HostCrashes,
+	}))
+
+	completed := 0
+	if cfg.Videos > 0 {
+		interval := cfg.Window / time.Duration(cfg.Videos)
+		for i := 0; i < cfg.Videos; i++ {
+			g := cluster.BuildGraph(cluster.VideoSpec{
+				ID: i, Resolution: video.Res1080p, FPS: 30, Frames: 600,
+				ChunkFrames: 150, Profile: codec.VP9Class,
+				Mode: vcu.EncodeTwoPassOffline, MOT: true,
+			}, 10)
+			g.OnDone = func(*cluster.Graph) { completed++ }
+			c.Eng.Schedule(interval*time.Duration(i), func() { c.Submit(g) })
+		}
+	}
+
+	var out []CapacitySample
+	var sample func()
+	sample = func() {
+		out = append(out, CapacitySample{
+			Hour:         c.Eng.Now().Hours(),
+			HealthyHosts: c.HealthyHosts(),
+			Completed:    completed,
+		})
+		if c.Eng.Now()+cfg.SampleEvery <= cfg.Horizon {
+			c.Eng.Schedule(cfg.SampleEvery, sample)
+		}
+	}
+	c.Eng.Schedule(cfg.SampleEvery, sample)
+	c.Eng.RunUntil(cfg.Horizon)
+	return out
+}

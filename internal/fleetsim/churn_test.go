@@ -1,0 +1,54 @@
+package fleetsim
+
+import (
+	"testing"
+
+	"openvcu/internal/cluster"
+)
+
+func TestCapacityUnderChurnRecovery(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	series := CapacityUnderChurn(cfg)
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	minHealthy := cfg.Hosts
+	for _, s := range series {
+		if s.HealthyHosts < minHealthy {
+			minHealthy = s.HealthyHosts
+		}
+	}
+	// The chaos schedule crashes hosts, so capacity must dip...
+	if minHealthy == cfg.Hosts {
+		t.Fatal("churn never cost any capacity — schedule too weak to test recovery")
+	}
+	// ...but the repair cap bounds the loss at any instant...
+	maxOut := cluster.DefaultConfig(cfg.Hosts).MaxHostsInRepair
+	if lost := cfg.Hosts - minHealthy; lost > maxOut+1 {
+		// +1: a crashed host waiting for a repair slot is dark but not
+		// yet counted in the repair queue.
+		t.Fatalf("capacity loss %d hosts exceeds repair-cap bound %d", lost, maxOut+1)
+	}
+	// ...and the final epoch is back to steady state.
+	last := series[len(series)-1]
+	if last.HealthyHosts < cfg.Hosts-1 {
+		t.Fatalf("capacity did not recover: %d/%d healthy at hour %.1f",
+			last.HealthyHosts, cfg.Hosts, last.Hour)
+	}
+	if last.Completed != cfg.Videos {
+		t.Fatalf("only %d/%d videos completed under churn", last.Completed, cfg.Videos)
+	}
+}
+
+func TestCapacityUnderChurnDeterministic(t *testing.T) {
+	a := CapacityUnderChurn(DefaultChurnConfig())
+	b := CapacityUnderChurn(DefaultChurnConfig())
+	if len(a) != len(b) {
+		t.Fatalf("series lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -50,6 +50,18 @@ func (r *StepRequest) outputPixels() float64 {
 	return total * float64(frames)
 }
 
+// ExpectedStepSeconds is the cost model's nominal completion time for a
+// step: the latency target its resource shares are sized to meet (a
+// step that must decode D pixels/s is charged exactly the millicores to
+// finish in TargetSeconds). Watchdog and hedge deadlines are multiples
+// of this value.
+func ExpectedStepSeconds(r *StepRequest) float64 {
+	if r.TargetSeconds > 0 {
+		return r.TargetSeconds
+	}
+	return 10
+}
+
 // VCUWorkerCapacity is the capacity vector of a worker with exclusive
 // access to one VCU: 3,000 millidecode cores and 10,000 milliencode cores
 // (Fig. 6), the device DRAM, a 1/20 share of host CPU, and a synthetic

@@ -77,6 +77,17 @@ func (r Resources) Add(need Resources) {
 	}
 }
 
+// ClampTo caps each dimension of r at limit's value. Used when a
+// repaired worker's capacity is re-registered: a stale release from a
+// pre-repair assignment must not inflate availability past capacity.
+func (r Resources) ClampTo(limit Resources) {
+	for k, v := range r {
+		if lim := limit[k]; v > lim {
+			r[k] = lim
+		}
+	}
+}
+
 // Equal reports whether two resource sets are identical on the union of
 // their dimensions.
 func (r Resources) Equal(o Resources) bool {

@@ -347,3 +347,41 @@ func TestResourcesQuickProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestResetCapacityAbsorbsStaleRelease(t *testing.T) {
+	// The repair→readmit path resets a worker's capacity while a
+	// pre-repair reservation is still outstanding; the stale release
+	// must be clamped rather than overcommit the worker.
+	wt := vcuType()
+	w := NewWorker(0, wt)
+	need := Resources{DimEncodeMillicores: 6000, DimDecodeMillicores: 1000}
+	if !w.tryReserve(need) {
+		t.Fatal("reserve failed")
+	}
+	if !w.stop() {
+		// not idle: stop must fail while the reservation is live
+	} else {
+		t.Fatal("stop succeeded on a busy worker")
+	}
+	w.ResetCapacity()
+	if w.Stopped() {
+		t.Fatal("ResetCapacity left worker stopped")
+	}
+	if !w.Available().Equal(w.Capacity()) {
+		t.Fatalf("reset availability %v != capacity %v", w.Available(), w.Capacity())
+	}
+	// The void reservation's release arrives after the reset.
+	w.Release(need)
+	if !w.Available().Equal(w.Capacity()) {
+		t.Fatalf("stale release overcommitted worker: %v > %v",
+			w.Available(), w.Capacity())
+	}
+}
+
+func TestClampTo(t *testing.T) {
+	r := Resources{"a": 12, "b": 3}
+	r.ClampTo(Resources{"a": 10, "b": 5})
+	if !r.Equal(Resources{"a": 10, "b": 3}) {
+		t.Fatalf("clamp result %v", r)
+	}
+}

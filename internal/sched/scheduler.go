@@ -63,11 +63,27 @@ func (w *Worker) tryReserve(need Resources) bool {
 	return true
 }
 
-// Release returns previously reserved resources.
+// Release returns previously reserved resources. Availability is
+// clamped to capacity so a release that straddles a ResetCapacity (the
+// worker's host was repaired while the reservation was in flight)
+// cannot overcommit the worker.
 func (w *Worker) Release(need Resources) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.available.Add(need)
+	w.available.ClampTo(w.capacity)
+}
+
+// ResetCapacity re-registers the worker's full capacity and clears the
+// stopped flag: the repair→readmit path (§4.4) returning a host's
+// workers to the availability cache. Reservations granted before the
+// reset are void; their eventual releases are absorbed by the Release
+// clamp.
+func (w *Worker) ResetCapacity() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.available = w.capacity.Clone()
+	w.stopped = false
 }
 
 // stop marks the worker stopped; fails if it is not idle.

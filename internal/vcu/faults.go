@@ -1,0 +1,82 @@
+package vcu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the fault taxonomy of §4.4: every way a VCU or its host
+// can fail, as typed, errors.Is/As-able error classes plus a structured
+// fault-injection spec. The cluster layer correlates step failures by
+// class ("telemetry from the cards reporting various health and fault
+// metrics ... for fault correlation"), so ad-hoc error strings are not
+// enough — each failure mode gets a sentinel.
+
+// Typed fault errors. Device-originated errors are wrapped in a
+// DeviceError carrying the VCU ID; match the class with errors.Is and
+// recover the device with errors.As.
+var (
+	// ErrDeviceStop is a fail-stop hardware fault: the op fails fast
+	// and reports the failure (the benign §4.4 failure mode).
+	ErrDeviceStop = errors.New("vcu: device fail-stop fault")
+	// ErrTransient is a soft error: the op fails but the device
+	// recovers (correctable-error storms, marginal links).
+	ErrTransient = errors.New("vcu: transient device fault")
+	// ErrHostCrashed is delivered to ops in flight when the whole
+	// machine goes down (chassis/CPU/cable failures, §4.4: these take
+	// the full host out, not one chip).
+	ErrHostCrashed = errors.New("vcu: host crashed under op")
+	// ErrDeadlineExceeded marks an op cancelled by a watchdog: the
+	// device hung or slowed past its sim-time deadline. The device
+	// itself never reports it — hangs are by definition silent — so it
+	// is raised by the cluster watchdog and charged back to telemetry.
+	ErrDeadlineExceeded = errors.New("vcu: op deadline exceeded")
+	// ErrMemoryExhausted is returned when a job's footprint does not
+	// fit in the 8 GiB device DRAM (§3.3.1).
+	ErrMemoryExhausted = errors.New("vcu: device memory exhausted")
+	// ErrQueueClosed is returned for ops submitted to a closed queue.
+	ErrQueueClosed = errors.New("vcu: queue closed")
+)
+
+// DeviceError wraps a fault error with the failing device's identity so
+// the cluster can correlate failures by class *and* by VCU.
+type DeviceError struct {
+	VCU int
+	Err error
+}
+
+// Error formats the device-qualified fault.
+func (e *DeviceError) Error() string { return fmt.Sprintf("vcu %d: %v", e.VCU, e.Err) }
+
+// Unwrap exposes the fault class to errors.Is/As.
+func (e *DeviceError) Unwrap() error { return e.Err }
+
+// deviceErr wraps a sentinel with the VCU's identity.
+func (v *VCU) deviceErr(sentinel error) error {
+	return &DeviceError{VCU: v.ID, Err: sentinel}
+}
+
+// FaultSpec fully describes an injected fault. The zero value means no
+// fault. InjectFault remains the two-argument shorthand for the simple
+// modes; the slow/transient/persistent knobs need the full spec.
+type FaultSpec struct {
+	Mode FaultMode
+	// AfterOps arms the fault after this many more dispatched ops.
+	AfterOps int64
+	// SlowFactor inflates completion latency for FaultSlow — thermal
+	// throttling or a degraded clock. Values <= 1 use DefaultSlowFactor.
+	SlowFactor float64
+	// FailProb is the per-op failure probability for FaultTransient.
+	FailProb float64
+	// RecoverOps clears a FaultTransient after this many ops dispatched
+	// inside the fault window (0 = the fault never self-clears).
+	RecoverOps int64
+	// Persistent marks a hardware defect that survives board repair —
+	// a manufacturing escape. Repair does not clear it, so the device
+	// must fail golden re-screening and stay quarantined.
+	Persistent bool
+}
+
+// DefaultSlowFactor is the latency inflation of a throttled device when
+// the spec does not give one.
+const DefaultSlowFactor = 16.0

@@ -1,0 +1,197 @@
+package vcu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"openvcu/internal/codec"
+	"openvcu/internal/sim"
+)
+
+func encOp(px int64, done func(err error, corr bool)) *Op {
+	return &Op{Kind: OpEncode, Profile: codec.H264Class,
+		Mode: EncodeTwoPassOffline, Pixels: px, Done: done}
+}
+
+func TestFaultHangNeverCompletes(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	v.InjectFault(FaultHang, 0)
+	q := v.OpenQueue()
+	fired := false
+	_ = q.RunOnCore(encOp(1e6, func(error, bool) { fired = true }))
+	eng.Run() // drains: the hung op scheduled no completion event
+	if fired {
+		t.Fatal("hung op completed")
+	}
+	if v.Telemetry.OpsHung != 1 {
+		t.Fatalf("OpsHung=%d want 1", v.Telemetry.OpsHung)
+	}
+	// The core is seized: with all encoder cores hung, further ops
+	// queue forever.
+	for i := 0; i < v.Params().EncoderCores; i++ {
+		_ = q.RunOnCore(encOp(1e6, nil))
+	}
+	eng.Run()
+	if v.Telemetry.OpsCompleted != 0 {
+		t.Fatalf("%d ops completed on a hung device", v.Telemetry.OpsCompleted)
+	}
+}
+
+func TestFaultSlowInflatesLatency(t *testing.T) {
+	run := func(spec FaultSpec) time.Duration {
+		eng := sim.NewEngine()
+		v := New(eng, 0, DefaultParams())
+		if spec.Mode != FaultNone {
+			v.InjectFaultSpec(spec)
+		}
+		q := v.OpenQueue()
+		_ = q.RunOnCore(encOp(int64(DefaultParams().OfflineEncodePixRateH264), nil))
+		eng.Run()
+		return eng.Now()
+	}
+	healthy := run(FaultSpec{})
+	slowed := run(FaultSpec{Mode: FaultSlow, SlowFactor: 20})
+	if slowed < 19*healthy || slowed > 21*healthy {
+		t.Fatalf("slow factor 20 gave %v vs healthy %v", slowed, healthy)
+	}
+	defaulted := run(FaultSpec{Mode: FaultSlow})
+	if defaulted < time.Duration(DefaultSlowFactor*0.95*float64(healthy)) {
+		t.Fatalf("default slow factor gave %v vs healthy %v", defaulted, healthy)
+	}
+}
+
+func TestFaultTransientFailsThenRecovers(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	v.InjectFaultSpec(FaultSpec{Mode: FaultTransient, FailProb: 1, RecoverOps: 3})
+	q := v.OpenQueue()
+	var errs, oks int
+	var lastErr error
+	for i := 0; i < 8; i++ {
+		_ = q.RunOnCore(encOp(1e5, func(err error, _ bool) {
+			if err != nil {
+				errs++
+				lastErr = err
+			} else {
+				oks++
+			}
+		}))
+	}
+	eng.Run()
+	if errs != 3 || oks != 5 {
+		t.Fatalf("errs=%d oks=%d, want 3 transient failures then recovery", errs, oks)
+	}
+	if !errors.Is(lastErr, ErrTransient) {
+		t.Fatalf("transient failure has wrong class: %v", lastErr)
+	}
+	if v.Faulty() {
+		t.Fatal("transient fault did not clear")
+	}
+}
+
+func TestTypedErrorsCorrelateByClassAndDevice(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 7, DefaultParams())
+	v.InjectFault(FaultStop, 0)
+	q := v.OpenQueue()
+	var got error
+	_ = q.RunOnCore(encOp(1e5, func(err error, _ bool) { got = err }))
+	eng.Run()
+	if !errors.Is(got, ErrDeviceStop) {
+		t.Fatalf("fail-stop error is not ErrDeviceStop: %v", got)
+	}
+	var de *DeviceError
+	if !errors.As(got, &de) || de.VCU != 7 {
+		t.Fatalf("device identity lost: %v", got)
+	}
+	if err := v.AllocMemory(v.Params().DRAMCapacity + 1); !errors.Is(err, ErrMemoryExhausted) {
+		t.Fatalf("alloc failure is not ErrMemoryExhausted: %v", err)
+	}
+}
+
+func TestHostCrashFailsInFlightOps(t *testing.T) {
+	eng := sim.NewEngine()
+	p := DefaultParams()
+	h := NewHost(eng, 0, p)
+	v := h.VCUs[0]
+	q := v.OpenQueue()
+	var inFlightErr, pendingErr error
+	// Fill every encoder core, plus one queued op.
+	for i := 0; i < p.EncoderCores; i++ {
+		_ = q.RunOnCore(encOp(int64(p.OfflineEncodePixRateH264), func(err error, _ bool) {
+			if err != nil {
+				inFlightErr = err
+			}
+		}))
+	}
+	_ = q.RunOnCore(encOp(1e6, func(err error, _ bool) { pendingErr = err }))
+	h.ScheduleCrash(100 * time.Millisecond)
+	eng.Run()
+	if !h.Disabled() || !v.Disabled() {
+		t.Fatal("crash did not disable host and devices")
+	}
+	if !errors.Is(inFlightErr, ErrHostCrashed) {
+		t.Fatalf("in-flight op got %v, want ErrHostCrashed", inFlightErr)
+	}
+	if !errors.Is(pendingErr, ErrAborted) {
+		t.Fatalf("pending op got %v, want ErrAborted", pendingErr)
+	}
+}
+
+func TestRepairClearsFaultAndRuntimeState(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	v.InjectFault(FaultHang, 0)
+	q := v.OpenQueue()
+	_ = q.RunOnCore(encOp(1e6, nil)) // seizes a core forever
+	eng.Run()
+	if err := v.AllocMemory(100 << 20); err != nil {
+		t.Fatal(err)
+	}
+	v.Disable()
+	v.ChargeTimeout()
+
+	v.Repair()
+	if v.Disabled() || v.Faulty() {
+		t.Fatal("repair did not clear fault/disable state")
+	}
+	if v.MemoryUsed() != 0 {
+		t.Fatalf("repair left %d bytes allocated", v.MemoryUsed())
+	}
+	if v.Telemetry.OpsTimedOut != 0 || v.Telemetry.OpsHung != 0 {
+		t.Fatal("repair did not reset fault telemetry")
+	}
+	if !v.GoldenCheck() {
+		t.Fatal("repaired device failed golden screening")
+	}
+	// The repaired device serves again at full core capacity.
+	q2 := v.OpenQueue()
+	completed := 0
+	for i := 0; i < v.Params().EncoderCores; i++ {
+		_ = q2.RunOnCore(encOp(1e6, func(err error, _ bool) {
+			if err == nil {
+				completed++
+			}
+		}))
+	}
+	eng.Run()
+	if completed != v.Params().EncoderCores {
+		t.Fatalf("repaired device completed %d/%d ops", completed, v.Params().EncoderCores)
+	}
+}
+
+func TestPersistentFaultSurvivesRepair(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	v.InjectFaultSpec(FaultSpec{Mode: FaultCorrupt, Persistent: true})
+	v.Disable()
+	v.Repair()
+	if !v.Faulty() {
+		t.Fatal("persistent manufacturing escape cleared by repair")
+	}
+	if v.GoldenCheck() {
+		t.Fatal("persistent-fault device passed golden re-screening")
+	}
+}

@@ -57,6 +57,25 @@ func (h *Host) Disabled() bool { return h.disabled }
 // host, §4.4).
 func (h *Host) Disable() { h.disabled = true }
 
+// Enable returns a repaired host to service.
+func (h *Host) Enable() { h.disabled = false }
+
+// Crash is the host-level failure domain of §4.4 — chassis, cabling or
+// CPU failures take down all 20 VCUs on the machine at once. Every
+// device crashes (in-flight ops die with ErrHostCrashed, pending ops
+// abort) and the host is disabled until the repair workflow returns it.
+func (h *Host) Crash() {
+	h.disabled = true
+	for _, v := range h.VCUs {
+		v.Crash()
+	}
+}
+
+// ScheduleCrash arms a host-level crash after the given sim-time delay.
+func (h *Host) ScheduleCrash(after time.Duration) {
+	h.eng.Schedule(after, h.Crash)
+}
+
 // HealthyVCUs returns the serving VCUs.
 func (h *Host) HealthyVCUs() []*VCU {
 	var out []*VCU

@@ -1,6 +1,7 @@
 package vcu
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -33,23 +34,37 @@ type Op struct {
 }
 
 // ErrDisabled is returned for ops submitted to a disabled VCU.
-var ErrDisabled = fmt.Errorf("vcu: device disabled")
+var ErrDisabled = errors.New("vcu: device disabled")
 
 // ErrAborted is delivered to ops dropped when their queue is closed (a
 // worker aborting all work on the VCU, §4.4).
-var ErrAborted = fmt.Errorf("vcu: op aborted by queue close")
+var ErrAborted = errors.New("vcu: op aborted by queue close")
 
 // FaultMode configures fault injection.
 type FaultMode int
 
-// Fault modes.
+// Fault modes — the §4.4 taxonomy. Stop and Corrupt are the classic
+// fail-stop and black-holing modes; Hang, Slow and Transient cover the
+// failure shapes that are invisible to success/failure telemetry alone
+// (tail-latency and degraded-operation regimes).
 const (
 	FaultNone FaultMode = iota
-	// FaultStop makes ops fail with an error after FailAfterOps.
+	// FaultStop makes ops fail with ErrDeviceStop after AfterOps.
 	FaultStop
 	// FaultCorrupt makes ops complete (fast!) but with corrupted output
-	// after FailAfterOps — the black-holing failure of §4.4.
+	// after AfterOps — the black-holing failure of §4.4.
 	FaultCorrupt
+	// FaultHang makes ops never complete: the core is seized and Done
+	// never fires. Only an external watchdog deadline can recover the
+	// work; without one the step — and the simulation — is stuck.
+	FaultHang
+	// FaultSlow inflates completion latency by SlowFactor (thermal
+	// throttling / degraded clock): the op still succeeds, so only a
+	// deadline can tell this device from a healthy one.
+	FaultSlow
+	// FaultTransient fails ops with probability FailProb and then
+	// recovers after RecoverOps dispatched ops.
+	FaultTransient
 )
 
 // VCU models one ASIC: core pools, the DRAM bandwidth domain, device
@@ -70,9 +85,15 @@ type VCU struct {
 	rr     int
 
 	disabled   bool
-	faultMode  FaultMode
+	fault      FaultSpec
 	faultAfter int64
 	opsStarted int64
+	// epoch increments on Crash/Repair; completion callbacks from an
+	// older epoch are void (their core accounting was already reset).
+	epoch int
+	// rng drives FaultTransient's per-op failure draw, seeded from the
+	// device ID so runs are deterministic.
+	rng uint64
 
 	// Telemetry mirrors the firmware health reporting of §4.4.
 	Telemetry Telemetry
@@ -84,9 +105,17 @@ type VCU struct {
 // Telemetry is the health/fault metric set the firmware reports (§4.4
 // "telemetry from the cards reporting various health and fault metrics").
 type Telemetry struct {
-	OpsCompleted  int64
-	OpsFailed     int64
-	OpsCorrupted  int64
+	OpsCompleted int64
+	OpsFailed    int64
+	OpsCorrupted int64
+	// OpsTimedOut counts watchdog deadline expiries charged back to the
+	// device by the cluster (ChargeTimeout); it is how hung and slowed
+	// devices become visible to fault management.
+	OpsTimedOut int64
+	// OpsHung counts ops seized forever by a FaultHang device. The
+	// firmware of a truly hung device cannot report this — the counter
+	// exists for the simulation observer, not the control plane.
+	OpsHung       int64
 	ECCErrors     int64
 	Resets        int64
 	PixelsEncoded int64
@@ -97,7 +126,8 @@ type Telemetry struct {
 
 // New returns a VCU on the engine with the given parameters.
 func New(eng *sim.Engine, id int, p Params) *VCU {
-	return &VCU{ID: id, eng: eng, p: p, dram: sim.NewFluid(eng, p.DRAMBandwidth)}
+	return &VCU{ID: id, eng: eng, p: p, dram: sim.NewFluid(eng, p.DRAMBandwidth),
+		rng: uint64(id)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
 }
 
 // Params returns the chip parameters.
@@ -117,15 +147,86 @@ func (v *VCU) Reset() {
 }
 
 // InjectFault arms fault injection: after n more dispatched ops the VCU
-// enters the given fault mode.
+// enters the given fault mode. Shorthand for InjectFaultSpec with the
+// mode's default knobs.
 func (v *VCU) InjectFault(mode FaultMode, afterOps int64) {
-	v.faultMode = mode
-	v.faultAfter = v.opsStarted + afterOps
+	v.InjectFaultSpec(FaultSpec{Mode: mode, AfterOps: afterOps})
 }
 
-// Faulty reports whether the fault is active.
+// InjectFaultSpec arms fault injection from a full spec.
+func (v *VCU) InjectFaultSpec(spec FaultSpec) {
+	v.fault = spec
+	v.faultAfter = v.opsStarted + spec.AfterOps
+}
+
+// Faulty reports whether the fault is active. A transient fault clears
+// itself once its recovery window (in dispatched ops) has passed.
 func (v *VCU) Faulty() bool {
-	return v.faultMode != FaultNone && v.opsStarted >= v.faultAfter
+	if v.fault.Mode == FaultTransient && v.fault.RecoverOps > 0 &&
+		v.opsStarted >= v.faultAfter+v.fault.RecoverOps {
+		v.fault = FaultSpec{}
+	}
+	return v.fault.Mode != FaultNone && v.opsStarted >= v.faultAfter
+}
+
+// ChargeTimeout charges a watchdog deadline expiry to the device's
+// telemetry. Timeouts count toward the cluster's disable threshold, so
+// hung and throttled devices — which never report a failure themselves —
+// still trip fault management (§4.4).
+func (v *VCU) ChargeTimeout() { v.Telemetry.OpsTimedOut++ }
+
+// randFloat is a deterministic per-device xorshift draw in [0, 1).
+func (v *VCU) randFloat() float64 {
+	v.rng ^= v.rng << 13
+	v.rng ^= v.rng >> 7
+	v.rng ^= v.rng << 17
+	return float64(v.rng%1e9) / 1e9
+}
+
+// resetRuntime voids in-flight work (epoch bump), settles the busy-time
+// integrals, zeroes core/memory occupancy and aborts queued ops. Shared
+// by Crash and Repair.
+func (v *VCU) resetRuntime() {
+	v.epoch++
+	now := v.eng.Now()
+	v.encBusyTime += time.Duration(v.encBusy) * (now - v.lastEncChange)
+	v.decBusyTime += time.Duration(v.decBusy) * (now - v.lastDecChange)
+	v.lastEncChange, v.lastDecChange = now, now
+	v.encBusy, v.decBusy = 0, 0
+	v.memUsed = 0
+	for _, q := range v.queues {
+		q.Close()
+	}
+	v.queues = nil
+}
+
+// Crash takes the device down mid-flight, as part of a host-level
+// failure: pending ops abort, ops already on cores deliver
+// ErrHostCrashed (at what would have been their completion time — the
+// moment their loss is observable), and the device is disabled until
+// the repair workflow returns it.
+func (v *VCU) Crash() {
+	v.resetRuntime()
+	v.disabled = true
+}
+
+// Repair models the device coming back from the §4.4 repair workflow
+// with the board reseated or replaced: runtime state and fault-related
+// telemetry are cleared and the device is re-enabled — but a Persistent
+// fault (a manufacturing escape) survives, so golden re-screening must
+// still pass before the device serves again. Counts a reset.
+func (v *VCU) Repair() {
+	v.resetRuntime()
+	v.disabled = false
+	if !v.fault.Persistent {
+		v.fault = FaultSpec{}
+	}
+	v.Telemetry.OpsFailed = 0
+	v.Telemetry.OpsCorrupted = 0
+	v.Telemetry.OpsTimedOut = 0
+	v.Telemetry.OpsHung = 0
+	v.Telemetry.ECCErrors = 0
+	v.Telemetry.Resets++
 }
 
 // AllocMemory reserves device DRAM for a job; it fails when the 8 GiB
@@ -133,8 +234,8 @@ func (v *VCU) Faulty() bool {
 // transcodes per VCU.
 func (v *VCU) AllocMemory(bytes int64) error {
 	if v.memUsed+bytes > v.p.DRAMCapacity {
-		return fmt.Errorf("vcu %d: device memory exhausted (%d + %d > %d)",
-			v.ID, v.memUsed, bytes, v.p.DRAMCapacity)
+		return fmt.Errorf("vcu %d: %w (%d + %d > %d)",
+			v.ID, ErrMemoryExhausted, v.memUsed, bytes, v.p.DRAMCapacity)
 	}
 	v.memUsed += bytes
 	return nil
@@ -188,7 +289,7 @@ func (q *Queue) RunOnCore(op *Op) error {
 		return ErrDisabled
 	}
 	if q.closed {
-		return fmt.Errorf("vcu: queue closed")
+		return ErrQueueClosed
 	}
 	q.pending = append(q.pending, op)
 	q.vcu.dispatch()
@@ -285,22 +386,49 @@ func (v *VCU) execute(op *Op) {
 	faulty := v.Faulty()
 	v.opsStarted++
 	if faulty {
-		switch v.faultMode {
+		switch v.fault.Mode {
 		case FaultStop:
-			failErr = fmt.Errorf("vcu %d: hardware fault", v.ID)
+			failErr = v.deviceErr(ErrDeviceStop)
 			coreSec *= 0.05 // fails fast
 		case FaultCorrupt:
 			corrupted = true
 			coreSec *= 0.5 // failing-but-fast: the black-holing hazard
 			v.Telemetry.ECCErrors++
+		case FaultHang:
+			// The op never completes: the core is seized and Done never
+			// fires. Recovery is the watchdog's job, not the device's.
+			v.Telemetry.OpsHung++
+			v.acquireCore(op.Kind)
+			return
+		case FaultSlow:
+			f := v.fault.SlowFactor
+			if f <= 1 {
+				f = DefaultSlowFactor
+			}
+			coreSec *= f
+		case FaultTransient:
+			if v.randFloat() < v.fault.FailProb {
+				failErr = v.deviceErr(ErrTransient)
+				coreSec *= 0.05
+			}
 		}
 	}
+	epoch := v.epoch
 	v.acquireCore(op.Kind)
 	// The op holds its core while its DRAM flow drains; the flow's
 	// natural rate is bytes/coreSec, so an uncontended op takes exactly
 	// its compute time and a bandwidth-saturated chip slows down.
 	demand := bytes / coreSec
 	v.dram.Start(bytes, demand, func() {
+		if v.epoch != epoch {
+			// The host crashed or the board was repaired under the op:
+			// core and memory accounting were already reset, the result
+			// is void. This is the instant the loss becomes observable.
+			if op.Done != nil {
+				op.Done(v.deviceErr(ErrHostCrashed), false)
+			}
+			return
+		}
 		v.releaseCore(op.Kind)
 		if failErr != nil {
 			v.Telemetry.OpsFailed++

@@ -13,6 +13,7 @@
 #   5. go test       the whole module
 #   6. go test -race the concurrent packages
 #   7. bench smoke   kernel benchmarks compile and run (1 iteration)
+#   8. fuzz smoke    10s of FuzzDecode over the checked-in corpus
 #
 # Every PR must leave this script exiting 0.
 set -u
@@ -64,6 +65,10 @@ step "go test -race (concurrent packages)" go test -race $RACE_PKGS
 # are minutes-long and belong to scripts/bench.sh, not the gate.
 step "bench smoke (kernel packages)" go test -run=NONE -bench=. -benchtime=1x \
     ./internal/codec/motion ./internal/codec/transform ./internal/video
+# Decoder fuzz smoke: 10 seconds of coverage-guided input on top of the
+# checked-in corpus (testdata/fuzz/FuzzDecode). Catches decoder panics
+# and decoder-bomb regressions; `go test` alone only replays the corpus.
+step "fuzz smoke (codec decoder)" go test -fuzz=FuzzDecode -fuzztime=10s -run=NONE ./internal/codec
 
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) failed" >&2
