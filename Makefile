@@ -5,7 +5,7 @@
 GO ?= go
 RACE_PKGS = ./internal/sched ./internal/transcode ./internal/cluster ./internal/codec ./internal/video
 
-.PHONY: check lint lint-json race build test fmt bench chaos fuzz
+.PHONY: check lint lint-json race build test fmt bench chaos fuzz overload
 
 check:
 	./scripts/check.sh
@@ -31,6 +31,14 @@ race:
 # failure classes).
 chaos:
 	CHAOS_LONG=1 $(GO) test -race -v -run 'TestChaos' ./internal/cluster
+
+# Long deterministic overload game-day: the 2× demand spike over a
+# chaos schedule repeated across several brownout/recovery cycles,
+# under -race, plus the fleetsim goodput and fleet-loss curves. The
+# tier-1 gate runs the single-cycle variant.
+overload:
+	OVERLOAD_LONG=1 $(GO) test -race -v -run 'TestOverload|TestAdmission|TestBrownout|TestHedgeGuard|TestLiveDeadline|TestRegionSheds' ./internal/cluster
+	$(GO) test -race -v -run 'TestGoodput|TestSLOVs|TestOverloadCurves' ./internal/fleetsim
 
 # Extended decoder fuzzing (the gate runs a 10s smoke).
 fuzz:

@@ -17,8 +17,9 @@ func main() {
 	fig9b := flag.Bool("fig9b", false, "Figure 9b only")
 	fig9c := flag.Bool("fig9c", false, "Figure 9c only")
 	fig10 := flag.Bool("fig10", false, "Figure 10 only")
+	overload := flag.Bool("overload", false, "overload curves only (goodput vs offered load, SLO vs fleet loss)")
 	flag.Parse()
-	all := !*fig8 && !*fig9a && !*fig9b && !*fig9c && !*fig10
+	all := !*fig8 && !*fig9a && !*fig9b && !*fig9c && !*fig10 && !*overload
 	cfg := fleetsim.DefaultConfig()
 
 	if all || *fig8 {
@@ -64,6 +65,26 @@ func main() {
 			fmt.Printf("%-8.0f %+7.1f%% %+7.1f%%\n", vp9[i].Month, vp9[i].Value, h264[i].Value)
 		}
 		fmt.Println("(paper: VP9 +12% -> ~-2%; H.264 +8% -> below 0 near month 12)")
+	}
+	if all || *overload {
+		if all {
+			fmt.Println()
+		}
+		fmt.Println("== Overload: goodput vs offered load (admission + brownout armed) ==")
+		fmt.Printf("%-6s %10s %12s %7s %8s\n", "mult", "offered/h", "goodput/h", "shed", "liveSLO")
+		for _, s := range fleetsim.GoodputVsOfferedLoad(fleetsim.DefaultGoodputConfig()) {
+			fmt.Printf("%-6.1f %10.0f %12.0f %6.1f%% %8.3f\n",
+				s.Multiplier, s.OfferedPerHour, s.GoodputPerHour, s.ShedFraction*100, s.LiveSLO)
+		}
+		fmt.Println("(goodput plateaus at park capacity; excess load is shed, not queued)")
+		fmt.Println()
+		fmt.Println("== Overload: live SLO vs fleet loss (survivors shed batch) ==")
+		fmt.Printf("%-6s %8s %12s %10s\n", "lost", "liveSLO", "batch shed", "rerouted")
+		for _, s := range fleetsim.SLOVsFleetLoss(fleetsim.DefaultFleetLossConfig()) {
+			fmt.Printf("%-6d %8.3f %11.1f%% %10d\n",
+				s.HostsLost, s.LiveSLO, s.BatchShedFraction*100, s.Overflowed)
+		}
+		fmt.Println("(live attainment degrades far more slowly than capacity)")
 	}
 }
 

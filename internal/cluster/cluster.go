@@ -18,6 +18,7 @@ import (
 	"openvcu/internal/codec"
 	"openvcu/internal/sched"
 	"openvcu/internal/sim"
+	"openvcu/internal/transcode"
 	"openvcu/internal/vcu"
 )
 
@@ -56,6 +57,12 @@ const (
 	StepRunning
 	StepDone
 	StepFailed
+	// StepShed is the overload terminal state: the step was rejected or
+	// evicted by admission control, cancelled because its graph was shed,
+	// or dropped as a live chunk past its usefulness window. Dependents
+	// treat a shed dependency as satisfied so a live stream can skip a
+	// dropped chunk and continue.
+	StepShed
 )
 
 // Step is one node in a video's work graph.
@@ -95,6 +102,24 @@ type Step struct {
 	Corrupted bool
 	// Software marks execution on the CPU fallback path.
 	Software bool
+	// Degraded marks that the step's last execution ran a
+	// brownout-degraded request (trimmed ladder, downshifted profile, or
+	// raised speed) rather than its full-quality Request.
+	Degraded bool
+	// degradeCounted dedupes per-class Degraded accounting.
+	degradeCounted bool
+	// execReq is the request the current execution actually runs: Request
+	// itself at full quality, or a brownout-degraded copy. Request is
+	// never mutated, so once the brownout lifts retries run pristine.
+	execReq *sched.StepRequest
+	// admitted marks that the step passed admission once; admittedAt is
+	// that first admission time, the epoch of the live usefulness window
+	// (retries do not extend it).
+	admitted   bool
+	admittedAt time.Duration
+	// eligibleAt is when the step may next be dispatched; steps parked in
+	// retry backoff sit in the queue with eligibleAt in the future.
+	eligibleAt time.Duration
 	// Packets holds the step's real encoded output in real-pixels mode.
 	Packets []codec.Packet
 
@@ -105,6 +130,14 @@ type Step struct {
 type Graph struct {
 	ID    int
 	Steps []*Step
+	// Priority is the graph's admission/dispatch class: live streams are
+	// critical, uploads normal, batch re-encodes batch. Under overload,
+	// batch sheds and degrades first, live last (§2.2, §3.3.3).
+	Priority sched.Priority
+	// Shed marks a graph cancelled by admission control: its queued steps
+	// were removed, in-flight results are discarded, and OnDone never
+	// fires.
+	Shed bool
 	// OnDone fires when every step has completed.
 	OnDone func(*Graph)
 	remain int
@@ -196,6 +229,10 @@ type Config struct {
 	// screening per VCU before its capacity rejoins the scheduler. 0
 	// means repairs never return (the pre-lifecycle behavior).
 	RepairLatency time.Duration
+	// Overload configures admission control, deadline drops, the
+	// brownout controller and the hedge backlog guard. The zero value
+	// disables all of them (the pre-overload unbounded queue).
+	Overload OverloadConfig
 	// Seed drives the deterministic pseudo-random integrity sampling.
 	Seed uint64
 }
@@ -252,9 +289,66 @@ type Stats struct {
 	// readmission and stayed quarantined.
 	HostsReadmitted   int64
 	ReadmitRejections int64
+	// GraphsShed counts whole videos cancelled by admission control.
+	GraphsShed int64
+	// BrownoutUps/BrownoutDowns count brownout controller level moves.
+	BrownoutUps   int64
+	BrownoutDowns int64
+	// HedgesSuppressed counts straggler hedges skipped by the backlog
+	// guard (a hedge must not amplify an overload).
+	HedgesSuppressed int64
 	// Failures buckets step failures by typed error class (§4.4 "fault
 	// correlation").
 	Failures FailureClasses
+	// Classes buckets transcode-step goodput by priority class, indexed
+	// by sched.Priority (critical, normal, batch).
+	Classes [3]ClassStats
+}
+
+// Accumulate adds o into s field by field — the region-level aggregation
+// of per-cluster stats.
+func (s *Stats) Accumulate(o Stats) {
+	s.StepsCompleted += o.StepsCompleted
+	s.StepsFailed += o.StepsFailed
+	s.Retries += o.Retries
+	s.SoftwareFallbacks += o.SoftwareFallbacks
+	s.AffinityOverflows += o.AffinityOverflows
+	s.MemoryExhaustions += o.MemoryExhaustions
+	s.CorruptionsCaught += o.CorruptionsCaught
+	s.CorruptionsEscaped += o.CorruptionsEscaped
+	s.VCUsDisabled += o.VCUsDisabled
+	s.HostsSentToRepair += o.HostsSentToRepair
+	s.RepairsDeferred += o.RepairsDeferred
+	s.GoldenRejections += o.GoldenRejections
+	s.WorkerAborts += o.WorkerAborts
+	s.PoolRebalances += o.PoolRebalances
+	s.WatchdogFires += o.WatchdogFires
+	s.HedgesLaunched += o.HedgesLaunched
+	s.HedgesWon += o.HedgesWon
+	s.HostsCrashed += o.HostsCrashed
+	s.HostsReadmitted += o.HostsReadmitted
+	s.ReadmitRejections += o.ReadmitRejections
+	s.GraphsShed += o.GraphsShed
+	s.BrownoutUps += o.BrownoutUps
+	s.BrownoutDowns += o.BrownoutDowns
+	s.HedgesSuppressed += o.HedgesSuppressed
+	s.Failures.Stop += o.Failures.Stop
+	s.Failures.Transient += o.Failures.Transient
+	s.Failures.Deadline += o.Failures.Deadline
+	s.Failures.Crash += o.Failures.Crash
+	s.Failures.Aborted += o.Failures.Aborted
+	s.Failures.Restart += o.Failures.Restart
+	s.Failures.Memory += o.Failures.Memory
+	s.Failures.Integrity += o.Failures.Integrity
+	s.Failures.Other += o.Failures.Other
+	for i := range s.Classes {
+		s.Classes[i].Admitted += o.Classes[i].Admitted
+		s.Classes[i].Completed += o.Classes[i].Completed
+		s.Classes[i].SLOMet += o.Classes[i].SLOMet
+		s.Classes[i].Shed += o.Classes[i].Shed
+		s.Classes[i].Degraded += o.Classes[i].Degraded
+		s.Classes[i].DeadlineMissed += o.Classes[i].DeadlineMissed
+	}
 }
 
 // FailureClasses tallies step failures by fault class, so a fail-stop
@@ -316,6 +410,14 @@ type Cluster struct {
 	nextID int
 	rng    uint64
 	ring   *hashRing
+	// degradeLevel is the brownout controller's current rung.
+	degradeLevel transcode.DegradeLevel
+	// dispatching/dispatchMore guard against reentrant queue drains:
+	// resolving a dropped step mid-drain (or an OnDone callback
+	// submitting new work) requests another pass instead of recursing
+	// into the slice the outer drain is rebuilding.
+	dispatching  bool
+	dispatchMore bool
 	// poolOf assigns each VCU to a logical pool when pools are enabled.
 	poolOf map[int]sched.UseCase
 
@@ -406,6 +508,7 @@ func buildCluster(cfg Config, eng *sim.Engine) *Cluster {
 		c.Eng.Schedule(period, rebalance)
 	}
 	c.scheduleFaultScan()
+	c.scheduleBrownout()
 	return c
 }
 
@@ -421,9 +524,14 @@ func stepPool(s *Step) sched.UseCase {
 // ones (§3.3.3: idle workers "may be stopped and reallocated to other
 // pools in the cluster").
 func (c *Cluster) rebalancePools() {
+	now := c.Eng.Now()
 	backlog := map[sched.UseCase]int{}
 	for _, s := range c.queue {
-		if s.Kind == StepTranscode {
+		// Steps parked in retry backoff are deferred work, not demand:
+		// counting them would drag idle workers toward a pool that has
+		// nothing dispatchable yet, a spurious move that starves the
+		// pool that donated them.
+		if s.Kind == StepTranscode && s.eligibleAt <= now {
 			backlog[stepPool(s)]++
 		}
 	}
@@ -491,23 +599,79 @@ func (c *Cluster) Submit(g *Graph) {
 	c.dispatch()
 }
 
+// enqueue admits a step into the ready queue. A step of a shed graph is
+// shed instead; a transcode step can be refused (and shed) by bounded
+// admission when the queue is full of equal-or-higher-priority work.
 func (c *Cluster) enqueue(s *Step) {
+	if s.graph != nil && s.graph.Shed {
+		c.markShed(s)
+		return
+	}
+	if !c.admit(s) {
+		return
+	}
 	s.State = StepReady
+	s.eligibleAt = c.Eng.Now()
+	if !s.admitted {
+		s.admitted = true
+		s.admittedAt = c.Eng.Now()
+		if s.Kind == StepTranscode {
+			c.Stats.Classes[c.classOf(s)].Admitted++
+		}
+	}
 	c.queue = append(c.queue, s)
 }
 
 // QueueLen returns the ready-queue length.
 func (c *Cluster) QueueLen() int { return len(c.queue) }
 
-// dispatch drains the ready queue onto workers, first fit in queue order.
+// dispatch drains the ready queue onto workers: strict priority classes
+// (live, then upload, then batch), first fit in queue order within a
+// class. Steps parked in retry backoff stay queued but are skipped until
+// eligible; live steps past their usefulness window are dropped here
+// rather than placed. Reentrant calls (a drop resolving dependents, an
+// OnDone callback submitting new work) request another pass.
 func (c *Cluster) dispatch() {
-	var rest []*Step
-	for _, s := range c.queue {
-		if !c.tryPlace(s) {
-			rest = append(rest, s)
+	if c.dispatching {
+		c.dispatchMore = true
+		return
+	}
+	c.dispatching = true
+	for {
+		c.dispatchMore = false
+		c.dispatchPass()
+		if !c.dispatchMore {
+			break
 		}
 	}
-	c.queue = rest
+	c.dispatching = false
+}
+
+func (c *Cluster) dispatchPass() {
+	now := c.Eng.Now()
+	pending := c.queue
+	c.queue = nil
+	var rest []*Step
+	for _, cls := range []sched.Priority{sched.PriorityCritical, sched.PriorityNormal, sched.PriorityBatch} {
+		for _, s := range pending {
+			if c.classOf(s) != cls {
+				continue
+			}
+			if s.eligibleAt > now {
+				rest = append(rest, s)
+				continue
+			}
+			if c.dropIfUseless(s) {
+				continue
+			}
+			if !c.tryPlace(s) {
+				rest = append(rest, s)
+			}
+		}
+	}
+	// Steps enqueued during the pass (resolved dependents, new submits)
+	// landed in c.queue; keep them behind the still-waiting ones.
+	c.queue = append(rest, c.queue...)
 }
 
 // tryPlace attempts to place one step.
@@ -530,13 +694,28 @@ func (c *Cluster) tryPlace(s *Step) bool {
 	if s.Attempts >= 2 {
 		// Second retry falls back to software transcoding (§3.3.3 "the
 		// work is rescheduled on another VCU or with software
-		// transcoding").
+		// transcoding"). Software runs the full-quality request: the
+		// brownout levers are VCU-capacity levers.
+		s.execReq = s.Request
 		s.Software = true
 		s.State = StepRunning
 		c.Stats.SoftwareFallbacks++
 		dur := time.Duration(s.Request.TargetSeconds*8) * time.Second
 		c.Eng.Schedule(dur, func() { c.completeStep(s, nil, false) })
 		return true
+	}
+	// Apply the brownout level before costing placement: a degraded
+	// request is cheaper, so degradation itself frees capacity.
+	if lvl := c.degradeFor(s); lvl == transcode.DegradeNone {
+		s.execReq = s.Request
+		s.Degraded = false
+	} else {
+		s.execReq = degradedRequest(s.Request, lvl, c.classOf(s))
+		s.Degraded = true
+		if !s.degradeCounted {
+			s.degradeCounted = true
+			c.Stats.Classes[c.classOf(s)].Degraded++
+		}
 	}
 	cw, a, overflow := c.placeTranscode(s, -1)
 	if cw == nil {
@@ -560,7 +739,7 @@ func (c *Cluster) tryPlace(s *Step) bool {
 // primary. Returns overflow=true when the placement fell outside the
 // affinity set.
 func (c *Cluster) placeTranscode(s *Step, avoidVCU int) (*clusterWorker, *sched.Assignment, bool) {
-	need := c.workerType.Cost(s.Request)
+	need := c.workerType.Cost(s.execReq)
 	baseExclude := func(w *sched.Worker) bool {
 		cw := c.byVCU[w.ID]
 		if cw == nil || cw.refused || cw.vcu.Disabled() || cw.host.Disabled() ||
@@ -604,8 +783,8 @@ func (c *Cluster) placeTranscode(s *Step, avoidVCU int) (*clusterWorker, *sched.
 // the chunk's wall time.
 func (c *Cluster) stepDeadline(s *Step) time.Duration {
 	d := time.Duration(c.cfg.WatchdogMultiplier *
-		sched.ExpectedStepSeconds(s.Request) * float64(time.Second))
-	if r := s.Request; r.Realtime && r.FPS > 0 {
+		sched.ExpectedStepSeconds(s.execReq) * float64(time.Second))
+	if r := s.execReq; r.Realtime && r.FPS > 0 {
 		frames := r.ChunkFrames
 		if frames <= 0 {
 			frames = 150
@@ -621,7 +800,7 @@ func (c *Cluster) stepDeadline(s *Step) time.Duration {
 // hedgeDelay is how long a step may run before a second copy launches.
 func (c *Cluster) hedgeDelay(s *Step) time.Duration {
 	return time.Duration(c.cfg.HedgeMultiplier *
-		sched.ExpectedStepSeconds(s.Request) * float64(time.Second))
+		sched.ExpectedStepSeconds(s.execReq) * float64(time.Second))
 }
 
 // runTranscode executes one copy of the step's ops on the worker's VCU
@@ -635,7 +814,7 @@ func (c *Cluster) hedgeDelay(s *Step) time.Duration {
 // pending watchdog — the losing copy still releases its resources on
 // its own completion or deadline, but cannot re-settle the step.
 func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment, isHedge bool) {
-	req := s.Request
+	req := s.execReq
 	token := s.execGen
 	frames := req.ChunkFrames
 	if frames <= 0 {
@@ -728,8 +907,14 @@ func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment, 
 		anyCorrupt := corruptedSoFar
 		var anyErr error
 		for _, out := range req.Outputs {
+			encPixels := int64(frames) * int64(out.Pixels())
+			if req.SpeedBoost {
+				// The raised encoder speed processes the same pixels in
+				// less core time; model it as a smaller op.
+				encPixels = int64(float64(encPixels) / sched.SpeedBoostFactor)
+			}
 			op := &vcu.Op{Kind: vcu.OpEncode, Profile: req.Profile, Mode: req.Mode,
-				Pixels: int64(frames) * int64(out.Pixels()),
+				Pixels: encPixels,
 				Done: func(err error, corr bool) {
 					if err != nil {
 						anyErr = err
@@ -766,6 +951,13 @@ func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment, 
 // — hedging is opportunistic, never required for progress.
 func (c *Cluster) maybeHedge(s *Step, token int, primaryVCU int) {
 	if s.execGen != token || s.hedged || s.State != StepRunning {
+		return
+	}
+	if hb := c.cfg.Overload.HedgeBacklog; hb > 0 && c.TranscodeBacklog() >= hb {
+		// Load-aware guard: a hedge doubles the step's demand exactly
+		// when capacity is scarcest, amplifying the overload. Queued
+		// work will reuse the straggler's slot better than a copy.
+		c.Stats.HedgesSuppressed++
 		return
 	}
 	cw, a, overflow := c.placeTranscode(s, primaryVCU)
@@ -834,8 +1026,14 @@ func (c *Cluster) assembleVerify(s *Step) bool {
 }
 
 // completeStep finishes a step, applying the integrity check to corrupted
-// outputs.
+// outputs. A step whose graph was shed while it ran is discarded: the
+// video cannot assemble, so the result is useless.
 func (c *Cluster) completeStep(s *Step, cw *clusterWorker, corrupted bool) {
+	if s.graph != nil && s.graph.Shed {
+		c.markShed(s)
+		c.dispatch()
+		return
+	}
 	if c.cfg.RealPixels.Enabled && s.Kind == StepTranscode && !s.Software {
 		// Really encode the chunk; a faulty VCU really tampers with it.
 		// Detection happens at assembly via real decodes.
@@ -856,21 +1054,45 @@ func (c *Cluster) completeStep(s *Step, cw *clusterWorker, corrupted bool) {
 	}
 	s.State = StepDone
 	c.Stats.StepsCompleted++
+	if s.Kind == StepTranscode {
+		cs := &c.Stats.Classes[c.classOf(s)]
+		cs.Completed++
+		// Live SLO: completion inside the usefulness window of first
+		// admission. Upload/batch SLO is eventual completion.
+		if w := c.liveWindow(s); w == 0 || c.Eng.Now() <= s.admittedAt+w {
+			cs.SLOMet++
+		}
+	}
+	c.stepResolved(s)
+}
+
+// stepResolved propagates a step reaching a terminal state (done, or
+// shed as a deadline-dropped live chunk) through its graph: decrement
+// the remaining count, enqueue dependents whose dependencies are all
+// satisfied — a shed dependency satisfies, so a live stream skips the
+// dropped chunk and continues — and fire OnDone when the graph empties.
+func (c *Cluster) stepResolved(s *Step) {
 	g := s.graph
+	if g == nil {
+		c.dispatch()
+		return
+	}
 	g.remain--
-	for _, other := range g.Steps {
-		if other.State != StepPending {
-			continue
-		}
-		ready := true
-		for _, d := range other.Deps {
-			if d.State != StepDone {
-				ready = false
-				break
+	if !g.Shed {
+		for _, other := range g.Steps {
+			if other.State != StepPending {
+				continue
 			}
-		}
-		if ready {
-			c.enqueue(other)
+			ready := true
+			for _, d := range other.Deps {
+				if d.State != StepDone && d.State != StepShed {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				c.enqueue(other)
+			}
 		}
 	}
 	if g.remain == 0 && g.OnDone != nil {
@@ -931,16 +1153,32 @@ func (c *Cluster) retryDelay(attempts int) time.Duration {
 }
 
 // requeueAfter returns a failed step to the ready queue after the
-// backoff delay (immediately when zero).
+// backoff delay (immediately when zero). The step is parked *in* the
+// queue with a future eligibleAt rather than hidden in an engine
+// closure, so admission control and backlog accounting see it — and
+// pool rebalancing can deliberately not count it (deferred work is not
+// demand). Requeues pass through the same admission gate as fresh work:
+// a retrying batch step does not get to bypass a full queue.
 func (c *Cluster) requeueAfter(s *Step, d time.Duration) {
+	if s.graph != nil && s.graph.Shed {
+		c.markShed(s)
+		return
+	}
 	if d <= 0 {
 		c.enqueue(s)
 		c.dispatch()
 		return
 	}
+	if !c.admit(s) {
+		return
+	}
 	s.State = StepFailed // parked in backoff
+	s.eligibleAt = c.Eng.Now() + d
+	c.queue = append(c.queue, s)
 	c.Eng.Schedule(d, func() {
-		c.enqueue(s)
+		if s.State == StepFailed {
+			s.State = StepReady
+		}
 		c.dispatch()
 	})
 }

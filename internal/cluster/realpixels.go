@@ -51,10 +51,12 @@ func (c *Cluster) realEncode(s *Step, corrupted bool) error {
 	res, err := transcode.SOT(frames, 30, transcode.OutputSpec{
 		Name:       "real",
 		Resolution: video.Resolution{Name: "real", Width: rp.Width, Height: rp.Height},
-		Profile:    s.Request.Profile,
-		Speed:      2,
-		Hardware:   true,
-		RC:         rc.Config{Mode: rc.ModeConstQP, BaseQP: rp.QP},
+		// The executed request's profile: under brownout the real encode
+		// runs the downshifted profile, like the modeled ops do.
+		Profile:  s.execReq.Profile,
+		Speed:    2,
+		Hardware: true,
+		RC:       rc.Config{Mode: rc.ModeConstQP, BaseQP: rp.QP},
 	})
 	if err != nil {
 		return err

@@ -73,40 +73,12 @@ func (r *Region) Submit(home int, g *Graph) error {
 // loadOf is the routing load signal: ready-queue depth.
 func (r *Region) loadOf(i int) int { return r.Clusters[i].QueueLen() }
 
-// Stats aggregates cluster stats across the region.
+// Stats aggregates cluster stats across the region, including the
+// per-priority goodput buckets — the region-level SLO-attainment view.
 func (r *Region) Stats() Stats {
 	var total Stats
 	for _, c := range r.Clusters {
-		s := c.Stats
-		total.StepsCompleted += s.StepsCompleted
-		total.StepsFailed += s.StepsFailed
-		total.Retries += s.Retries
-		total.SoftwareFallbacks += s.SoftwareFallbacks
-		total.AffinityOverflows += s.AffinityOverflows
-		total.MemoryExhaustions += s.MemoryExhaustions
-		total.CorruptionsCaught += s.CorruptionsCaught
-		total.CorruptionsEscaped += s.CorruptionsEscaped
-		total.VCUsDisabled += s.VCUsDisabled
-		total.HostsSentToRepair += s.HostsSentToRepair
-		total.RepairsDeferred += s.RepairsDeferred
-		total.GoldenRejections += s.GoldenRejections
-		total.WorkerAborts += s.WorkerAborts
-		total.PoolRebalances += s.PoolRebalances
-		total.WatchdogFires += s.WatchdogFires
-		total.HedgesLaunched += s.HedgesLaunched
-		total.HedgesWon += s.HedgesWon
-		total.HostsCrashed += s.HostsCrashed
-		total.HostsReadmitted += s.HostsReadmitted
-		total.ReadmitRejections += s.ReadmitRejections
-		total.Failures.Stop += s.Failures.Stop
-		total.Failures.Transient += s.Failures.Transient
-		total.Failures.Deadline += s.Failures.Deadline
-		total.Failures.Crash += s.Failures.Crash
-		total.Failures.Aborted += s.Failures.Aborted
-		total.Failures.Restart += s.Failures.Restart
-		total.Failures.Memory += s.Failures.Memory
-		total.Failures.Integrity += s.Failures.Integrity
-		total.Failures.Other += s.Failures.Other
+		total.Accumulate(c.Stats)
 	}
 	return total
 }

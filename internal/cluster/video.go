@@ -20,6 +20,22 @@ type VideoSpec struct {
 	MOT bool
 	// Live marks a real-time stream: steps pace at chunk wall duration.
 	Live bool
+	// Batch marks low-priority re-encode work (the §2.2 "older and
+	// popular videos re-encoded" traffic): first to shed and degrade
+	// under overload.
+	Batch bool
+}
+
+// priorityFor maps a video to its admission/dispatch class.
+func priorityFor(spec VideoSpec) sched.Priority {
+	switch {
+	case spec.Live:
+		return sched.PriorityCritical
+	case spec.Batch:
+		return sched.PriorityBatch
+	default:
+		return sched.PriorityNormal
+	}
 }
 
 // BuildGraph expands a video into its work graph: per-chunk transcode
@@ -34,7 +50,7 @@ func BuildGraph(spec VideoSpec, stepTargetSeconds float64) *Graph {
 		spec.Frames = spec.ChunkFrames
 	}
 	nChunks := (spec.Frames + spec.ChunkFrames - 1) / spec.ChunkFrames
-	g := &Graph{ID: spec.ID}
+	g := &Graph{ID: spec.ID, Priority: priorityFor(spec)}
 	id := 0
 	add := func(kind StepKind, req *sched.StepRequest, deps ...*Step) *Step {
 		s := &Step{ID: id, Kind: kind, Request: req, Deps: deps, triedVCUs: map[int]bool{}}

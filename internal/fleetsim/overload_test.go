@@ -1,0 +1,83 @@
+package fleetsim
+
+import (
+	"testing"
+)
+
+func TestGoodputPlateaus(t *testing.T) {
+	cfg := DefaultGoodputConfig()
+	series := GoodputVsOfferedLoad(cfg)
+	if len(series) != len(cfg.Multipliers) {
+		t.Fatalf("got %d samples, want %d", len(series), len(cfg.Multipliers))
+	}
+	// Below saturation nothing is shed and goodput tracks offered load.
+	under := series[0]
+	if under.ShedFraction != 0 {
+		t.Fatalf("shed %.3f of steps at %.1fx load", under.ShedFraction, under.Multiplier)
+	}
+	// Past saturation the admission bound sheds instead of queueing...
+	over := series[len(series)-1]
+	if over.ShedFraction == 0 {
+		t.Fatalf("no shedding at %.1fx load — sweep never saturated", over.Multiplier)
+	}
+	// ...so goodput must not collapse: the most-overloaded point still
+	// delivers at least what the saturation point did, within noise.
+	var peak float64
+	for _, s := range series {
+		if s.GoodputPerHour > peak {
+			peak = s.GoodputPerHour
+		}
+	}
+	if over.GoodputPerHour < 0.8*peak {
+		t.Fatalf("goodput collapsed under overload: %.0f/h at %.1fx vs %.0f/h peak",
+			over.GoodputPerHour, over.Multiplier, peak)
+	}
+	// The live SLO holds across the whole sweep.
+	for _, s := range series {
+		if s.LiveSLO < 0.95 {
+			t.Fatalf("live SLO %.3f < 0.95 at %.1fx load", s.LiveSLO, s.Multiplier)
+		}
+	}
+}
+
+func TestSLOVsFleetLossShedsBatch(t *testing.T) {
+	cfg := DefaultFleetLossConfig()
+	series := SLOVsFleetLoss(cfg)
+	if len(series) != cfg.Clusters {
+		t.Fatalf("got %d samples, want %d", len(series), cfg.Clusters)
+	}
+	// Losing one of three clusters must not break the live SLO: the
+	// survivors shed batch to absorb the displaced demand.
+	for _, s := range series[:2] {
+		if s.LiveSLO < 0.95 {
+			t.Fatalf("live SLO %.3f < 0.95 with %d clusters lost", s.LiveSLO, s.HostsLost)
+		}
+	}
+	if series[1].BatchShedFraction <= series[0].BatchShedFraction {
+		t.Fatalf("batch shedding did not rise with fleet loss: %.3f -> %.3f",
+			series[0].BatchShedFraction, series[1].BatchShedFraction)
+	}
+	if series[1].Overflowed == 0 {
+		t.Fatal("no videos rerouted away from the dead cluster")
+	}
+}
+
+func TestOverloadCurvesDeterministic(t *testing.T) {
+	a := GoodputVsOfferedLoad(DefaultGoodputConfig())
+	b := GoodputVsOfferedLoad(DefaultGoodputConfig())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("goodput sample %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	x := SLOVsFleetLoss(DefaultFleetLossConfig())
+	y := SLOVsFleetLoss(DefaultFleetLossConfig())
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("fleet-loss sample %d diverged: %+v vs %+v", i, x[i], y[i])
+		}
+	}
+}

@@ -15,6 +15,7 @@ var determinismDirs = []string{
 	"internal/fleetsim",
 	"internal/cluster",
 	"internal/vbench",
+	"internal/workload",
 }
 
 // bannedTimeFuncs are wall-clock entry points; simulated time comes
@@ -44,7 +45,8 @@ func init() {
 		Name: "determinism",
 		Doc: "forbids wall-clock reads (time.Now/Since/...), global math/rand, and " +
 			"order-dependent map iteration in the simulation packages " +
-			"(internal/sim, internal/fleetsim, internal/cluster, internal/vbench)",
+			"(internal/sim, internal/fleetsim, internal/cluster, internal/vbench, " +
+			"internal/workload)",
 		Run: runDeterminism,
 	})
 }

@@ -23,6 +23,11 @@ type StepRequest struct {
 	// duration regardless of how fast the cores could finish it, so
 	// admission control (not core speed) bounds concurrent streams.
 	Realtime bool
+	// SpeedBoost runs the encoder one speed notch faster at reduced
+	// quality — the brownout controller's lever for batch work under
+	// overload. The effective per-core encode rate rises by
+	// SpeedBoostFactor, so the step needs fewer milliencode cores.
+	SpeedBoost bool
 	// TargetSeconds is how long the step may take; resource shares are
 	// the sustained rates needed to finish in that time.
 	TargetSeconds float64
@@ -62,6 +67,11 @@ func ExpectedStepSeconds(r *StepRequest) float64 {
 	return 10
 }
 
+// SpeedBoostFactor is the encoder throughput multiplier of the brownout
+// speed raise: a SpeedBoost step encodes this much faster per core, at
+// reduced output quality.
+const SpeedBoostFactor = 1.5
+
 // VCUWorkerCapacity is the capacity vector of a worker with exclusive
 // access to one VCU: 3,000 millidecode cores and 10,000 milliencode cores
 // (Fig. 6), the device DRAM, a 1/20 share of host CPU, and a synthetic
@@ -91,8 +101,12 @@ func NewVCUCostModel(p vcu.Params) func(req any) Resources {
 		}
 		decRate := r.inputPixels() / target
 		encRate := r.outputPixels() / target
+		encPerCore := p.EncodeRate(r.Profile, r.Mode)
+		if r.SpeedBoost {
+			encPerCore *= SpeedBoostFactor
+		}
 		res := Resources{
-			DimEncodeMillicores:  ceilDiv64(int64(encRate*1000), int64(p.EncodeRate(r.Profile, r.Mode))),
+			DimEncodeMillicores:  ceilDiv64(int64(encRate*1000), int64(encPerCore)),
 			DimHostCPUMillicores: 100, // mux/demux, RPC, rate control
 		}
 		outs := make([]int64, len(r.Outputs))

@@ -50,9 +50,13 @@ type Result struct {
 	ScaledPixels  int64
 }
 
-// ladderSpecs builds output specs for every ladder rung at or below the
-// input resolution, mirroring the standard MOT graph ("for 1080p inputs:
-// 1080p, 720p, 480p, 360p, 240p and 144p are encoded").
+// LadderSpecs builds output specs for every ladder rung at or below the
+// input resolution, in ascending rung order, mirroring the standard MOT
+// graph ("for 1080p inputs: 1080p, 720p, 480p, 360p, 240p and 144p are
+// encoded"). Under overload the cluster does not run this full ladder:
+// DegradeSpecs derives the brownout variants (top rungs trimmed, profile
+// downshifted, encoder speed raised) that trade output quality for
+// survival when capacity is short.
 func LadderSpecs(in video.Resolution, profile codec.Profile, bitsPerPixel float64, fps int, hardware bool) []OutputSpec {
 	var specs []OutputSpec
 	for _, r := range video.LadderBelow(in) {
@@ -66,6 +70,65 @@ func LadderSpecs(in video.Resolution, profile codec.Profile, bitsPerPixel float6
 		})
 	}
 	return specs
+}
+
+// DegradeLevel is a rung on the brownout ladder: how much output quality
+// a transcode gives up when the cluster is short on capacity. Levels are
+// ordered — each one includes the degradations of the levels below it.
+type DegradeLevel int
+
+// Brownout degradation levels.
+const (
+	// DegradeNone is full quality: the complete ladder as specified.
+	DegradeNone DegradeLevel = iota
+	// DegradeTrim drops the top ladder rung (the most expensive output).
+	DegradeTrim
+	// DegradeProfile additionally downshifts VP9-class outputs to
+	// H.264-class (cheaper to encode, larger to serve) and raises the
+	// encoder speed one notch.
+	DegradeProfile
+	// DegradeFloor keeps only the two bottom rungs at H.264-class and
+	// maximum speed: the minimum output that still serves every device.
+	DegradeFloor
+)
+
+// String names the level.
+func (d DegradeLevel) String() string {
+	switch d {
+	case DegradeNone:
+		return "none"
+	case DegradeTrim:
+		return "trim-top"
+	case DegradeProfile:
+		return "h264-downshift"
+	default:
+		return "floor"
+	}
+}
+
+// DegradeSpecs returns the brownout variant of an output ladder at the
+// given level. specs must be in ascending rung order (as LadderSpecs
+// builds them); the input slice is never mutated. At least one rung
+// always survives — degradation trades quality, never correctness.
+func DegradeSpecs(specs []OutputSpec, level DegradeLevel) []OutputSpec {
+	out := append([]OutputSpec(nil), specs...)
+	if level >= DegradeTrim && len(out) > 1 {
+		out = out[:len(out)-1]
+	}
+	if level >= DegradeFloor && len(out) > 2 {
+		out = out[:2]
+	}
+	if level >= DegradeProfile {
+		for i := range out {
+			out[i].Profile = codec.H264Class
+			out[i].AltRef = false
+			out[i].Speed++
+			if level >= DegradeFloor {
+				out[i].Speed++
+			}
+		}
+	}
+	return out
 }
 
 func encoderConfig(spec OutputSpec, fps int) codec.Config {

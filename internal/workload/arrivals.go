@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// Arrival generation: a seeded, wall-clock-free demand process for the
+// overload experiments. Upload demand follows the paper's diurnal cycle
+// (the fleet is provisioned for peak, §2.2) with an optional spike
+// window layered on top — the surge the overload game-day replays
+// against a chaos schedule. Everything is a pure function of the
+// config, so the same seed always yields the same trace.
+
+// ArrivalClass is the priority class of one arriving video.
+type ArrivalClass int
+
+// Arrival classes, in shed order from last to first.
+const (
+	// ArriveLive is a real-time stream: critical priority.
+	ArriveLive ArrivalClass = iota
+	// ArriveUpload is a fresh user upload: normal priority.
+	ArriveUpload
+	// ArriveBatch is a re-encode of existing content: batch priority,
+	// first to shed under overload.
+	ArriveBatch
+)
+
+// String names the class.
+func (a ArrivalClass) String() string {
+	switch a {
+	case ArriveLive:
+		return "live"
+	case ArriveUpload:
+		return "upload"
+	default:
+		return "batch"
+	}
+}
+
+// Arrival is one video arriving at the platform.
+type Arrival struct {
+	ID    int
+	At    time.Duration
+	Class ArrivalClass
+}
+
+// ArrivalConfig parameterizes the demand process.
+type ArrivalConfig struct {
+	Seed uint64
+	// Horizon is the length of the generated trace.
+	Horizon time.Duration
+	// BaseRatePerHour is the mean arrival rate of the diurnal cycle.
+	BaseRatePerHour float64
+	// DiurnalAmplitude in [0, 1] scales the sinusoidal swing around the
+	// base rate (0 = flat, 1 = rate touches zero at the trough).
+	DiurnalAmplitude float64
+	// DiurnalPeriod is the cycle length (default 24h).
+	DiurnalPeriod time.Duration
+	// SpikeStart/SpikeDuration bound the surge window; SpikeFactor
+	// multiplies the instantaneous rate inside it (2 = the game-day's
+	// 2× demand spike). SpikeFactor <= 1 or zero duration means no
+	// spike.
+	SpikeStart    time.Duration
+	SpikeDuration time.Duration
+	SpikeFactor   float64
+	// LiveShare and BatchShare are the class mix; the remainder is
+	// uploads.
+	LiveShare  float64
+	BatchShare float64
+}
+
+// RateAt returns the instantaneous arrival rate (per hour) at t: the
+// diurnal sinusoid times the spike factor when t is inside the spike
+// window.
+func (cfg ArrivalConfig) RateAt(t time.Duration) float64 {
+	period := cfg.DiurnalPeriod
+	if period <= 0 {
+		period = 24 * time.Hour
+	}
+	phase := 2 * math.Pi * float64(t) / float64(period)
+	rate := cfg.BaseRatePerHour * (1 + cfg.DiurnalAmplitude*math.Sin(phase))
+	if rate < 0 {
+		rate = 0
+	}
+	if cfg.SpikeFactor > 1 && cfg.SpikeDuration > 0 &&
+		t >= cfg.SpikeStart && t < cfg.SpikeStart+cfg.SpikeDuration {
+		rate *= cfg.SpikeFactor
+	}
+	return rate
+}
+
+// peakRate bounds RateAt over the horizon — the thinning envelope.
+func (cfg ArrivalConfig) peakRate() float64 {
+	peak := cfg.BaseRatePerHour * (1 + cfg.DiurnalAmplitude)
+	if cfg.SpikeFactor > 1 && cfg.SpikeDuration > 0 {
+		peak *= cfg.SpikeFactor
+	}
+	return peak
+}
+
+// GenerateArrivals produces the seeded arrival trace: a thinned
+// (non-homogeneous) Poisson process — candidate arrivals at the peak
+// rate, each kept with probability rate(t)/peak — with each kept
+// arrival assigned a class by the configured mix. Deterministic in the
+// config; no wall clock.
+func GenerateArrivals(cfg ArrivalConfig) []Arrival {
+	peak := cfg.peakRate()
+	if peak <= 0 || cfg.Horizon <= 0 {
+		return nil
+	}
+	rng := cfg.Seed*2862933555777941757 + 3037000493
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng%1e9) / 1e9
+	}
+	meanGap := float64(time.Hour) / peak
+	var out []Arrival
+	t := time.Duration(0)
+	for {
+		// Exponential inter-arrival at the envelope rate.
+		u := next()
+		if u <= 0 {
+			u = 0.5e-9
+		}
+		t += time.Duration(-math.Log(u) * meanGap)
+		if t >= cfg.Horizon {
+			return out
+		}
+		if next() >= cfg.RateAt(t)/peak {
+			continue // thinned: below the instantaneous rate
+		}
+		cls := ArriveUpload
+		switch mix := next(); {
+		case mix < cfg.LiveShare:
+			cls = ArriveLive
+		case mix < cfg.LiveShare+cfg.BatchShare:
+			cls = ArriveBatch
+		}
+		out = append(out, Arrival{ID: len(out), At: t, Class: cls})
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func arrivalCfg() ArrivalConfig {
+	return ArrivalConfig{
+		Seed:             7,
+		Horizon:          24 * time.Hour,
+		BaseRatePerHour:  600,
+		DiurnalAmplitude: 0.5,
+		DiurnalPeriod:    24 * time.Hour,
+		SpikeStart:       10 * time.Hour,
+		SpikeDuration:    time.Hour,
+		SpikeFactor:      2,
+		LiveShare:        0.2,
+		BatchShare:       0.3,
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	a := GenerateArrivals(arrivalCfg())
+	b := GenerateArrivals(arrivalCfg())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	other := arrivalCfg()
+	other.Seed = 8
+	if c := GenerateArrivals(other); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestArrivalsShape(t *testing.T) {
+	cfg := arrivalCfg()
+	arr := GenerateArrivals(cfg)
+	if len(arr) == 0 {
+		t.Fatal("no arrivals")
+	}
+	last := time.Duration(-1)
+	counts := map[ArrivalClass]int{}
+	var inSpike, inControl int
+	control := cfg.SpikeStart + 4*time.Hour // same diurnal phase region, no spike
+	for _, a := range arr {
+		if a.At < last {
+			t.Fatalf("arrivals out of order at %v", a.At)
+		}
+		last = a.At
+		if a.At >= cfg.Horizon {
+			t.Fatalf("arrival beyond horizon: %v", a.At)
+		}
+		counts[a.Class]++
+		if a.At >= cfg.SpikeStart && a.At < cfg.SpikeStart+cfg.SpikeDuration {
+			inSpike++
+		}
+		if a.At >= control && a.At < control+cfg.SpikeDuration {
+			inControl++
+		}
+	}
+	for _, cls := range []ArrivalClass{ArriveLive, ArriveUpload, ArriveBatch} {
+		if counts[cls] == 0 {
+			t.Fatalf("class %v never arrived in %d arrivals", cls, len(arr))
+		}
+	}
+	// The spike window must carry clearly more arrivals than a same-length
+	// non-spike window nearby (2x rate; allow slack for diurnal drift and
+	// Poisson noise).
+	if float64(inSpike) < 1.4*float64(inControl) {
+		t.Fatalf("spike window not elevated: %d in spike vs %d in control", inSpike, inControl)
+	}
+}
+
+func TestArrivalRateAt(t *testing.T) {
+	cfg := arrivalCfg()
+	base := cfg.RateAt(0) // sin(0) = 0: exactly the base rate
+	if base != cfg.BaseRatePerHour {
+		t.Fatalf("RateAt(0) = %v, want %v", base, cfg.BaseRatePerHour)
+	}
+	spike := cfg.RateAt(cfg.SpikeStart + cfg.SpikeDuration/2)
+	same := cfg.RateAt(cfg.SpikeStart + cfg.SpikeDuration/2 + cfg.SpikeDuration)
+	if spike < 1.5*same {
+		t.Fatalf("spike rate %v not elevated over nearby rate %v", spike, same)
+	}
+	flat := ArrivalConfig{BaseRatePerHour: 100, Horizon: time.Hour}
+	if got := flat.RateAt(30 * time.Minute); got != 100 {
+		t.Fatalf("flat RateAt = %v, want 100", got)
+	}
+}

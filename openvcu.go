@@ -243,6 +243,29 @@ func BuildGraph(spec VideoSpec, stepTargetSeconds float64) *cluster.Graph {
 	return cluster.BuildGraph(spec, stepTargetSeconds)
 }
 
+// OverloadConfig arms the cluster's overload controls: bounded
+// admission with priority shedding, live deadline drops, the brownout
+// degradation ladder and the load-aware hedge guard. The zero value
+// disables all of them.
+type OverloadConfig = cluster.OverloadConfig
+
+// ClassStats is one priority class's goodput/SLO bucket.
+type ClassStats = cluster.ClassStats
+
+// DefaultOverloadConfig returns production-like overload settings.
+func DefaultOverloadConfig() OverloadConfig { return cluster.DefaultOverloadConfig() }
+
+// DegradeLevel is a rung of the brownout degradation ladder.
+type DegradeLevel = transcode.DegradeLevel
+
+// Brownout degradation levels, mildest first.
+const (
+	DegradeNone    = transcode.DegradeNone
+	DegradeTrim    = transcode.DegradeTrim
+	DegradeProfile = transcode.DegradeProfile
+	DegradeFloor   = transcode.DegradeFloor
+)
+
 // --- evaluation ---------------------------------------------------------------
 
 // RDPoint is one rate/quality operating point.
@@ -289,6 +312,17 @@ var ApplyPolicy = workload.Apply
 
 // DefaultEgressModel returns the serving-side constants.
 func DefaultEgressModel() workload.EgressModel { return workload.DefaultEgressModel() }
+
+// ArrivalConfig parameterizes the seeded demand process: a diurnal
+// sinusoid with an optional spike window, thinned-Poisson sampled.
+type ArrivalConfig = workload.ArrivalConfig
+
+// Arrival is one video arriving at the platform.
+type Arrival = workload.Arrival
+
+// GenerateArrivals produces a deterministic arrival trace (no wall
+// clock: same config, same trace).
+func GenerateArrivals(cfg ArrivalConfig) []Arrival { return workload.GenerateArrivals(cfg) }
 
 // FleetConfig parameterizes the longitudinal deployment simulator.
 type FleetConfig = fleetsim.Config

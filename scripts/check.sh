@@ -12,8 +12,10 @@
 #   4. go build      the whole module
 #   5. go test       the whole module
 #   6. go test -race the concurrent packages
-#   7. bench smoke   kernel benchmarks compile and run (1 iteration)
-#   8. fuzz smoke    10s of FuzzDecode over the checked-in corpus
+#   7. overload smoke  the deterministic overload game-day: bounded
+#                    queue, live SLO, hedge guard, byte-identical stats
+#   8. bench smoke   kernel benchmarks compile and run (1 iteration)
+#   9. fuzz smoke    10s of FuzzDecode over the checked-in corpus
 #
 # Every PR must leave this script exiting 0.
 set -u
@@ -61,6 +63,11 @@ step "go build" go build ./...
 step "go test" go test ./...
 # shellcheck disable=SC2086
 step "go test -race (concurrent packages)" go test -race $RACE_PKGS
+# Overload smoke: the single-cycle game-day plus the seed-stability
+# check (two runs of the same seed must produce byte-identical Stats).
+# `make overload` runs the long multi-cycle variant.
+step "overload smoke (deterministic game-day)" go test \
+    -run 'TestOverloadGameDay|TestOverloadDeterministic' ./internal/cluster
 # Kernel packages only: the root codec package's whole-frame benchmarks
 # are minutes-long and belong to scripts/bench.sh, not the gate.
 step "bench smoke (kernel packages)" go test -run=NONE -bench=. -benchtime=1x \
