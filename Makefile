@@ -18,9 +18,10 @@ bench:
 lint:
 	$(GO) run ./cmd/vculint ./...
 
-# Machine-readable lint report, same shape CI uploads from check.sh.
+# Machine-readable lint report, same shape CI uploads from check.sh
+# (diagnostics plus the per-rule timing envelope).
 lint-json:
-	$(GO) run ./cmd/vculint -json ./... >lint_report.json
+	$(GO) run ./cmd/vculint -json -timing ./... >lint_report.json
 
 race:
 	$(GO) test -race $(RACE_PKGS)

@@ -11,11 +11,13 @@
 //	-json        emit diagnostics as a JSON array (machine-readable,
 //	             consumed by fleetsim/bench tooling and written to
 //	             lint_report.json by scripts/check.sh)
+//	-timing      include per-rule wall time; with -json the output
+//	             becomes {"diagnostics": [...], "timing": {...}} so
+//	             scripts/check.sh can enforce the lint latency budget
 //	-rules a,b   run only the named analyzers
 //	-list        print registered analyzers and exit
 //
-// Syntactic analyzers (PR 1): determinism, lockhygiene, hotalloc,
-// errdrop, bigcopy.
+// Syntactic analyzers (PR 1): determinism, hotalloc, errdrop, bigcopy.
 //
 // Dataflow analyzers (PR 2, built on the type-aware layer in
 // internal/lint/dataflow.go):
@@ -34,9 +36,28 @@
 //	              codec packages must be joined in the spawning
 //	              function (WaitGroup or channel)
 //
+// Control-flow/call-graph analyzers (PR 3, built on the per-function
+// CFG in internal/lint/cfg.go and the one-level call summaries in
+// internal/lint/callgraph.go):
+//
+//	lockhygiene   path-sensitive: every acquired mutex is released on
+//	              every path to the exit (a defer only covers the paths
+//	              that execute it), re-locking a held mutex and
+//	              unlocking an unheld one are flagged
+//	lockorder     two mutex classes acquired in both orders across
+//	              cluster/sched/vcu — the deadlock precondition —
+//	              chased one level through resolved module calls
+//	waitbalance   WaitGroup Add must be guaranteed before the spawn,
+//	              Done must be reached on every path of the spawned
+//	              body (directly or in a `go helper(&wg)` helper), and
+//	              Add inside the spawned goroutine races Wait
+//	heldblock     channel send/receive, blocking select, range over a
+//	              channel, Wait, or a resolved call doing any of these
+//	              while a mutex is held on some path
+//
 // Useful selections:
 //
-//	vculint -rules scratchshare,sharedmut,swarwidth,goleak ./...
+//	vculint -rules lockorder,waitbalance,heldblock ./...
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 package main
@@ -47,6 +68,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"openvcu/internal/lint"
@@ -60,6 +82,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("vculint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	timing := fs.Bool("timing", false, "report per-rule wall time (with -json: envelope with a timing object)")
 	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	if err := fs.Parse(args); err != nil {
@@ -125,7 +148,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		dirs = append(dirs, filepath.ToSlash(rel))
 	}
 
-	diags, err := lint.Run(lint.Config{Root: root, Analyzers: analyzers, Dirs: dirs})
+	diags, report, err := lint.RunReport(lint.Config{Root: root, Analyzers: analyzers, Dirs: dirs})
 	if err != nil {
 		fmt.Fprintln(stderr, "vculint:", err)
 		return 2
@@ -145,13 +168,34 @@ func run(args []string, stdout, stderr *os.File) int {
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		// The bare -json output stays a plain Diagnostic array for
+		// existing consumers; the timing envelope is opt-in.
+		var payload any = diags
+		if *timing {
+			payload = struct {
+				Diagnostics []lint.Diagnostic `json:"diagnostics"`
+				Timing      *lint.Timing      `json:"timing"`
+			}{diags, report}
+		}
+		if err := enc.Encode(payload); err != nil {
 			fmt.Fprintln(stderr, "vculint:", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d.String())
+		}
+		if *timing {
+			names := make([]string, 0, len(report.RulesMS))
+			for name := range report.RulesMS {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(stdout, "timing: load %.1fms\n", report.LoadMS)
+			for _, name := range names {
+				fmt.Fprintf(stdout, "timing: %-13s %.1fms\n", name, report.RulesMS[name])
+			}
+			fmt.Fprintf(stdout, "timing: total %.1fms\n", report.TotalMS)
 		}
 	}
 	if len(diags) > 0 {

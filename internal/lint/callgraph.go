@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// This file is the module call graph built on the symbol index: every
+// indexed function/method gets a one-level interprocedural summary —
+// which lock classes it acquires directly, whether it can block on a
+// channel or Wait, what it does to each *sync.WaitGroup parameter, and
+// whether a scratch-typed parameter escapes it. Rules consult summaries
+// for calls they can resolve (lockorder chases acquisition edges
+// through callees, waitbalance trusts `go helper(&wg)` only if the
+// helper Dones on every path, heldblock flags calls that may block
+// while a lock is held). An unresolved callee has no summary and
+// contributes nothing: resolution failure degrades to silence.
+
+// wgParamFact summarizes what a function does to one of its
+// *sync.WaitGroup parameters.
+type wgParamFact struct {
+	name string
+	// doneEver: some statement-level Done (or defer Done) on the param.
+	doneEver bool
+	// doneAlways: a Done is reached on every path to the normal exit.
+	doneAlways bool
+	// addsInside: the function calls Add on the param it was handed.
+	addsInside bool
+}
+
+// funcSummary is the one-level interprocedural summary of one function.
+type funcSummary struct {
+	key string
+	fd  *funcDecl
+	// acquires maps lock class -> first direct acquisition site in the
+	// function's own body (function literals inside it excluded).
+	acquires map[string]token.Pos
+	// blocking: the body contains a potentially-blocking synchronous op
+	// (channel send/receive outside select clauses, a select without
+	// default, range over a channel, a .Wait() call), not inside a go
+	// statement or nested function literal.
+	blocking bool
+	// blockingWhat describes the first blocking op, for messages.
+	blockingWhat string
+	// wgParams maps parameter position -> WaitGroup facts, for every
+	// parameter typed *sync.WaitGroup.
+	wgParams map[int]wgParamFact
+	// scratchEscapes: a scratch-typed parameter (see scratchTypes)
+	// escapes the function: stored through a non-identifier lvalue,
+	// returned, sent, put in a composite literal, or handed to a go
+	// statement.
+	scratchEscapes bool
+}
+
+// callGraph caches summaries keyed like Index.funcDecls.
+type callGraph struct {
+	summaries map[string]*funcSummary
+}
+
+// sortedFuncKeys returns the index's function keys in sorted order, so
+// everything derived from summaries is deterministic.
+func sortedFuncKeys(idx *Index) []string {
+	keys := make([]string, 0, len(idx.funcDecls))
+	for k := range idx.funcDecls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// callGraph lazily builds (once per Index) the summary table.
+func (idx *Index) callGraph() *callGraph {
+	if idx.cg != nil {
+		return idx.cg
+	}
+	cg := &callGraph{summaries: map[string]*funcSummary{}}
+	for _, key := range sortedFuncKeys(idx) {
+		// Multiple declarations of one key (build-tag twins) keep the
+		// first, consistent with funcResultTypes.
+		fd := idx.funcDecls[key][0]
+		if fd.decl.Body == nil {
+			continue
+		}
+		cg.summaries[key] = buildFuncSummary(idx, key, fd)
+	}
+	idx.cg = cg
+	return cg
+}
+
+// buildFuncSummary computes one summary. The classifier runs without
+// call resolution: summaries are strictly one level deep.
+func buildFuncSummary(idx *Index, key string, fd *funcDecl) *funcSummary {
+	sum := &funcSummary{
+		key:      key,
+		fd:       fd,
+		acquires: map[string]token.Pos{},
+		wgParams: map[int]wgParamFact{},
+	}
+	sc := newFuncScope(idx, fd.file, fd.pkg.Dir, fd.decl)
+	g := buildCFG(fd.decl.Body)
+	ops := collectLockOps(g, &opClassifier{sc: sc, idx: idx, f: fd.file, dir: fd.pkg.Dir})
+	for _, blockOps := range ops {
+		for _, op := range blockOps {
+			switch op.kind {
+			case opAcquire:
+				if op.class == "" {
+					continue
+				}
+				if _, seen := sum.acquires[op.class]; !seen {
+					sum.acquires[op.class] = op.pos
+				}
+			case opBlocking:
+				if !sum.blocking {
+					sum.blocking = true
+					sum.blockingWhat = op.what
+				}
+			}
+		}
+	}
+
+	pos := 0
+	for _, field := range fd.decl.Type.Params.List {
+		t := idx.resolveType(field.Type, fd.file, fd.pkg.Dir)
+		isWG := t.isPtrTo("sync.WaitGroup")
+		isScratch := t != nil && t.kind == kindPointer && t.elem != nil &&
+			t.elem.kind == kindNamed && scratchTypes[t.elem.name]
+		names := field.Names
+		if len(names) == 0 {
+			pos++
+			continue
+		}
+		for _, name := range names {
+			if name.Name != "_" {
+				if isWG {
+					sum.wgParams[pos] = wgParamFact{
+						name:       name.Name,
+						doneEver:   nodeCallsMethodOn(fd.decl.Body, name.Name, "Done"),
+						doneAlways: g.mustExecuteAtExit(func(n ast.Node) bool { return nodeCallsMethodOn(n, name.Name, "Done") }),
+						addsInside: nodeCallsMethodOn(fd.decl.Body, name.Name, "Add"),
+					}
+				}
+				if isScratch && !sum.scratchEscapes {
+					sum.scratchEscapes = paramEscapes(fd.decl.Body, name.Name)
+				}
+			}
+			pos++
+		}
+	}
+	return sum
+}
+
+// nodeCallsMethodOn reports whether n contains a call recv.method(...)
+// that runs when control passes through n: direct statement-level
+// calls, and deferred calls (defer recv.method() or a deferred literal
+// containing one). Code inside go statements never counts; code inside
+// a non-deferred function literal only runs if the literal is invoked,
+// which is over-approximated as counting — the consumers use this
+// matcher where over-matching silences a finding, never creates one.
+func nodeCallsMethodOn(n ast.Node, recv, method string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch mm := m.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			if r, ok := methodCall(mm.Call, method); ok && r == recv {
+				found = true
+				return false
+			}
+			if lit, ok := mm.Call.Fun.(*ast.FuncLit); ok && nodeCallsMethodOn(lit.Body, recv, method) {
+				found = true
+			}
+			return false
+		case *ast.CallExpr:
+			if r, ok := methodCall(mm, method); ok && r == recv {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// paramEscapes is the summary-grade escape check for a scratch-typed
+// parameter: the same shapes the scratchshare rule rejects, minus alias
+// tracking (a summary consumer only needs "can this helper leak the
+// loan", and a miss degrades to silence in the consumer).
+func paramEscapes(body *ast.BlockStmt, name string) bool {
+	isParam := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !isParam(rhs) || i >= len(st.Lhs) {
+					continue
+				}
+				if _, isIdent := st.Lhs[i].(*ast.Ident); !isIdent {
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if isParam(res) {
+					escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if isParam(st.Value) {
+				escapes = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isParam(v) {
+					escapes = true
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range st.Call.Args {
+				if isParam(arg) {
+					escapes = true
+				}
+			}
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && id.Name == name {
+						escapes = true
+					}
+					return !escapes
+				})
+			}
+		}
+		return true
+	})
+	return escapes
+}

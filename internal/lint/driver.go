@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Config controls one analysis run.
@@ -33,10 +34,32 @@ var skipDirNames = map[string]bool{
 	"node_modules": true,
 }
 
+// Timing is the per-rule wall-time report of one run, written into
+// lint_report.json by `vculint -timing` so scripts/check.sh can hold
+// the lint suite to its latency budget.
+type Timing struct {
+	// LoadMS covers parsing the module and building the symbol index.
+	LoadMS float64 `json:"load_ms"`
+	// RulesMS maps analyzer name to its total wall time across all
+	// packages. Lazy module-wide work (call-graph summaries, the
+	// lock-order analysis) is billed to whichever rule triggers it
+	// first.
+	RulesMS map[string]float64 `json:"rules_ms"`
+	TotalMS float64            `json:"total_ms"`
+}
+
 // Run parses every Go package under cfg.Root, runs the configured
 // analyzers, applies //lint:ignore suppressions, and returns the
 // surviving diagnostics sorted by position.
 func Run(cfg Config) ([]Diagnostic, error) {
+	diags, _, err := RunReport(cfg)
+	return diags, err
+}
+
+// RunReport is Run plus the per-rule timing report.
+func RunReport(cfg Config) ([]Diagnostic, *Timing, error) {
+	start := time.Now()
+	timing := &Timing{RulesMS: map[string]float64{}}
 	analyzers := cfg.Analyzers
 	if analyzers == nil {
 		analyzers = All()
@@ -44,9 +67,10 @@ func Run(cfg Config) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
 	pkgs, parseDiags, err := loadPackages(fset, cfg.Root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	idx := buildIndex(pkgs)
+	timing.LoadMS = msSince(start)
 
 	diags := parseDiags
 	for _, pkg := range pkgs {
@@ -55,7 +79,9 @@ func Run(cfg Config) ([]Diagnostic, error) {
 		}
 		for _, a := range analyzers {
 			pass := &Pass{Pkg: pkg, Index: idx, analyzer: a, fset: fset, diags: &diags}
+			ruleStart := time.Now()
 			a.Run(pass)
+			timing.RulesMS[a.Name] += msSince(ruleStart)
 		}
 	}
 
@@ -89,7 +115,13 @@ func Run(cfg Config) ([]Diagnostic, error) {
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	return diags, nil
+	timing.TotalMS = msSince(start)
+	return diags, timing, nil
+}
+
+// msSince converts elapsed time to milliseconds for the report.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
 }
 
 // loadPackages walks root collecting and parsing every .go file,

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "heldblock",
+		Doc: "flags potentially-blocking operations — channel send/receive, " +
+			"blocking select, range over a channel, Wait, or a resolved call " +
+			"that can do any of these — reachable while a mutex is held on " +
+			"some control-flow path",
+		Run: runHeldBlock,
+	})
+}
+
+// heldBlockDirs are the packages where a lock held across a blocking
+// operation stalls the datapath: the control plane (cluster, sched) and
+// the goroutine-bearing codec/transcode fan-outs, plus internal/vcu
+// where the fixtures live.
+var heldBlockDirs = []string{
+	"internal/cluster", "internal/codec", "internal/sched",
+	"internal/transcode", "internal/vcu",
+}
+
+func runHeldBlock(pass *Pass) {
+	if !dirMatchesAny(pass.Pkg.Dir, heldBlockDirs) {
+		return
+	}
+	cg := pass.Index.callGraph()
+	for _, f := range pass.Pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sc := newFuncScope(pass.Index, f, pass.Pkg.Dir, fd)
+			for _, body := range declBodies(fd) {
+				checkHeldBlock(pass, cg, sc, f, body)
+			}
+		}
+	}
+}
+
+func checkHeldBlock(pass *Pass, cg *callGraph, sc *funcScope, f *File, body *ast.BlockStmt) {
+	g := buildCFG(body)
+	ops := collectLockOps(g, &opClassifier{sc: sc, idx: pass.Index, f: f, dir: pass.Pkg.Dir, resolveCalls: true})
+	hasAcquire := false
+	for _, blockOps := range ops {
+		for _, op := range blockOps {
+			if op.kind == opAcquire {
+				hasAcquire = true
+			}
+		}
+	}
+	if !hasAcquire {
+		return
+	}
+
+	// Findings are buffered and dropped if the exploration aborts.
+	type findingKey struct {
+		pos  token.Pos
+		what string
+	}
+	var pending []Diagnostic
+	seen := map[findingKey]bool{}
+	report := func(pos token.Pos, what, msg string) {
+		k := findingKey{pos, what}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		pending = append(pending, pass.diagnosticAt(pos, msg))
+	}
+
+	aborted := walkLockPaths(g, ops, lockEvents{
+		onBlocking: func(held []heldLock, op lockOp) {
+			inner := held[len(held)-1]
+			report(op.pos, op.what, fmt.Sprintf(
+				"%s while %s is held; a blocked holder stalls every other taker of %s (move the blocking operation outside the critical section)",
+				op.what, inner.recv, inner.recv))
+		},
+		onCall: func(held []heldLock, op lockOp) {
+			sum := cg.summaries[op.callKey]
+			if sum == nil || !sum.blocking {
+				return
+			}
+			inner := held[len(held)-1]
+			report(op.pos, op.callKey, fmt.Sprintf(
+				"call to %s may block (%s) while %s is held; a blocked holder stalls every other taker of %s",
+				lockClassDisplay(op.callKey), sum.blockingWhat, inner.recv, inner.recv))
+		},
+	})
+	if aborted {
+		return
+	}
+	for _, d := range pending {
+		pass.emit(d)
+	}
+}

@@ -47,6 +47,16 @@ type Index struct {
 	// values, recording whether the source literal was a full 16-digit
 	// hex word (a SWAR lane mask, checked by swarwidth).
 	intConsts map[string]intConst
+
+	// cg caches the call-graph summaries (callgraph.go), built lazily by
+	// the first rule that needs interprocedural facts.
+	cg *callGraph
+
+	// lockOrder caches the module-wide lock-order analysis
+	// (lockorder.go): it is a whole-program property, computed once and
+	// then reported per owning package.
+	lockOrderDone bool
+	lockOrder     []lockOrderFinding
 }
 
 // typeDecl is one named type declaration with its resolution context.

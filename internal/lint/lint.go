@@ -93,15 +93,27 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.emit(p.diagnosticAt(pos, fmt.Sprintf(format, args...)))
+}
+
+// diagnosticAt builds (without recording) a finding at pos, for rules
+// that buffer findings and flush them only when an exploration
+// completes within budget.
+func (p *Pass) diagnosticAt(pos token.Pos, msg string) Diagnostic {
 	position := p.fset.Position(pos)
-	*p.diags = append(*p.diags, Diagnostic{
+	return Diagnostic{
 		Rule:    p.analyzer.Name,
-		Message: fmt.Sprintf(format, args...),
+		Message: msg,
 		Pos:     position,
 		File:    position.Filename,
 		Line:    position.Line,
 		Col:     position.Column,
-	})
+	}
+}
+
+// emit records a previously built diagnostic.
+func (p *Pass) emit(d Diagnostic) {
+	*p.diags = append(*p.diags, d)
 }
 
 // Analyzer is one named rule. Run is invoked once per package; it should

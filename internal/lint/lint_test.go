@@ -129,6 +129,45 @@ func TestSharedMutFixture(t *testing.T)    { runFixture(t, "sharedmut", "interna
 func TestSwarWidthFixture(t *testing.T)    { runFixture(t, "swarwidth", "internal/bits") }
 func TestGoLeakFixture(t *testing.T)       { runFixture(t, "goleak", "internal/cluster") }
 
+// The CFG/call-graph-layer rules (this PR): each fixture contains at
+// least one true positive invisible to the syntactic and dataflow
+// passes — the verdict depends on path exploration or on a callee's
+// one-level summary.
+func TestLockOrderFixture(t *testing.T)   { runFixture(t, "lockorder", "internal/vcu/ordering") }
+func TestHeldBlockFixture(t *testing.T)   { runFixture(t, "heldblock", "internal/vcu/held") }
+func TestWaitBalanceFixture(t *testing.T) { runFixture(t, "waitbalance", "internal/vcu/fanout") }
+
+// TestRunReportTiming verifies the per-rule wall-time report: every
+// configured analyzer is billed, and the totals are sane.
+func TestRunReportTiming(t *testing.T) {
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, timing, err := RunReport(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing == nil {
+		t.Fatal("RunReport returned nil timing")
+	}
+	if timing.TotalMS <= 0 {
+		t.Errorf("total_ms not positive: %v", timing.TotalMS)
+	}
+	if timing.LoadMS < 0 || timing.LoadMS > timing.TotalMS {
+		t.Errorf("load_ms %v out of range (total %v)", timing.LoadMS, timing.TotalMS)
+	}
+	for _, a := range All() {
+		ms, ok := timing.RulesMS[a.Name]
+		if !ok {
+			t.Errorf("rule %s missing from rules_ms", a.Name)
+		}
+		if ms < 0 {
+			t.Errorf("rule %s has negative wall time %v", a.Name, ms)
+		}
+	}
+}
+
 // TestRepoTreeIsClean is the integration gate: the real module tree
 // must produce zero diagnostics with every analyzer enabled. If this
 // fails, either fix the finding or annotate it with //lint:ignore and

@@ -1,0 +1,409 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+)
+
+// This file classifies the nodes of a cfg into lock-relevant operations
+// and walks the graph path-sensitively with a held-lock state. It is
+// shared by lockhygiene (leak/double-lock/orphan-unlock), heldblock
+// (blocking op while held), lockorder (acquisition edges) and the
+// call-graph summaries. The walk dedupes states per block and aborts
+// past a visit budget; callers buffer their findings and drop them on
+// abort, so an exploded graph degrades to silence, never to noise.
+
+type lockOpKind int
+
+const (
+	opAcquire lockOpKind = iota
+	opRelease
+	opDeferRelease
+	opBlocking
+	opCall
+)
+
+// lockOp is one lock-relevant operation inside a basic block.
+type lockOp struct {
+	kind lockOpKind
+	// recv is the canonical receiver string of the mutex ("c.mu") for
+	// acquire/release/defer ops, or of the WaitGroup for a Wait op.
+	recv string
+	rw   bool // reader lock (RLock/RUnlock)
+	// class is the module-wide lock identity "pkgdir.Type.field"; ""
+	// when the receiver's type does not resolve to a module type.
+	class string
+	// callKey is the symbol-index key of a resolved module callee.
+	callKey string
+	// what describes a blocking op for messages ("channel send", ...).
+	what string
+	pos  token.Pos
+}
+
+// lockKey identifies a held lock for matching: receiver + kind. The
+// reader and writer sides of an RWMutex are deliberately distinct —
+// releasing the wrong side is one of the bugs being looked for.
+func lockSideKey(recv string, rw bool) string {
+	if rw {
+		return recv + "\x00R"
+	}
+	return recv + "\x00W"
+}
+
+func lockMethod(rw bool) string {
+	if rw {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func unlockMethod(rw bool) string {
+	if rw {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// heldLock is one acquisition on the current path.
+type heldLock struct {
+	recv  string
+	rw    bool
+	class string
+	pos   token.Pos
+}
+
+// opClassifier turns block nodes into lockOps. sc may be nil: lock
+// classes and channel-typed range detection then degrade to unknown,
+// which only narrows what the consumer can see.
+type opClassifier struct {
+	sc           *funcScope
+	idx          *Index
+	f            *File
+	dir          string
+	resolveCalls bool
+}
+
+// lockClassOf resolves the module-wide identity of a mutex receiver
+// expression: the named module type owning the field, qualified by
+// package dir ("internal/sched.shard.mu"). "" when unresolved.
+func (c *opClassifier) lockClassOf(recvExpr ast.Expr) string {
+	if c.sc == nil || c.idx == nil {
+		return ""
+	}
+	sel, ok := recvExpr.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	base := c.sc.typeOf(sel.X).deref()
+	if base == nil || base.kind != kindNamed {
+		return ""
+	}
+	if _, isModuleType := c.idx.typeDecls[base.name]; !isModuleType {
+		return ""
+	}
+	return base.name + "." + sel.Sel.Name
+}
+
+// calleeKey resolves a call to a module function/method key, or "".
+func (c *opClassifier) calleeKey(call *ast.CallExpr) string {
+	if c.idx == nil {
+		return ""
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		key := c.dir + "." + fn.Name
+		if _, ok := c.idx.funcDecls[key]; ok {
+			return key
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok && c.f != nil {
+			isVar := false
+			if c.sc != nil {
+				_, isVar = c.sc.vars[id.Name]
+			}
+			if !isVar {
+				if path, imported := c.f.imports[id.Name]; imported {
+					if d := c.idx.dirForImport(path); d != "" {
+						key := d + "." + fn.Sel.Name
+						if _, ok := c.idx.funcDecls[key]; ok {
+							return key
+						}
+					}
+					return ""
+				}
+			}
+		}
+		if c.sc == nil {
+			return ""
+		}
+		recv := c.sc.typeOf(fn.X).deref()
+		if recv != nil && recv.kind == kindNamed {
+			key := recv.name + "." + fn.Sel.Name
+			if _, ok := c.idx.funcDecls[key]; ok {
+				return key
+			}
+		}
+	}
+	return ""
+}
+
+// collectLockOps classifies every node of every block.
+func collectLockOps(g *cfg, c *opClassifier) [][]lockOp {
+	ops := make([][]lockOp, len(g.blocks))
+	for _, blk := range g.blocks {
+		for _, node := range blk.nodes {
+			c.nodeOps(g, node, &ops[blk.index])
+		}
+	}
+	return ops
+}
+
+// nodeOps classifies one block node. Range and select statements were
+// emitted atomically by the builder and are matched atomically here —
+// their bodies live in other blocks and must not be double-counted.
+func (c *opClassifier) nodeOps(g *cfg, n ast.Node, out *[]lockOp) {
+	switch node := n.(type) {
+	case *ast.RangeStmt:
+		if c.sc != nil {
+			if xt := c.sc.typeOf(node.X).deref(); xt != nil && xt.kind == kindChan {
+				*out = append(*out, lockOp{kind: opBlocking, what: "range over channel " + exprString(node.X), pos: node.Pos()})
+			}
+		}
+		return
+	case *ast.SelectStmt:
+		// Only selects without a default are emitted into blocks.
+		*out = append(*out, lockOp{kind: opBlocking, what: "blocking select", pos: node.Pos()})
+		return
+	case *ast.GoStmt:
+		// The spawned call runs elsewhere; nothing here blocks or locks.
+		return
+	case *ast.DeferStmt:
+		// defer recv.Unlock() / defer recv.RUnlock(), directly or inside
+		// a deferred function literal.
+		appendDeferRelease := func(call *ast.CallExpr) {
+			if recv, ok := methodCall(call, "Unlock"); ok {
+				*out = append(*out, lockOp{kind: opDeferRelease, recv: recv, rw: false, pos: call.Pos()})
+			}
+			if recv, ok := methodCall(call, "RUnlock"); ok {
+				*out = append(*out, lockOp{kind: opDeferRelease, recv: recv, rw: true, pos: call.Pos()})
+			}
+		}
+		appendDeferRelease(node.Call)
+		if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				switch mm := m.(type) {
+				case *ast.GoStmt, *ast.FuncLit:
+					_ = mm
+					return false
+				case *ast.CallExpr:
+					appendDeferRelease(mm)
+				}
+				return true
+			})
+		}
+		return
+	}
+
+	suppressComm := g.selectComm[n]
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch mm := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			if !suppressComm {
+				*out = append(*out, lockOp{kind: opBlocking, what: "channel send", pos: mm.Pos()})
+			}
+			return true
+		case *ast.UnaryExpr:
+			if mm.Op == token.ARROW && !suppressComm {
+				*out = append(*out, lockOp{kind: opBlocking, what: "channel receive", pos: mm.Pos()})
+			}
+			return true
+		case *ast.CallExpr:
+			sel, ok := mm.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvStr := exprString(sel.X)
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if recvStr != "" {
+					*out = append(*out, lockOp{
+						kind:  opAcquire,
+						recv:  recvStr,
+						rw:    sel.Sel.Name == "RLock",
+						class: c.lockClassOf(sel.X),
+						pos:   mm.Pos(),
+					})
+				}
+			case "Unlock", "RUnlock":
+				if recvStr != "" {
+					*out = append(*out, lockOp{
+						kind:  opRelease,
+						recv:  recvStr,
+						rw:    sel.Sel.Name == "RUnlock",
+						class: c.lockClassOf(sel.X),
+						pos:   mm.Pos(),
+					})
+				}
+			case "Wait":
+				// sync.WaitGroup.Wait / sync.Cond.Wait — blocking until
+				// another goroutine acts.
+				if recvStr != "" {
+					*out = append(*out, lockOp{kind: opBlocking, recv: recvStr, what: recvStr + ".Wait()", pos: mm.Pos()})
+				}
+			default:
+				if c.resolveCalls {
+					if key := c.calleeKey(mm); key != "" {
+						*out = append(*out, lockOp{kind: opCall, callKey: key, pos: mm.Pos()})
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// lockEvents are the callbacks of one path walk. held slices passed to
+// callbacks are snapshots of the state *before* the op applies; they
+// must not be retained or mutated.
+type lockEvents struct {
+	onAcquire  func(held []heldLock, op lockOp)
+	onRelease  func(op lockOp, matched bool)
+	onBlocking func(held []heldLock, op lockOp)
+	onCall     func(held []heldLock, op lockOp)
+	// onExit fires per distinct state reaching the normal exit, with the
+	// locks still held after the deferred releases are applied.
+	onExit func(leaked []heldLock)
+}
+
+// maxLockPathVisits bounds the state exploration per function body.
+const maxLockPathVisits = 4096
+
+// walkLockPaths explores the cfg with a (held locks, pending deferred
+// unlocks) state, firing events as ops apply. It returns true if the
+// visit budget was exhausted — callers must then discard anything the
+// events collected.
+func walkLockPaths(g *cfg, ops [][]lockOp, ev lockEvents) (aborted bool) {
+	type pathState struct {
+		blk      *cfgBlock
+		held     []heldLock
+		deferred []string // lockSideKeys of pending deferred unlocks
+	}
+	sig := func(blkIndex int, held []heldLock, deferred []string) string {
+		buf := strconv.AppendInt(make([]byte, 0, 64), int64(blkIndex), 10)
+		for _, h := range held {
+			buf = append(buf, '|')
+			buf = append(buf, lockSideKey(h.recv, h.rw)...)
+		}
+		ds := append([]string(nil), deferred...)
+		sort.Strings(ds)
+		for _, d := range ds {
+			buf = append(buf, '~')
+			buf = append(buf, d...)
+		}
+		return string(buf)
+	}
+
+	seen := map[string]bool{}
+	stack := []pathState{{blk: g.entry}}
+	seen[sig(g.entry.index, nil, nil)] = true
+	visits := 0
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visits++
+		if visits > maxLockPathVisits {
+			return true
+		}
+		held := st.held
+		deferred := st.deferred
+		for _, op := range ops[st.blk.index] {
+			switch op.kind {
+			case opAcquire:
+				if ev.onAcquire != nil {
+					ev.onAcquire(held, op)
+				}
+				next := make([]heldLock, len(held)+1)
+				copy(next, held)
+				next[len(held)] = heldLock{recv: op.recv, rw: op.rw, class: op.class, pos: op.pos}
+				held = next
+			case opRelease:
+				idx := -1
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].recv == op.recv && held[i].rw == op.rw {
+						idx = i
+						break
+					}
+				}
+				if ev.onRelease != nil {
+					ev.onRelease(op, idx >= 0)
+				}
+				if idx >= 0 {
+					next := make([]heldLock, 0, len(held)-1)
+					next = append(next, held[:idx]...)
+					next = append(next, held[idx+1:]...)
+					held = next
+				}
+			case opDeferRelease:
+				next := make([]string, len(deferred)+1)
+				copy(next, deferred)
+				next[len(deferred)] = lockSideKey(op.recv, op.rw)
+				deferred = next
+			case opBlocking:
+				if len(held) > 0 && ev.onBlocking != nil {
+					ev.onBlocking(held, op)
+				}
+			case opCall:
+				if len(held) > 0 && ev.onCall != nil {
+					ev.onCall(held, op)
+				}
+			}
+		}
+		if st.blk == g.exit && ev.onExit != nil {
+			remaining := map[string]int{}
+			for _, d := range deferred {
+				remaining[d]++
+			}
+			var leaked []heldLock
+			for i := len(held) - 1; i >= 0; i-- {
+				k := lockSideKey(held[i].recv, held[i].rw)
+				if remaining[k] > 0 {
+					remaining[k]--
+					continue
+				}
+				leaked = append(leaked, held[i])
+			}
+			ev.onExit(leaked)
+		}
+		for _, s := range st.blk.succs {
+			k := sig(s.index, held, deferred)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			stack = append(stack, pathState{blk: s, held: held, deferred: deferred})
+		}
+	}
+	return false
+}
+
+// declBodies returns fd's body plus every function-literal body inside
+// it, each analyzed as its own control-flow graph (the outer graph
+// prunes literals, so every body is seen exactly once).
+func declBodies(fd *ast.FuncDecl) []*ast.BlockStmt {
+	if fd.Body == nil {
+		return nil
+	}
+	bodies := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	return bodies
+}

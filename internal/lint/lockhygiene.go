@@ -8,148 +8,118 @@ import (
 func init() {
 	Register(&Analyzer{
 		Name: "lockhygiene",
-		Doc: "requires every mu.Lock()/mu.RLock() to be released either by an " +
-			"immediate defer mu.Unlock() or by a straight-line Unlock with no " +
-			"return statement in between",
+		Doc: "path-sensitive lock hygiene over the control-flow graph: every " +
+			"acquired mutex must be released on every path to the function " +
+			"exit (directly or by defer), re-locking a held mutex is a " +
+			"self-deadlock, and an unlock must be reachable only with the " +
+			"lock held",
 		Run: runLockHygiene,
 	})
 }
 
-// lockKind pairs acquire and release method names.
-var lockKinds = []struct{ lock, unlock string }{
-	{"Lock", "Unlock"},
-	{"RLock", "RUnlock"},
-}
-
+// runLockHygiene is the CFG rewrite of the PR 1 positional rule. The
+// old heuristic accepted a `defer recv.Unlock()` anywhere in the
+// function as covering every lock of recv — including a defer inside an
+// unrelated branch, which silenced real leaks (the badBranchDefer
+// fixture). Here the deferred-unlock set is part of the per-path state:
+// a defer only covers the paths that actually execute it.
 func runLockHygiene(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
-		funcBodies(f.AST, func(name, recv string, body *ast.BlockStmt) {
-			checkLockBody(pass, body)
-		})
-	}
-}
-
-// checkLockBody inspects every block in one function body. For each
-// statement `recv.Lock()` it accepts exactly two shapes:
-//
-//  1. the next statement is `defer recv.Unlock()`, or
-//  2. a matching `recv.Unlock()` statement appears later in the
-//     function with no return statement positioned between the two.
-//
-// Anything else — no unlock at all, or a return path that can leave
-// the mutex held — is reported. Cross-function locking (a helper that
-// locks for its caller) is intentional enough to deserve a
-// //lint:ignore with a stated reason.
-func checkLockBody(pass *Pass, body *ast.BlockStmt) {
-	// Collect all unlock call positions and all return positions once.
-	type unlockSite struct {
-		recv string
-		name string
-		pos  token.Pos
-	}
-	var unlocks []unlockSite
-	var returns []token.Pos
-	var deferredUnlocks []unlockSite
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch node := n.(type) {
-		case *ast.ExprStmt:
-			for _, k := range lockKinds {
-				if recv, ok := methodCall(node.X, k.unlock); ok {
-					unlocks = append(unlocks, unlockSite{recv, k.unlock, node.Pos()})
-				}
-			}
-		case *ast.DeferStmt:
-			for _, k := range lockKinds {
-				if recv, ok := methodCall(node.Call, k.unlock); ok {
-					deferredUnlocks = append(deferredUnlocks, unlockSite{recv, k.unlock, node.Pos()})
-				}
-			}
-		case *ast.ReturnStmt:
-			returns = append(returns, node.Pos())
-		case *ast.FuncLit:
-			return false // nested literals get their own visit
-		}
-		return true
-	})
-
-	var walkBlock func(b *ast.BlockStmt)
-	checkStmtList := func(list []ast.Stmt) {
-		for i, stmt := range list {
-			es, ok := stmt.(*ast.ExprStmt)
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
 			if !ok {
 				continue
 			}
-			for _, k := range lockKinds {
-				recv, ok := methodCall(es.X, k.lock)
-				if !ok {
-					continue
-				}
-				lockPos := es.Pos()
-				// Shape 1: immediately deferred release.
-				if i+1 < len(list) {
-					if ds, ok := list[i+1].(*ast.DeferStmt); ok {
-						if r, ok := methodCall(ds.Call, k.unlock); ok && r == recv {
-							continue
-						}
-					}
-				}
-				// A deferred release anywhere before the lock also
-				// covers it (e.g. lock taken in a loop after a single
-				// top-of-function defer is unusual; require the defer
-				// to precede the lock positionally).
-				covered := false
-				for _, d := range deferredUnlocks {
-					if d.recv == recv && d.name == k.unlock {
-						covered = true
-						break
-					}
-				}
-				if covered {
-					continue
-				}
-				// Shape 2: straight-line release with no intervening
-				// return.
-				released := token.NoPos
-				for _, u := range unlocks {
-					if u.recv == recv && u.name == k.unlock && u.pos > lockPos {
-						released = u.pos
-						break
-					}
-				}
-				if released == token.NoPos {
-					pass.Reportf(lockPos,
-						"%s.%s() is never released in this function; add defer %s.%s()",
-						recv, k.lock, recv, k.unlock)
-					continue
-				}
-				for _, r := range returns {
-					if r > lockPos && r < released {
-						pass.Reportf(lockPos,
-							"%s.%s() can be held across a return at a path before %s.%s(); use defer",
-							recv, k.lock, recv, k.unlock)
-						break
-					}
-				}
+			// Each body (declaration and nested literals) gets its own
+			// graph; cross-function handoff still needs //lint:ignore.
+			for _, body := range declBodies(fd) {
+				checkLockPaths(pass, body)
 			}
 		}
 	}
-	walkBlock = func(b *ast.BlockStmt) {
-		checkStmtList(b.List)
-		for _, stmt := range b.List {
-			ast.Inspect(stmt, func(n ast.Node) bool {
-				switch node := n.(type) {
-				case *ast.BlockStmt:
-					checkStmtList(node.List)
-				case *ast.FuncLit:
-					return false
-				case *ast.CaseClause:
-					checkStmtList(node.Body)
-				case *ast.CommClause:
-					checkStmtList(node.Body)
-				}
-				return true
-			})
+}
+
+func checkLockPaths(pass *Pass, body *ast.BlockStmt) {
+	g := buildCFG(body)
+	// No type context needed: hygiene is per-receiver-string within one
+	// body, the same identity the PR 1 rule used.
+	ops := collectLockOps(g, &opClassifier{})
+
+	// acquiredSides / releasedSides gate the messages: a function with
+	// no acquire of a side is a handoff release target (stays silent
+	// unless it also locks), and a leak with *some* release elsewhere in
+	// the function is a some-path leak, not a never-released one.
+	acquiredSides := map[string]bool{}
+	releasedSides := map[string]bool{}
+	nAcquires := 0
+	for _, blockOps := range ops {
+		for _, op := range blockOps {
+			switch op.kind {
+			case opAcquire:
+				acquiredSides[lockSideKey(op.recv, op.rw)] = true
+				nAcquires++
+			case opRelease, opDeferRelease:
+				releasedSides[lockSideKey(op.recv, op.rw)] = true
+			}
 		}
 	}
-	walkBlock(body)
+	if nAcquires == 0 {
+		return
+	}
+
+	// Findings are buffered and flushed only if the walk completes: an
+	// aborted exploration proves nothing about the unexplored paths and
+	// must not report on the explored ones either.
+	type findingKey struct {
+		pos  token.Pos
+		what string
+	}
+	var pending []Diagnostic
+	seen := map[findingKey]bool{}
+	report := func(pos token.Pos, what, msg string) {
+		k := findingKey{pos, what}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		pending = append(pending, pass.diagnosticAt(pos, msg))
+	}
+
+	aborted := walkLockPaths(g, ops, lockEvents{
+		onAcquire: func(held []heldLock, op lockOp) {
+			for _, h := range held {
+				if h.recv == op.recv {
+					report(op.pos, "double",
+						op.recv+"."+lockMethod(op.rw)+"() while "+op.recv+
+							" is already held by this function; sync mutexes are not reentrant (self-deadlock)")
+					return
+				}
+			}
+		},
+		onRelease: func(op lockOp, matched bool) {
+			if !matched && acquiredSides[lockSideKey(op.recv, op.rw)] {
+				report(op.pos, "orphan",
+					op.recv+"."+unlockMethod(op.rw)+"() on a path where "+op.recv+" is not locked")
+			}
+		},
+		onExit: func(leaked []heldLock) {
+			for _, h := range leaked {
+				if releasedSides[lockSideKey(h.recv, h.rw)] {
+					report(h.pos, "leak",
+						h.recv+"."+lockMethod(h.rw)+"() is not released on every path through this function; "+
+							"unlock before every return or use defer "+h.recv+"."+unlockMethod(h.rw)+"()")
+				} else {
+					report(h.pos, "leak",
+						h.recv+"."+lockMethod(h.rw)+"() is never released in this function; add defer "+
+							h.recv+"."+unlockMethod(h.rw)+"()")
+				}
+			}
+		},
+	})
+	if aborted {
+		return
+	}
+	for _, d := range pending {
+		pass.emit(d)
+	}
 }

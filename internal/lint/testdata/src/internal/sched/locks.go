@@ -38,7 +38,7 @@ func (c *counter) badNeverUnlocked() {
 
 // badReturnBetween can exit with the lock held.
 func (c *counter) badReturnBetween(cond bool) int {
-	c.mu.Lock() // want "held across a return"
+	c.mu.Lock() // want "not released on every path"
 	if cond {
 		return -1
 	}
@@ -73,6 +73,54 @@ func (c *counter) goodLoopBody(k int) {
 		c.n++
 		c.mu.Unlock()
 	}
+}
+
+// badBranchDefer leaks on the else path: the defer in the if branch
+// only covers paths that execute it. (Regression fixture for the PR 1
+// heuristic, which accepted a defer anywhere in the function.)
+func (c *counter) badBranchDefer(cond bool) int {
+	if cond {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+	c.mu.Lock() // want "not released on every path"
+	c.n++
+	return c.n
+}
+
+// badDoubleLock re-locks a mutex it already holds: self-deadlock.
+func (c *counter) badDoubleLock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Lock() // want "already held"
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// badUnlockOnUnlockedPath unlocks unconditionally after a conditional
+// lock.
+func (c *counter) badUnlockOnUnlockedPath(cond bool) {
+	if cond {
+		c.mu.Lock()
+		c.n++
+	}
+	c.mu.Unlock() // want "not locked"
+}
+
+// goodLoopLock holds across loop iterations but releases before every
+// exit, including the early break.
+func (c *counter) goodLoopLock(k int) {
+	c.mu.Lock()
+	for i := 0; i < k; i++ {
+		if c.n > 100 {
+			c.mu.Unlock()
+			return
+		}
+		c.n++
+	}
+	c.mu.Unlock()
 }
 
 // suppressedHandoff intentionally transfers the lock to the caller.

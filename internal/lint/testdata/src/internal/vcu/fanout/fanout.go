@@ -1,0 +1,94 @@
+// Package fanout is a waitbalance-analyzer fixture: WaitGroup balance
+// around goroutine spawns. The true positives need the CFG (Done on
+// every path of the spawned body, Add dominating the spawn) and the
+// call-graph summaries (Done facts of spawned helpers).
+package fanout
+
+import "sync"
+
+type job struct {
+	id  int
+	err error
+}
+
+// process stands in for per-chunk work.
+func process(j *job) { j.id++ }
+
+// goodFanOut is the canonical shape: Add before spawn, deferred Done
+// first in the body.
+func goodFanOut(jobs []*job) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			process(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+// badMissedDone returns before the deferred Done is registered.
+func badMissedDone(jobs []*job) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *job) { // want "not reached on every path"
+			if j.err != nil {
+				return
+			}
+			defer wg.Done()
+			process(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+// badAddInside counts the goroutine from inside itself: Wait can
+// return before Add runs.
+func badAddInside(jobs []*job) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		go func(j *job) { // want "no wg.Add"
+			wg.Add(1) // want "races wg.Wait"
+			defer wg.Done()
+			process(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+// worker is the done-on-every-path helper.
+func worker(wg *sync.WaitGroup, j *job) {
+	defer wg.Done()
+	process(j)
+}
+
+// leakyWorker skips Done when the job already failed.
+func leakyWorker(wg *sync.WaitGroup, j *job) {
+	if j.err != nil {
+		return
+	}
+	defer wg.Done()
+	process(j)
+}
+
+// goodHelper hands the WaitGroup to a helper that always Dones.
+func goodHelper(jobs []*job) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go worker(&wg, j)
+	}
+	wg.Wait()
+}
+
+// badHelperDone spawns a helper that misses Done on a path.
+func badHelperDone(jobs []*job) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go leakyWorker(&wg, j) // want "does not call Done"
+	}
+	wg.Wait()
+}

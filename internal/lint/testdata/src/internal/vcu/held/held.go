@@ -1,0 +1,72 @@
+// Package held is a heldblock-analyzer fixture: potentially-blocking
+// operations reachable while a mutex is held. The true positives need
+// the path-sensitive held-lock state — a purely syntactic pass cannot
+// tell a send under the lock from a send after the unlock.
+package held
+
+import "sync"
+
+type mailbox struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// badSendHeld sends with the mutex held (the defer releases only at
+// return, after the send).
+func (m *mailbox) badSendHeld(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n++
+	m.ch <- v // want "channel send while m.mu is held"
+}
+
+// badRecvOnPath receives with the lock held on one branch only.
+func (m *mailbox) badRecvOnPath(drain bool) {
+	m.mu.Lock()
+	if drain {
+		m.n = <-m.ch // want "channel receive while m.mu is held"
+	}
+	m.mu.Unlock()
+}
+
+// goodSendAfterUnlock releases before communicating.
+func (m *mailbox) goodSendAfterUnlock(v int) {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+	m.ch <- v
+}
+
+// goodSelectDefault cannot block: the default arm always runs.
+func (m *mailbox) goodSelectDefault(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case m.ch <- v:
+	default:
+		m.n++
+	}
+}
+
+// badWaitHeld parks on a WaitGroup while holding the mutex.
+func (m *mailbox) badWaitHeld(wg *sync.WaitGroup) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wg.Wait() // want "while m.mu is held"
+}
+
+// flush ranges over the channel: blocks until it is closed.
+func (m *mailbox) flush() {
+	for range m.ch {
+		m.n--
+	}
+}
+
+// badCallBlocks calls flush with the lock held; only the call-graph
+// summary of flush reveals the block.
+func (m *mailbox) badCallBlocks() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flush() // want "may block"
+}

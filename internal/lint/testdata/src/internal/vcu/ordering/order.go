@@ -1,0 +1,57 @@
+// Package ordering is a lockorder-analyzer fixture: Device.mu and
+// Queue.mu are acquired in both orders, once directly and once through
+// a resolved method call — the classic deadlock precondition. The
+// syntactic and dataflow layers cannot see this; it needs the CFG walk
+// plus the call-graph summary of reset.
+package ordering
+
+import "sync"
+
+// Device models one accelerator card.
+type Device struct {
+	mu   sync.Mutex
+	busy bool
+}
+
+// Queue models the per-device submission queue.
+type Queue struct {
+	mu    sync.Mutex
+	depth int
+}
+
+// Submit takes Device.mu then Queue.mu.
+func Submit(d *Device, q *Queue) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.busy = true
+	q.mu.Lock() // want "lock order inversion"
+	q.depth++
+	q.mu.Unlock()
+}
+
+// reset acquires Device.mu; Drain calls it under Queue.mu.
+func (d *Device) reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.busy = false
+}
+
+// Drain takes Queue.mu then calls reset, which takes Device.mu: the
+// opposite order from Submit.
+func Drain(d *Device, q *Queue) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.depth = 0
+	d.reset() // want "lock order inversion"
+}
+
+// Probe holds only one of the two locks at a time: consistent order,
+// no finding.
+func Probe(d *Device, q *Queue) bool {
+	d.mu.Lock()
+	busy := d.busy
+	d.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return busy && q.depth > 0
+}

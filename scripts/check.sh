@@ -5,10 +5,13 @@
 #   1. gofmt         formatting drift fails the gate
 #   2. go vet        toolchain static checks
 #   3. vculint       project-specific analyzers (internal/lint):
-#                    determinism, lockhygiene, hotalloc, errdrop, bigcopy
-#                    plus the dataflow rules scratchshare, sharedmut,
-#                    swarwidth, goleak; the JSON report is written to
-#                    lint_report.json either way
+#                    determinism, hotalloc, errdrop, bigcopy, the
+#                    dataflow rules scratchshare, sharedmut, swarwidth,
+#                    goleak, and the CFG/call-graph rules lockhygiene,
+#                    lockorder, waitbalance, heldblock; the JSON report
+#                    (with per-rule timing) is written to
+#                    lint_report.json either way, and the suite must
+#                    finish inside its wall-time budget
 #   4. go build      the whole module
 #   5. go test       the whole module
 #   6. go test -race the concurrent packages
@@ -44,14 +47,26 @@ check_fmt() {
 
 # check_lint captures the machine-readable report unconditionally so CI
 # can upload lint_report.json, and fails the gate on any non-suppressed
-# finding (vculint exits 1 when a rule fires).
+# finding (vculint exits 1 when a rule fires). The -timing envelope is
+# part of the report; the analysis itself must stay under the wall-time
+# budget so the suite never becomes the slow step of the gate.
+LINT_BUDGET_MS=15000
 check_lint() {
-    if go run ./cmd/vculint -json ./... >lint_report.json; then
-        return 0
+    if ! go run ./cmd/vculint -json -timing ./... >lint_report.json; then
+        echo "vculint findings (lint_report.json):" >&2
+        cat lint_report.json >&2
+        return 1
     fi
-    echo "vculint findings (lint_report.json):" >&2
-    cat lint_report.json >&2
-    return 1
+    local total_ms
+    total_ms=$(sed -n 's/.*"total_ms": *\([0-9.]*\).*/\1/p' lint_report.json | head -n1)
+    if [ -z "$total_ms" ]; then
+        echo "lint_report.json has no timing.total_ms field" >&2
+        return 1
+    fi
+    if awk -v t="$total_ms" -v b="$LINT_BUDGET_MS" 'BEGIN { exit !(t > b) }'; then
+        echo "vculint took ${total_ms}ms, over the ${LINT_BUDGET_MS}ms budget" >&2
+        return 1
+    fi
 }
 
 RACE_PKGS="./internal/sched ./internal/transcode ./internal/cluster ./internal/codec ./internal/video"
