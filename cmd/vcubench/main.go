@@ -1,8 +1,9 @@
 // Command vcubench runs the tracked encoder hot-path benchmarks and
 // writes BENCH_codec.json: pixel-kernel microbenchmarks, the whole-frame
 // 720p encode (the ISSUE 2 acceptance workload), quality guard values
-// (PSNR/bitrate at a fixed QP), and the BD-rate of the pyramid motion
-// search against the flat diamond baseline. The embedded baseline
+// (PSNR/bitrate at a fixed QP), the BD-rate of the pyramid motion
+// search against the flat diamond baseline, and the worker-scaling
+// curve of the parallel encode pipeline. The embedded baseline
 // section holds the numbers measured at the pre-optimization commit so
 // regressions and wins are visible without checking out old trees.
 //
@@ -36,7 +37,9 @@ var baseline = report{
 	SampleSharp16Ns:    9619,
 	SampleBilinear16Ns: 1103,
 	SampleCompound16Ns: 1363,
-	DiamondSearch16Ns:  13495,
+	// The baseline commit predates the pyramid search: its single
+	// motion-search benchmark was the flat diamond.
+	FlatSearch16Ns: 13495,
 }
 
 type report struct {
@@ -49,20 +52,41 @@ type report struct {
 	SampleSharp16Ns    float64 `json:"sample_sharp16_ns_per_op"`
 	SampleBilinear16Ns float64 `json:"sample_bilinear16_ns_per_op"`
 	SampleCompound16Ns float64 `json:"sample_compound16_ns_per_op"`
-	DiamondSearch16Ns  float64 `json:"diamond_search16_ns_per_op"`
-	PyramidSearch16Ns  float64 `json:"pyramid_search16_ns_per_op,omitempty"`
-	KernelAllocs       int64   `json:"kernel_allocs_per_op"`
-	GuardPSNR          float64 `json:"guard_psnr_db,omitempty"`
-	GuardBits          int     `json:"guard_bits,omitempty"`
-	BDRatePyramidPct   float64 `json:"bd_rate_pyramid_vs_flat_pct,omitempty"`
+	// The two motion-search benchmarks measure the same 16×16 search
+	// through the two seeding modes (the old diamond_search16_ns_per_op
+	// name conflated them): flat starts the diamond from the spatial
+	// predictors only; pyramid seeds it from the coarse-level hit.
+	FlatSearch16Ns    float64 `json:"motion_search16_flat_ns_per_op"`
+	PyramidSearch16Ns float64 `json:"motion_search16_pyramid_ns_per_op,omitempty"`
+	KernelAllocs      int64   `json:"kernel_allocs_per_op"`
+	GuardPSNR         float64 `json:"guard_psnr_db,omitempty"`
+	GuardBits         int     `json:"guard_bits,omitempty"`
+	BDRatePyramidPct  float64 `json:"bd_rate_pyramid_vs_flat_pct,omitempty"`
+}
+
+// scalingPoint is one rung of the worker-scaling curve: the tracked
+// 720p workload at 8 tile columns with the persistent pool sized to
+// Workers. Efficiency is speedup/workers — 1.0 would be perfect linear
+// scaling; on a single-core runner the whole curve is honestly flat.
+type scalingPoint struct {
+	Workers    int     `json:"workers"`
+	MpixS      float64 `json:"mpix_per_s"`
+	Speedup    float64 `json:"speedup_vs_1worker"`
+	Efficiency float64 `json:"parallel_efficiency"`
 }
 
 type output struct {
-	Schema   int    `json:"schema"`
-	CPU      string `json:"cpu"`
-	NumCPU   int    `json:"num_cpu"`
-	Baseline report `json:"baseline"`
-	Current  report `json:"current"`
+	Schema int    `json:"schema"`
+	CPU    string `json:"cpu"`
+	NumCPU int    `json:"num_cpu"`
+	// GOMAXPROCS and Workers record the parallelism the numbers were
+	// measured under: the scheduler cap and the encoder pool size of
+	// the headline 720p run (0 in the config means GOMAXPROCS).
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workers    int            `json:"workers"`
+	Baseline   report         `json:"baseline"`
+	Current    report         `json:"current"`
+	Scaling    []scalingPoint `json:"scaling,omitempty"`
 }
 
 func main() {
@@ -76,10 +100,15 @@ func main() {
 	runGuards(&cur, *quick)
 
 	doc := output{
-		Schema: 1,
+		Schema: 2,
 		CPU:    runtime.GOARCH, NumCPU: runtime.NumCPU(),
-		Baseline: baseline,
-		Current:  cur,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    runtime.GOMAXPROCS(0), // headline run uses Workers=0 → GOMAXPROCS
+		Baseline:   baseline,
+		Current:    cur,
+	}
+	if !*quick {
+		doc.Scaling = runScaling()
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -95,7 +124,46 @@ func main() {
 		baseline.Encode720pMpixS, cur.Encode720pAllocs)
 	if !*quick {
 		fmt.Printf("BD-rate pyramid vs flat: %+.2f%%\n", cur.BDRatePyramidPct)
+		for _, pt := range doc.Scaling {
+			fmt.Printf("scaling w=%d: %.4f Mpix/s, speedup %.2fx, efficiency %.2f\n",
+				pt.Workers, pt.MpixS, pt.Speedup, pt.Efficiency)
+		}
 	}
+}
+
+// runScaling encodes the headline 720p workload at 8 tile columns with
+// the pool sized 1/2/4/8 and records throughput, speedup over the
+// 1-worker run, and parallel efficiency (speedup/workers). Workers=1
+// takes the inline no-pool path, so the curve also exposes any pool
+// dispatch overhead.
+func runScaling() []scalingPoint {
+	frames := video.NewSource(video.SourceConfig{
+		Width: 1280, Height: 720, Seed: 7, Detail: 0.5, Motion: 1.5,
+		ObjectMotion: 2, Objects: 2}).Frames(3)
+	pixPerOp := float64(len(frames)) * 1280 * 720
+	pts := make([]scalingPoint, 0, 4)
+	var base float64
+	for _, w := range []int{1, 2, 4, 8} {
+		cfg := codec.Config{Profile: codec.VP9Class, Width: 1280, Height: 720,
+			TileColumns: 8, Workers: w, RC: rc.Config{BaseQP: 32}}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.EncodeSequence(cfg, frames); err != nil {
+					fatal(err)
+				}
+			}
+		})
+		mpixS := pixPerOp / (float64(r.NsPerOp()) / 1e9) / 1e6
+		if w == 1 {
+			base = mpixS
+		}
+		speedup := mpixS / base
+		pts = append(pts, scalingPoint{
+			Workers: w, MpixS: mpixS,
+			Speedup: speedup, Efficiency: speedup / float64(w),
+		})
+	}
+	return pts
 }
 
 // runKernels measures the pixel kernels on a 640×360 plane, the same
@@ -132,7 +200,7 @@ func runKernels(cur *report) {
 		}
 	})
 	p := motion.SearchParams{RangeX: 16, RangeY: 16, SubPelDepth: 2, LambdaMVCost: 2}
-	cur.DiamondSearch16Ns = nsPerOp(func(b *testing.B) {
+	cur.FlatSearch16Ns = nsPerOp(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			motion.Search(curPix[100*w+100:], w, ref, 100, 100, motion.Zero, 16, p, sc)
 		}

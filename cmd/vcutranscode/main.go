@@ -31,6 +31,7 @@ func main() {
 	bpp := flag.Float64("bpp", 0.08, "target bits per pixel")
 	hardware := flag.Bool("hardware", false, "apply VCU pipeline restrictions")
 	tiles := flag.Int("tiles", 1, "tile columns (1, 2, 4, 8): parallel encode")
+	workers := flag.Int("workers", 0, "encoder worker-pool size (0 = all cores, 1 = inline)")
 	outDir := flag.String("o", ".", "output directory for .ovcu files")
 	verify := flag.Bool("verify", true, "decode outputs and report PSNR")
 	flag.Parse()
@@ -96,6 +97,7 @@ func main() {
 	// Build the output ladder: full ladder for MOT, top rung for SOT.
 	specs := []transcode.OutputSpec{{
 		Name: inRes.Name, Resolution: inRes, Profile: prof, Hardware: *hardware, TileColumns: *tiles,
+		Workers: *workers,
 		RC: rc.Config{Mode: rc.ModeTwoPassOffline,
 			TargetBitrate: int(*bpp * float64(inRes.Pixels()) * float64(fps))},
 	}}
@@ -104,6 +106,7 @@ func main() {
 		if half.Width >= 32 && half.Height >= 32 {
 			specs = append(specs, transcode.OutputSpec{
 				Name: half.Name, Resolution: half, Profile: prof, Hardware: *hardware,
+				Workers: *workers,
 				RC: rc.Config{Mode: rc.ModeTwoPassOffline,
 					TargetBitrate: int(*bpp * float64(half.Pixels()) * float64(fps))},
 			})

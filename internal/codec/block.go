@@ -87,6 +87,25 @@ func newFrameShared(profile Profile, pw, ph, dispW, dispH, qp int, keyframe bool
 	return fs
 }
 
+// resetForFrame re-points the per-frame fields and clears the context
+// grids, reusing the grid and scratch allocations. Dimension-derived
+// fields (pw, ph, vw, vh, gw, gh) are invariant for the life of an
+// encoder and stay untouched.
+func (fs *frameShared) resetForFrame(qp int, keyframe bool, refs [numRefSlots]*video.Frame,
+	refValid [numRefSlots]bool, recon *video.Frame, model *entropy.Model, tileX0, tileX1 int) {
+	fs.qp, fs.keyframe = qp, keyframe
+	fs.refs, fs.refValid = refs, refValid
+	fs.recon = recon
+	fs.model = model
+	fs.tileX0, fs.tileX1 = tileX0, tileX1
+	for i := range fs.mvGrid {
+		fs.mvGrid[i] = motion.MV{}
+	}
+	for i := range fs.refGrid {
+		fs.refGrid[i] = -1
+	}
+}
+
 // blockKind classifies a block against the coded-region boundary. Both
 // encoder and decoder derive it from the frame header, so none of it is
 // signaled:
@@ -293,29 +312,16 @@ func applyTxBlock(scanned []int32, n, qp int, pred []uint8, predStride, predOff 
 	}
 }
 
-// sse accumulates squared error between a source region and a block.
+// sseRegion accumulates squared error between a source region and a
+// block through the SWAR SSE kernel (motion.PlanarSSE, differential-
+// tested against its scalar reference) — this is the RDO distortion
+// accumulation on the evalChoice hot path.
 func sseRegion(src []uint8, stride, x, y int, blk []uint8, n int) int64 {
-	var sum int64
-	for r := 0; r < n; r++ {
-		srow := src[(y+r)*stride+x:]
-		brow := blk[r*n:]
-		for c := 0; c < n; c++ {
-			d := int64(srow[c]) - int64(brow[c])
-			sum += d * d
-		}
-	}
-	return sum
+	return motion.PlanarSSE(src[y*stride+x:], stride, blk, n, n)
 }
 
 // ssePlanes accumulates squared error between two plane regions.
 func ssePlanes(a []uint8, b []uint8, stride, x, y, n int) int64 {
-	var sum int64
-	for r := 0; r < n; r++ {
-		off := (y+r)*stride + x
-		for c := 0; c < n; c++ {
-			d := int64(a[off+c]) - int64(b[off+c])
-			sum += d * d
-		}
-	}
-	return sum
+	off := y*stride + x
+	return motion.PlanarSSE(a[off:], stride, b[off:], stride, n)
 }

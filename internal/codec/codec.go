@@ -23,6 +23,7 @@ package codec
 
 import (
 	"fmt"
+	"runtime"
 
 	"openvcu/internal/codec/rc"
 	"openvcu/internal/video"
@@ -161,6 +162,13 @@ type Config struct {
 	// search), 1 = default, 2 = realtime. Default 1.
 	Speed int
 
+	// Workers sizes the encoder's persistent worker pool: tile columns,
+	// in-loop filter stripes and the restoration search run on it. The
+	// bitstream is byte-identical for every Workers value — parallelism
+	// only changes wall clock. 0 defaults to GOMAXPROCS; 1 encodes
+	// inline with no pool goroutines (the low-latency mode).
+	Workers int
+
 	// Hardware applies VCU pipeline restrictions: no trellis-style
 	// coefficient optimization and a tighter bounded partition search.
 	Hardware bool
@@ -211,6 +219,15 @@ func (c *Config) withDefaults() (Config, error) {
 	case 1, 2, 4, 8:
 	default:
 		return cfg, fmt.Errorf("codec: tile columns must be 1, 2, 4 or 8 (got %d)", cfg.TileColumns)
+	}
+	if cfg.Workers < 0 {
+		return cfg, fmt.Errorf("codec: workers must be >= 0 (got %d)", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > 64 {
+		cfg.Workers = 64
 	}
 	if cfg.RC.Mode == rc.ModeConstQP && cfg.RC.BaseQP == 0 {
 		cfg.RC.BaseQP = 32

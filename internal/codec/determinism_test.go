@@ -50,6 +50,82 @@ func TestEncodeDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestEncodeDeterministicAcrossWorkers: the Workers knob sizes the
+// persistent pool and must never change the bitstream — parallelism only
+// changes wall clock. Sweeps Workers × TileColumns for the VP9-class
+// profile and the AV1-class profile (whose restoration search runs on
+// the pool too).
+func TestEncodeDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		profile Profile
+		w, h    int
+		tiles   []int
+	}{
+		{VP9Class, 256, 96, []int{1, 2, 4}},
+		{AV1Class, 256, 128, []int{1, 2}},
+	}
+	for _, c := range cases {
+		frames := video.NewSource(video.SourceConfig{
+			Width: c.w, Height: c.h, Seed: 11, Detail: 0.6, Motion: 1.5,
+			ObjectMotion: 3, Objects: 2}).Frames(4)
+		for _, tiles := range c.tiles {
+			var ref [][]byte
+			for _, workers := range []int{1, 2, 4, 8} {
+				cfg := Config{Profile: c.profile, Width: c.w, Height: c.h,
+					TileColumns: tiles, Workers: workers, RC: rc.Config{BaseQP: 32}}
+				res, err := EncodeSequence(cfg, frames)
+				if err != nil {
+					t.Fatalf("%v tiles=%d workers=%d: %v", c.profile, tiles, workers, err)
+				}
+				var pkts [][]byte
+				for _, p := range res.Packets {
+					pkts = append(pkts, p.Data)
+				}
+				if ref == nil {
+					ref = pkts
+					continue
+				}
+				if len(pkts) != len(ref) {
+					t.Fatalf("%v tiles=%d workers=%d: packet count %d vs %d",
+						c.profile, tiles, workers, len(pkts), len(ref))
+				}
+				for i := range pkts {
+					if !bytes.Equal(pkts[i], ref[i]) {
+						t.Fatalf("%v tiles=%d workers=%d: packet %d differs from workers=1",
+							c.profile, tiles, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEncoderCloseLifecycle pins the pool lifecycle: Close joins the
+// workers, is idempotent, and is a no-op on a pool-less encoder. Runs
+// an encode in between so the join happens with a warmed pool.
+func TestEncoderCloseLifecycle(t *testing.T) {
+	frames := video.NewSource(video.SourceConfig{
+		Width: 128, Height: 64, Seed: 3, Detail: 0.5, Motion: 1}).Frames(2)
+	for _, workers := range []int{1, 4} {
+		enc, err := NewEncoder(Config{Profile: VP9Class, Width: 128, Height: 64,
+			TileColumns: 2, Workers: workers, RC: rc.Config{BaseQP: 32}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frames {
+			if _, err := enc.Encode(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := enc.Close(); err != nil {
+			t.Fatalf("workers=%d: Close: %v", workers, err)
+		}
+		if err := enc.Close(); err != nil {
+			t.Fatalf("workers=%d: second Close: %v", workers, err)
+		}
+	}
+}
+
 // TestPyramidQualityParity: the pyramid-seeded search must not degrade
 // compression on a moving clip — bits and PSNR stay close to the flat
 // diamond baseline at the same QP. (The tracked BD-rate guard over an

@@ -35,6 +35,11 @@ type encFrame struct {
 	residBuf []int32
 	savedBuf []int32
 	zeroBuf  []int32
+
+	// ownModel is the worker-owned entropy model, Reset and reused
+	// whenever a frame does not continue a carried model — the pool's
+	// scratch-reuse contract (allocs/op stays flat across frames).
+	ownModel *entropy.Model
 }
 
 // newEncFrame builds the coder for one tile of one frame. recon is shared
@@ -43,21 +48,22 @@ type encFrame struct {
 // carried is the cross-frame entropy model, nil for fresh contexts.
 func newEncFrame(e *Encoder, src *video.Frame, srcPyr *motion.Pyramid, recon *video.Frame,
 	qp int, keyframe bool, tileX0, tileX1 int, carried *entropy.Model) *encFrame {
-	refs := e.refs
-	valid := e.refValid
-	if keyframe {
-		valid = [numRefSlots]bool{}
-	}
-	fs := newFrameShared(e.cfg.Profile, e.pw, e.ph, e.cfg.Width, e.cfg.Height, qp, keyframe, refs, valid, recon, carried)
-	fs.tileX0, fs.tileX1 = tileX0, tileX1
+	fc := allocEncFrame(e)
+	fc.reset(src, srcPyr, recon, qp, keyframe, tileX0, tileX1, carried)
+	return fc
+}
+
+// allocEncFrame performs the one-time allocations of a reusable frame
+// coder: scratch buffers, bitstream encoder, context grids and the
+// worker-owned entropy model. Per-frame state is installed by reset.
+func allocEncFrame(e *Encoder) *encFrame {
 	fc := &encFrame{
-		frameShared: fs,
-		enc:         e,
-		src:         src,
-		w:           bits.NewEncoder(),
-		lambda:      e.rc.Lambda(qp),
-		refPyr:      e.refPyr,
+		enc: e,
+		w:   bits.NewEncoder(),
 	}
+	fc.ownModel = entropy.NewModel(e.cfg.Profile.Adaptive())
+	fc.frameShared = newFrameShared(e.cfg.Profile, e.pw, e.ph, e.cfg.Width, e.cfg.Height,
+		0, false, e.refs, e.refValid, nil, fc.ownModel)
 	sb := e.cfg.Profile.SuperblockSize()
 	tx := e.cfg.Profile.MaxTransform()
 	fc.predBuf = make([]uint8, sb*sb)
@@ -68,9 +74,44 @@ func newEncFrame(e *Encoder, src *video.Frame, srcPyr *motion.Pyramid, recon *vi
 	fc.residBuf = make([]int32, tx*tx)
 	fc.savedBuf = make([]int32, tx*tx)
 	fc.zeroBuf = make([]int32, tx*tx)
+	return fc
+}
+
+// reset points the coder at one tile of one frame, reusing every
+// allocation from allocEncFrame. Bit-exactness across reuse: all
+// per-frame state is either overwritten here (model, grids, bitstream,
+// search params) or stateless by contract (motion scratch, neighbor
+// buffer, trial buffers fully rewritten before each read).
+func (fc *encFrame) reset(src *video.Frame, srcPyr *motion.Pyramid, recon *video.Frame,
+	qp int, keyframe bool, tileX0, tileX1 int, carried *entropy.Model) {
+	e := fc.enc
+	valid := e.refValid
+	if keyframe {
+		valid = [numRefSlots]bool{}
+	}
+	model := carried
+	if model == nil || keyframe || !e.cfg.Profile.Adaptive() {
+		fc.ownModel.Reset(e.cfg.Profile.Adaptive())
+		model = fc.ownModel
+	}
+	fc.frameShared.resetForFrame(qp, keyframe, e.refs, valid, recon, model, tileX0, tileX1)
+	fc.src = src
+	fc.w.Reset()
+	fc.lambda = e.rc.Lambda(qp)
+	fc.refPyr = e.refPyr
 	fc.sp = fc.searchParams()
 	fc.sp.CurPyr = srcPyr
-	return fc
+}
+
+// frameCoder returns ws's reusable frame coder, allocating it on the
+// worker's first tile job and resetting it for this frame/tile.
+func (e *Encoder) frameCoder(ws *encScratch, src *video.Frame, srcPyr *motion.Pyramid,
+	recon *video.Frame, qp int, keyframe bool, tileX0, tileX1 int, carried *entropy.Model) *encFrame {
+	if ws.fc == nil {
+		ws.fc = allocEncFrame(e)
+	}
+	ws.fc.reset(src, srcPyr, recon, qp, keyframe, tileX0, tileX1, carried)
+	return ws.fc
 }
 
 func (fc *encFrame) searchParams() motion.SearchParams {

@@ -2,7 +2,6 @@ package codec
 
 import (
 	"fmt"
-	"sync"
 
 	"openvcu/internal/codec/entropy"
 	"openvcu/internal/codec/filter"
@@ -45,6 +44,13 @@ type Encoder struct {
 	// frames can afford coarser quantization (pyramid bit allocation).
 	groupQPBias int
 
+	// pool is the persistent tile/filter worker pool (nil when
+	// Workers == 1: inline, no goroutines). seqScratch is the
+	// caller-goroutine frame-coder scratch used by the single-tile path
+	// and the pool-less multi-tile path.
+	pool       *tilePool
+	seqScratch *encScratch
+
 	// EncodedPixels accumulates source luma pixels encoded, for
 	// throughput accounting.
 	EncodedPixels int64
@@ -64,12 +70,28 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 		return nil, err
 	}
 	sb := c.Profile.SuperblockSize()
-	return &Encoder{
-		cfg: c,
-		pw:  padDim(c.Width, sb),
-		ph:  padDim(c.Height, sb),
-		rc:  rc.NewController(c.RC),
-	}, nil
+	e := &Encoder{
+		cfg:        c,
+		pw:         padDim(c.Width, sb),
+		ph:         padDim(c.Height, sb),
+		rc:         rc.NewController(c.RC),
+		seqScratch: &encScratch{},
+	}
+	if c.Workers > 1 {
+		e.pool = newTilePool(c.Workers)
+	}
+	return e, nil
+}
+
+// Close joins the persistent worker pool. The Encoder must not encode
+// after Close; calling Close on a pool-less encoder (Workers == 1) or a
+// second time is a no-op.
+func (e *Encoder) Close() error {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+	return nil
 }
 
 // Config returns the encoder's effective (defaulted) configuration.
@@ -228,40 +250,67 @@ func (e *Encoder) encodeOne(f *video.Frame, displayIdx int, keyframe, show, altr
 	}
 	tileData := make([][]byte, tiles)
 	var carriedOut *entropy.Model
-	if tiles == 1 {
-		fc := newEncFrame(e, src, srcPyr, recon, qp, keyframe, 0, e.pw, e.model)
+	switch {
+	case tiles == 1:
+		// Single tile: encode inline on the caller's scratch and carry
+		// the adaptive entropy model to the next frame. The bitstream
+		// bytes alias the scratch's range coder; assembleEnvelope copies
+		// them before the scratch is reused.
+		fc := e.frameCoder(e.seqScratch, src, srcPyr, recon, qp, keyframe, 0, e.pw, e.model)
 		fc.encodeBlocks()
 		tileData[0] = fc.w.Bytes()
 		carriedOut = fc.model
-	} else {
+	case e.pool != nil:
 		// Tiles are independent: fresh entropy contexts each, prediction
 		// clipped at tile edges, disjoint recon columns — safe to encode
-		// concurrently.
-		var wg sync.WaitGroup
+		// concurrently on the persistent pool. Tile bytes are copied out
+		// of the worker scratch before the job completes, because the
+		// scratch's range-coder buffer is reused by the next job.
+		fns := make([]func(ws *encScratch), tiles)
 		for t := 0; t < tiles; t++ {
-			t := t
 			x0 := t * numSBCols / tiles * sb
 			x1 := (t + 1) * numSBCols / tiles * sb
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				fc := newEncFrame(e, src, srcPyr, recon, qp, keyframe, x0, x1, nil)
+			fns[t] = func(ws *encScratch) {
+				fc := e.frameCoder(ws, src, srcPyr, recon, qp, keyframe, x0, x1, nil)
 				fc.encodeBlocks()
-				tileData[t] = fc.w.Bytes()
-			}()
+				tileData[t] = append([]byte(nil), fc.w.Bytes()...)
+			}
 		}
-		wg.Wait()
+		e.pool.run(fns)
+	default:
+		// Workers == 1 with multiple tiles: same tile partitioning (the
+		// bitstream is identical), sequentially on the caller's scratch.
+		for t := 0; t < tiles; t++ {
+			x0 := t * numSBCols / tiles * sb
+			x1 := (t + 1) * numSBCols / tiles * sb
+			fc := e.frameCoder(e.seqScratch, src, srcPyr, recon, qp, keyframe, x0, x1, nil)
+			fc.encodeBlocks()
+			tileData[t] = append([]byte(nil), fc.w.Bytes()...)
+		}
 	}
 	e.model = carriedOut
 
-	filter.Deblock(recon, e.cfg.Profile.MinPartition(), hdr.deblock)
 	restByte := -1
-	if e.cfg.Profile.Restoration() {
-		// Loop restoration (AV1-class): pick the SSE-minimizing blend
-		// against the source and signal it after the tile data.
-		w := filter.BestRestorationWeight(recon, src)
-		filter.Restore(recon, w)
-		restByte = w
+	if e.pool != nil {
+		// In-loop filters ride the same pool: deblock stripes, then the
+		// restoration SSE scan and blend. Bit-exact with the sequential
+		// path below (pinned by the filter package's differential tests).
+		run := e.runner()
+		filter.DeblockParallel(recon, e.cfg.Profile.MinPartition(), hdr.deblock, run)
+		if e.cfg.Profile.Restoration() {
+			w := filter.BestRestorationWeightParallel(recon, src, run)
+			filter.RestoreParallel(recon, w, run)
+			restByte = w
+		}
+	} else {
+		filter.Deblock(recon, e.cfg.Profile.MinPartition(), hdr.deblock)
+		if e.cfg.Profile.Restoration() {
+			// Loop restoration (AV1-class): pick the SSE-minimizing blend
+			// against the source and signal it after the tile data.
+			w := filter.BestRestorationWeight(recon, src)
+			filter.Restore(recon, w)
+			restByte = w
+		}
 	}
 	data := assembleEnvelope(hdrBytes, tileData, restByte)
 	// Cache the reconstruction's search pyramid alongside the reference:
@@ -391,11 +440,16 @@ type SequenceResult struct {
 // the rate-control mode needs it, encodes all frames, and flushes.
 //
 //lint:ignore bigcopy Config is copied once per sequence at setup, never per frame; keeping it by value preserves the public API
-func EncodeSequence(cfg Config, frames []*video.Frame) (*SequenceResult, error) {
+func EncodeSequence(cfg Config, frames []*video.Frame) (res *SequenceResult, err error) {
 	enc, err := NewEncoder(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if cerr := enc.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if cfg.RC.Mode.TwoPass() {
 		stats := FirstPassAnalyze(frames)
 		enc.RateController().SetFirstPassStats(stats)
@@ -407,7 +461,7 @@ func EncodeSequence(cfg Config, frames []*video.Frame) (*SequenceResult, error) 
 		}
 		enc.SetSceneCuts(cuts)
 	}
-	res := &SequenceResult{}
+	res = &SequenceResult{}
 	collect := func(pkts []Packet) {
 		for _, p := range pkts {
 			res.Packets = append(res.Packets, p)

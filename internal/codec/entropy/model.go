@@ -46,6 +46,15 @@ type Model struct {
 // the contexts at their initial values (the H.264-class behavior).
 func NewModel(adaptive bool) *Model {
 	m := &Model{}
+	m.Reset(adaptive)
+	return m
+}
+
+// Reset restores m to the default-initialized state — identical to a
+// fresh NewModel(adaptive) but without allocating, so the encoder's
+// persistent tile workers can reuse one Model across frames.
+func (m *Model) Reset(adaptive bool) {
+	*m = Model{}
 	rate := uint8(5)
 	if !adaptive {
 		rate = 0
@@ -77,7 +86,6 @@ func NewModel(adaptive bool) *Model {
 			}
 		}
 	}
-	return m
 }
 
 // band maps a scan position to a coefficient band.

@@ -14,7 +14,64 @@ import (
 // place. blockSize is the transform grid (edges every blockSize pixels);
 // strength grows with QP — heavier quantization leaves larger
 // discontinuities to hide.
+//
+// The work decomposes into two passes with a barrier between them: all
+// vertical edges first (writes confined to each pixel's own row), then
+// all horizontal edges (each edge writes only the two rows straddling
+// it). The range-split helpers below expose that structure so the
+// encoder's worker pool can stripe the passes; this sequential entry is
+// bit-identical to any parallel schedule, and to DeblockPlaneScalar.
 func DeblockPlane(pix []uint8, w, h, blockSize, strength int) {
+	if strength <= 0 {
+		return
+	}
+	thresh := int32(2 + strength)
+	deblockVertRange(pix, w, h, blockSize, thresh, 0, h)
+	for y := blockSize; y < h; y += blockSize {
+		deblockHorizEdge(pix, w, h, thresh, y)
+	}
+}
+
+// deblockVertRange filters every vertical block edge for rows [y0, y1).
+// A vertical edge at column x writes columns x-1 and x of each row and
+// reads x-2..x+1 of the same row only, so disjoint row ranges touch
+// disjoint memory: any stripe decomposition is bit-exact.
+func deblockVertRange(pix []uint8, w, h, blockSize int, thresh int32, y0, y1 int) {
+	for x := blockSize; x < w; x += blockSize {
+		nx := x + minInt(1, w-1-x)
+		for y := y0; y < y1; y++ {
+			row := y * w
+			p1 := int32(pix[row+x-2])
+			p0 := int32(pix[row+x-1])
+			q0 := int32(pix[row+x])
+			q1 := int32(pix[row+nx])
+			filterEdge(&p1, &p0, &q0, &q1, thresh)
+			pix[row+x-1] = uint8(p0)
+			pix[row+x] = uint8(q0)
+		}
+	}
+}
+
+// deblockHorizEdge filters the horizontal block edge at row y. It
+// writes rows y-1 and y and reads rows y-2..y+1; edges are blockSize
+// (≥ 4) rows apart, so distinct edges never overlap and parallel edge
+// scheduling is bit-exact. The row filter itself is the SWAR kernel.
+func deblockHorizEdge(pix []uint8, w, h int, thresh int32, y int) {
+	ny := y + 1
+	if ny >= h {
+		ny = h - 1
+	}
+	deblockHorizRow(
+		pix[(y-2)*w:(y-2)*w+w],
+		pix[(y-1)*w:(y-1)*w+w],
+		pix[y*w:y*w+w],
+		pix[ny*w:ny*w+w],
+		w, thresh)
+}
+
+// DeblockPlaneScalar is the original per-pixel loop filter, retained as
+// the differential-test reference for the SWAR/range-split DeblockPlane.
+func DeblockPlaneScalar(pix []uint8, w, h, blockSize, strength int) {
 	if strength <= 0 {
 		return
 	}
@@ -197,31 +254,7 @@ func restorePlane(pix []uint8, w, h int, weight int32) {
 // boxSmooth returns the 3x3 box filter of the plane (edge-clamped).
 func boxSmooth(pix []uint8, w, h int) []uint8 {
 	out := make([]uint8, len(pix))
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			var sum int32
-			for dy := -1; dy <= 1; dy++ {
-				sy := y + dy
-				if sy < 0 {
-					sy = 0
-				}
-				if sy >= h {
-					sy = h - 1
-				}
-				for dx := -1; dx <= 1; dx++ {
-					sx := x + dx
-					if sx < 0 {
-						sx = 0
-					}
-					if sx >= w {
-						sx = w - 1
-					}
-					sum += int32(pix[sy*w+sx])
-				}
-			}
-			out[y*w+x] = uint8((sum + 4) / 9)
-		}
-	}
+	boxSmoothRange(out, pix, w, h, 0, h)
 	return out
 }
 

@@ -1,0 +1,223 @@
+package filter
+
+// Parallel entry points for the in-loop filters. The filter package
+// cannot import the encoder's worker pool (the codec package imports
+// filter), so parallelism is inverted: callers hand a Runner that
+// executes a batch of independent tasks and returns when all are done.
+// Each Runner call is a barrier — the pass structure (vertical edges,
+// then horizontal; smooth, then blend) encodes the true dependencies,
+// and every task batch is made of memory-disjoint stripes, so any
+// runner (inline, worker pool) produces bit-identical planes.
+
+import "openvcu/internal/video"
+
+// Runner executes a batch of independent tasks, returning when all have
+// completed. Tasks within one batch must be safe to run concurrently;
+// successive batches are ordered (each call is a barrier).
+type Runner func(tasks []func())
+
+// RunInline is the sequential Runner: the low-latency path and the
+// reference schedule for parallel-vs-inline differential tests.
+func RunInline(tasks []func()) {
+	for _, t := range tasks {
+		t()
+	}
+}
+
+// deblockStripeRows is the row granularity of the striped passes — one
+// luma superblock row per task keeps tasks coarse enough that pool
+// handoff is noise.
+const deblockStripeRows = 64
+
+type planeJob struct {
+	pix  []uint8
+	w, h int
+	bs   int
+}
+
+func deblockPlanes(f *video.Frame, blockSize int) [3]planeJob {
+	cw, ch := video.ChromaDims(f.Width, f.Height)
+	cb := maxInt(blockSize/2, 4)
+	return [3]planeJob{
+		{f.Y, f.Width, f.Height, blockSize},
+		{f.U, cw, ch, cb},
+		{f.V, cw, ch, cb},
+	}
+}
+
+// vertTasks stripes the vertical-edge pass of one plane by rows.
+func vertTasks(p planeJob, thresh int32) []func() {
+	tasks := make([]func(), 0, (p.h+deblockStripeRows-1)/deblockStripeRows)
+	for y0 := 0; y0 < p.h; y0 += deblockStripeRows {
+		y0 := y0
+		y1 := minInt(y0+deblockStripeRows, p.h)
+		tasks = append(tasks, func() {
+			deblockVertRange(p.pix, p.w, p.h, p.bs, thresh, y0, y1)
+		})
+	}
+	return tasks
+}
+
+// horizTasks batches the horizontal edges of one plane into stripe
+// tasks. Edges in different batches are still independent; batching
+// only bounds the task count.
+func horizTasks(p planeJob, thresh int32) []func() {
+	tasks := make([]func(), 0, (p.h+deblockStripeRows-1)/deblockStripeRows)
+	for s0 := 0; s0 < p.h; s0 += deblockStripeRows {
+		s1 := minInt(s0+deblockStripeRows, p.h)
+		first := ((s0 + p.bs - 1) / p.bs) * p.bs
+		if first == 0 {
+			first = p.bs
+		}
+		if first >= s1 {
+			continue
+		}
+		tasks = append(tasks, func() {
+			for y := first; y < s1; y += p.bs {
+				deblockHorizEdge(p.pix, p.w, p.h, thresh, y)
+			}
+		})
+	}
+	return tasks
+}
+
+// DeblockParallel applies the loop filter to all three planes with the
+// two passes striped across run. Bit-identical to Deblock under any
+// runner: the vertical pass writes only each stripe's own rows, the
+// horizontal pass writes only the two rows at each edge (edges ≥ 4 rows
+// apart), and the run barrier orders the passes.
+func DeblockParallel(f *video.Frame, blockSize, strength int, run Runner) {
+	if strength <= 0 {
+		return
+	}
+	thresh := int32(2 + strength)
+	planes := deblockPlanes(f, blockSize)
+	var vert, horiz []func()
+	for _, p := range planes {
+		vert = append(vert, vertTasks(p, thresh)...)
+		horiz = append(horiz, horizTasks(p, thresh)...)
+	}
+	run(vert)
+	run(horiz)
+}
+
+// boxSmoothRange writes the 3x3 box filter of rows [y0, y1) of pix into
+// the same rows of dst (edge-clamped reads may touch rows y0-1/y1, but
+// all writes stay inside the stripe, so stripes parallelize).
+func boxSmoothRange(dst, pix []uint8, w, h, y0, y1 int) {
+	for y := y0; y < y1; y++ {
+		for x := 0; x < w; x++ {
+			var sum int32
+			for dy := -1; dy <= 1; dy++ {
+				sy := y + dy
+				if sy < 0 {
+					sy = 0
+				}
+				if sy >= h {
+					sy = h - 1
+				}
+				for dx := -1; dx <= 1; dx++ {
+					sx := x + dx
+					if sx < 0 {
+						sx = 0
+					}
+					if sx >= w {
+						sx = w - 1
+					}
+					sum += int32(pix[sy*w+sx])
+				}
+			}
+			dst[y*w+x] = uint8((sum + 4) / 9)
+		}
+	}
+}
+
+// smoothTasks stripes a box smooth of pix into dst.
+func smoothTasks(dst, pix []uint8, w, h int) []func() {
+	tasks := make([]func(), 0, (h+deblockStripeRows-1)/deblockStripeRows)
+	for y0 := 0; y0 < h; y0 += deblockStripeRows {
+		y0 := y0
+		y1 := minInt(y0+deblockStripeRows, h)
+		tasks = append(tasks, func() { boxSmoothRange(dst, pix, w, h, y0, y1) })
+	}
+	return tasks
+}
+
+// blendTasks stripes the restoration blend of one plane:
+// pix = ((8-w)*pix + w*smooth) / 8, rows [y0, y1) per task.
+func blendTasks(p planeJob, smooth []uint8, w int32) []func() {
+	tasks := make([]func(), 0, (p.h+deblockStripeRows-1)/deblockStripeRows)
+	for y0 := 0; y0 < p.h; y0 += deblockStripeRows {
+		y0 := y0
+		y1 := minInt(y0+deblockStripeRows, p.h)
+		tasks = append(tasks, func() {
+			for i := y0 * p.w; i < y1*p.w; i++ {
+				p.pix[i] = uint8((int32(p.pix[i])*(8-w) + int32(smooth[i])*w + 4) >> 3)
+			}
+		})
+	}
+	return tasks
+}
+
+// RestoreParallel is Restore with the smooth and blend passes striped
+// across run; bit-identical to Restore under any runner.
+func RestoreParallel(f *video.Frame, weightIdx int, run Runner) {
+	w := RestorationWeights[weightIdx&3]
+	if w == 0 {
+		return
+	}
+	smooth := make([]uint8, len(f.Y)) // luma is the largest plane
+	for _, p := range deblockPlanes(f, 0) {
+		run(smoothTasks(smooth, p.pix, p.w, p.h))
+		run(blendTasks(p, smooth, w))
+	}
+}
+
+// sseTasks stripes the per-weight restoration SSE scans; partial[k]
+// receives the stripe sums in a fixed layout (weight-major), so the
+// reduction order never depends on the runner.
+func sseTasks(recon, src, smooth []uint8, w, h, nStripes int, partial []int64) []func() {
+	tasks := make([]func(), 0, len(RestorationWeights)*nStripes)
+	for k := 0; k < len(RestorationWeights)*nStripes; k++ {
+		k := k
+		wgt := RestorationWeights[k/nStripes]
+		y0 := (k % nStripes) * deblockStripeRows
+		y1 := minInt(y0+deblockStripeRows, h)
+		tasks = append(tasks, func() {
+			var sse int64
+			for i := y0 * w; i < y1*w; i++ {
+				v := (int32(recon[i])*(8-wgt) + int32(smooth[i])*wgt + 4) >> 3
+				d := int64(v) - int64(src[i])
+				sse += d * d
+			}
+			partial[k] = sse
+		})
+	}
+	return tasks
+}
+
+// BestRestorationWeightParallel is BestRestorationWeight with the box
+// smooth and the per-weight SSE scans striped across run. The stripe
+// partial sums are reduced in fixed order, so the result is identical
+// under any runner.
+func BestRestorationWeightParallel(recon, src *video.Frame, run Runner) int {
+	w, h := recon.Width, recon.Height
+	smooth := make([]uint8, len(recon.Y))
+	run(smoothTasks(smooth, recon.Y, w, h))
+
+	nStripes := (h + deblockStripeRows - 1) / deblockStripeRows
+	partial := make([]int64, len(RestorationWeights)*nStripes)
+	run(sseTasks(recon.Y, src.Y, smooth, w, h, nStripes, partial))
+
+	best, bestSSE := 0, int64(-1)
+	for idx := range RestorationWeights {
+		var sse int64
+		for s := 0; s < nStripes; s++ {
+			sse += partial[idx*nStripes+s]
+		}
+		if bestSSE < 0 || sse < bestSSE {
+			best, bestSSE = idx, sse
+		}
+	}
+	return best
+}

@@ -1,0 +1,163 @@
+package filter
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"openvcu/internal/video"
+)
+
+// runConcurrent executes every task in its own goroutine — the
+// adversarial runner: if stripes overlapped, -race would catch it and
+// the byte-compare would flake.
+func runConcurrent(tasks []func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		go func() {
+			defer wg.Done()
+			t()
+		}()
+	}
+	wg.Wait()
+}
+
+func randFrame(rng *rand.Rand, w, h int) *video.Frame {
+	f := video.NewFrame(w, h)
+	for i := range f.Y {
+		f.Y[i] = uint8(rng.Intn(256))
+	}
+	for i := range f.U {
+		f.U[i] = uint8(rng.Intn(256))
+		f.V[i] = uint8(rng.Intn(256))
+	}
+	return f
+}
+
+// blockyFrame makes a frame with visible block-grid steps so the
+// deblock filter actually fires on many edges.
+func blockyFrame(rng *rand.Rand, w, h, bs int) *video.Frame {
+	f := video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			base := uint8(((x/bs)*7 + (y/bs)*11) % 200)
+			f.Y[y*w+x] = base + uint8(rng.Intn(3))
+		}
+	}
+	cw, ch := video.ChromaDims(w, h)
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			f.U[y*cw+x] = uint8(((x / 4) * 13) % 250)
+			f.V[y*cw+x] = uint8(((y / 4) * 17) % 250)
+		}
+	}
+	return f
+}
+
+func TestSwarMaskPrimitivesExhaustive(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			va := uint64(a) * fswarOne
+			vb := uint64(b) * fswarOne
+			wantAbs := a - b
+			if wantAbs < 0 {
+				wantAbs = -wantAbs
+			}
+			if got := fAbsDiffU64(va, vb); byte(got) != byte(wantAbs) || got != uint64(byte(wantAbs))*fswarOne {
+				t.Fatalf("fAbsDiffU64(%d,%d) = %#x, want bytes %d", a, b, got, wantAbs)
+			}
+			wantGE := uint64(0)
+			if a >= b {
+				wantGE = fswarMSB
+			}
+			if got := geMaskU64(va, vb); got != wantGE {
+				t.Fatalf("geMaskU64(%d,%d) = %#x, want %#x", a, b, got, wantGE)
+			}
+		}
+		wantNZ := uint64(0)
+		if a != 0 {
+			wantNZ = fswarMSB
+		}
+		if got := nzMaskU64(uint64(a) * fswarOne); got != wantNZ {
+			t.Fatalf("nzMaskU64(%d) = %#x, want %#x", a, got, wantNZ)
+		}
+	}
+}
+
+// TestDeblockPlaneMatchesScalar is the SWAR/range-split differential
+// gate: random and blocky planes, widths off the 8-byte grid, strengths
+// including one past the packed-threshold clamp.
+func TestDeblockPlaneMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		w := 16 + rng.Intn(90) // frequently not a multiple of 8
+		h := 16 + rng.Intn(90)
+		bs := []int{4, 8, 16}[rng.Intn(3)]
+		strength := []int{1, 3, 8, 20, 300}[rng.Intn(5)]
+		pix := make([]uint8, w*h)
+		if trial%2 == 0 {
+			for i := range pix {
+				pix[i] = uint8(rng.Intn(256))
+			}
+		} else {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					pix[y*w+x] = uint8(((x/bs)*9 + (y/bs)*5) % 256)
+				}
+			}
+		}
+		want := append([]uint8(nil), pix...)
+		DeblockPlaneScalar(want, w, h, bs, strength)
+		got := append([]uint8(nil), pix...)
+		DeblockPlane(got, w, h, bs, strength)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (w=%d h=%d bs=%d s=%d): SWAR deblock diverged from scalar",
+				trial, w, h, bs, strength)
+		}
+	}
+}
+
+func TestDeblockParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, dims := range [][2]int{{64, 64}, {176, 144}, {200, 130}} {
+		seq := blockyFrame(rng, dims[0], dims[1], 8)
+		par := seq.Clone()
+		Deblock(seq, 8, 6)
+		DeblockParallel(par, 8, 6, runConcurrent)
+		if !bytes.Equal(seq.Y, par.Y) || !bytes.Equal(seq.U, par.U) || !bytes.Equal(seq.V, par.V) {
+			t.Fatalf("%dx%d: parallel deblock diverged from sequential", dims[0], dims[1])
+		}
+	}
+}
+
+func TestRestoreParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for widx := 1; widx < 4; widx++ {
+		seq := randFrame(rng, 120, 90)
+		par := seq.Clone()
+		Restore(seq, widx)
+		RestoreParallel(par, widx, runConcurrent)
+		if !bytes.Equal(seq.Y, par.Y) || !bytes.Equal(seq.U, par.U) || !bytes.Equal(seq.V, par.V) {
+			t.Fatalf("weight %d: parallel restore diverged from sequential", widx)
+		}
+	}
+}
+
+func TestBestRestorationWeightParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 10; trial++ {
+		recon := randFrame(rng, 130, 100)
+		src := recon.Clone()
+		// noisy recon vs smooth src biases the search off weight 0
+		for i := range src.Y {
+			src.Y[i] = uint8((int(src.Y[i]) + 128) / 2)
+		}
+		want := BestRestorationWeight(recon, src)
+		got := BestRestorationWeightParallel(recon, src, runConcurrent)
+		if got != want {
+			t.Fatalf("trial %d: parallel weight %d != sequential %d", trial, got, want)
+		}
+	}
+}

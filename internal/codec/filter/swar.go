@@ -1,0 +1,102 @@
+package filter
+
+// SWAR deblock kernels: the activity decision of the horizontal-edge
+// loop filter runs 8 pixels per uint64. A horizontal block edge reads
+// four contiguous rows (p1/p0/q0/q1), so the per-pixel predicate
+// "a quantization step, not a real image edge" —
+// d != 0 && d ≤ t && |p0−p1| ≤ t && |q1−q0| ≤ t — vectorizes into
+// packed absolute differences and per-byte compares. Most of a
+// reconstructed frame is flat (d == 0), so whole groups of 8 are
+// usually skipped with two loads and a mask test; pixels whose lane is
+// active get the exact scalar filterEdge, which keeps the SWAR path
+// bit-identical to DeblockPlaneScalar (enforced by differential test).
+// Vertical edges walk a column (stride-w accesses) and stay scalar.
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+const (
+	fswarMSB  = 0x8080808080808080 // per-byte sign bit
+	fswarLow7 = 0x7f7f7f7f7f7f7f7f
+	fswarOne  = 0x0101010101010101 // byte-replication multiplier
+)
+
+// fAbsDiffU64 is the packed per-byte |a-b| (same construction as
+// motion's absDiffU64: wrapped difference with the borrow chain cut at
+// byte boundaries, then conditional negation by the borrow mask).
+func fAbsDiffU64(a, b uint64) uint64 {
+	d := ((a | fswarMSB) - (b &^ fswarMSB)) ^ ((a ^ ^b) & fswarMSB)
+	borrow := ((^a & b) | ((^a | b) & d)) & fswarMSB
+	lt := borrow >> 7
+	return (d ^ (lt * 0xff)) + lt
+}
+
+// geMaskU64 returns 0x80 in each byte where a >= b (per-byte unsigned):
+// the complement of the subtraction borrow-out of a-b.
+func geMaskU64(a, b uint64) uint64 {
+	d := ((a | fswarMSB) - (b &^ fswarMSB)) ^ ((a ^ ^b) & fswarMSB)
+	borrow := ((^a & b) | ((^a | b) & d)) & fswarMSB
+	return ^borrow & fswarMSB
+}
+
+// nzMaskU64 returns 0x80 in each nonzero byte: adding 0x7f to the low 7
+// bits carries into the MSB iff any low bit is set; OR-ing x itself
+// catches bytes whose only set bit is the MSB.
+func nzMaskU64(x uint64) uint64 {
+	return (((x & fswarLow7) + fswarLow7) | x) & fswarMSB
+}
+
+// horizEdgeActiveMask computes the filter-activity mask for 8 edge
+// pixels: 0x80 in each byte lane where the scalar filterEdge would
+// modify the pixel pair.
+func horizEdgeActiveMask(p1, p0, q0, q1, tv uint64) uint64 {
+	d := fAbsDiffU64(q0, p0)
+	m := nzMaskU64(d) & geMaskU64(tv, d)
+	m &= geMaskU64(tv, fAbsDiffU64(p0, p1))
+	m &= geMaskU64(tv, fAbsDiffU64(q1, q0))
+	return m
+}
+
+// deblockHorizRow filters one horizontal block edge across columns
+// [0, w) of the four rows straddling it, writing p0r and q0r in place.
+// Pixels along the edge are independent (each touches only its own
+// column), so the SWAR mask can batch the skip decision.
+func deblockHorizRow(p1r, p0r, q0r, q1r []uint8, w int, thresh int32) {
+	// Pixel differences never exceed 255, so clamping the packed
+	// threshold to 255 preserves every comparison exactly.
+	t8 := thresh
+	if t8 > 255 {
+		t8 = 255
+	}
+	tv := uint64(t8) * fswarOne
+	x := 0
+	for ; x+8 <= w; x += 8 {
+		m := horizEdgeActiveMask(
+			binary.LittleEndian.Uint64(p1r[x:]),
+			binary.LittleEndian.Uint64(p0r[x:]),
+			binary.LittleEndian.Uint64(q0r[x:]),
+			binary.LittleEndian.Uint64(q1r[x:]), tv)
+		for m != 0 {
+			i := x + bits.TrailingZeros64(m)>>3
+			p1 := int32(p1r[i])
+			p0 := int32(p0r[i])
+			q0 := int32(q0r[i])
+			q1 := int32(q1r[i])
+			filterEdge(&p1, &p0, &q0, &q1, thresh)
+			p0r[i] = uint8(p0)
+			q0r[i] = uint8(q0)
+			m &= m - 1
+		}
+	}
+	for ; x < w; x++ {
+		p1 := int32(p1r[x])
+		p0 := int32(p0r[x])
+		q0 := int32(q0r[x])
+		q1 := int32(q1r[x])
+		filterEdge(&p1, &p0, &q0, &q1, thresh)
+		p0r[x] = uint8(p0)
+		q0r[x] = uint8(q0)
+	}
+}

@@ -1,0 +1,101 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"openvcu/internal/codec/rc"
+	"openvcu/internal/video"
+)
+
+// TestEncodeSequenceParallelMatchesSequential is the frame-parallel
+// acceptance gate: concurrent closed-GOP encoding must be byte-identical
+// to the sequential encoder, including alt-ref groups (non-shown frames,
+// lookahead closure at GOP edges), multiple tile columns, golden-refresh
+// phase across GOP boundaries, and the AV1 restoration path.
+func TestEncodeSequenceParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		n    int
+	}{
+		{"vp9_multi_gop", Config{Profile: VP9Class, Width: 192, Height: 96,
+			GOPLength: 8, GoldenPeriod: 4, RC: rc.Config{BaseQP: 32}}, 20},
+		{"vp9_altref_tiles", Config{Profile: VP9Class, Width: 256, Height: 96,
+			GOPLength: 8, AltRef: true, ArfPeriod: 4, TileColumns: 2,
+			RC: rc.Config{BaseQP: 34}}, 17},
+		{"av1_restoration", Config{Profile: AV1Class, Width: 256, Height: 128,
+			GOPLength: 4, RC: rc.Config{BaseQP: 32}}, 9},
+		{"single_gop_fallback", Config{Profile: VP9Class, Width: 128, Height: 64,
+			GOPLength: 32, RC: rc.Config{BaseQP: 32}}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frames := video.NewSource(video.SourceConfig{
+				Width: tc.cfg.Width, Height: tc.cfg.Height, Seed: 21,
+				Detail: 0.6, Motion: 1.5, ObjectMotion: 3, Objects: 2}).Frames(tc.n)
+			seqCfg := tc.cfg
+			seqCfg.Workers = 1
+			seq, err := EncodeSequence(seqCfg, frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parCfg := tc.cfg
+			parCfg.Workers = 4
+			par, err := EncodeSequenceParallel(parCfg, frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Packets) != len(seq.Packets) {
+				t.Fatalf("packet count %d parallel vs %d sequential",
+					len(par.Packets), len(seq.Packets))
+			}
+			for i := range par.Packets {
+				if !bytes.Equal(par.Packets[i].Data, seq.Packets[i].Data) {
+					t.Fatalf("packet %d differs between frame-parallel and sequential", i)
+				}
+				if par.Packets[i].DisplayIdx != seq.Packets[i].DisplayIdx ||
+					par.Packets[i].QP != seq.Packets[i].QP {
+					t.Fatalf("packet %d metadata differs", i)
+				}
+			}
+			if par.TotalBits != seq.TotalBits {
+				t.Fatalf("TotalBits %d vs %d", par.TotalBits, seq.TotalBits)
+			}
+			dec, err := DecodeSequence(par.Packets)
+			if err != nil {
+				t.Fatalf("frame-parallel bitstream failed to decode: %v", err)
+			}
+			if len(dec) != tc.n {
+				t.Fatalf("decoded %d frames, want %d", len(dec), tc.n)
+			}
+		})
+	}
+}
+
+// TestEncodeSequenceParallelAdaptiveRCFallsBack: adaptive rate control
+// carries cross-frame state, so the parallel path must defer to the
+// sequential encoder rather than diverge.
+func TestEncodeSequenceParallelAdaptiveRCFallsBack(t *testing.T) {
+	frames := video.NewSource(video.SourceConfig{
+		Width: 128, Height: 64, Seed: 5, Detail: 0.5, Motion: 1}).Frames(12)
+	cfg := Config{Profile: VP9Class, Width: 128, Height: 64, GOPLength: 4,
+		Workers: 4, RC: rc.Config{Mode: rc.ModeOnePass, TargetBitrate: 400_000}}
+	seq, err := EncodeSequence(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EncodeSequenceParallel(cfg, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Packets) != len(seq.Packets) || par.TotalBits != seq.TotalBits {
+		t.Fatalf("fallback diverged: %d/%d packets, %d/%d bits",
+			len(par.Packets), len(seq.Packets), par.TotalBits, seq.TotalBits)
+	}
+	for i := range par.Packets {
+		if !bytes.Equal(par.Packets[i].Data, seq.Packets[i].Data) {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}

@@ -109,6 +109,33 @@ func TestPlanarSADMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestPlanarSSEMatchesScalar sweeps random geometries plus extreme-value
+// planes (all-0 vs all-255 maximizes every squared term) against the
+// scalar reference.
+func TestPlanarSSEMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := []int{4, 8, 16, 32}[rng.Intn(4)]
+		as := n + rng.Intn(40)
+		bs := n + rng.Intn(40)
+		var a, b []uint8
+		if trial%5 == 0 {
+			a = make([]uint8, as*n)
+			b = make([]uint8, bs*n)
+			for i := range b {
+				b[i] = 255
+			}
+		} else {
+			a = randPlane(rng, as, n)
+			b = randPlane(rng, bs, n)
+		}
+		want := PlanarSSERef(a, as, b, bs, n)
+		if got := PlanarSSE(a, as, b, bs, n); got != want {
+			t.Fatalf("PlanarSSE(n=%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
 // TestSampleBlockMatchesScalar sweeps all 64 fractional phases for both
 // filters over interior and edge-straddling positions.
 func TestSampleBlockMatchesScalar(t *testing.T) {

@@ -190,7 +190,11 @@ func TestSearchStaysInWindow(t *testing.T) {
 	}
 }
 
-func BenchmarkDiamondSearch16(b *testing.B) {
+// BenchmarkFlatSearch16 times the diamond refinement seeded from the
+// spatial predictors only (formerly misnamed BenchmarkDiamondSearch16;
+// both search modes run the same diamond, they differ in seeding —
+// BenchmarkPyramidSearch16 in kernels_test.go is the pyramid half).
+func BenchmarkFlatSearch16(b *testing.B) {
 	w, h := 640, 360
 	refPix := makePlane(w, h, 11)
 	curPix := shift(refPix, w, h, 3, 2)

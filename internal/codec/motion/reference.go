@@ -25,6 +25,18 @@ func blockSADRef(cur []uint8, curStride int, ref Ref, ix, iy, n int) int64 {
 	return sad
 }
 
+// PlanarSSERef is the scalar per-pixel SSE, ground truth for PlanarSSE.
+func PlanarSSERef(a []uint8, aStride int, b []uint8, bStride, n int) int64 {
+	var sum int64
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			d := int64(a[y*aStride+x]) - int64(b[y*bStride+x])
+			sum += d * d
+		}
+	}
+	return sum
+}
+
 // sampleFullPelRef is the scalar full-pel copy with per-pixel clamping.
 func sampleFullPelRef(ref Ref, ix, iy int, dst []uint8, n int) {
 	for y := 0; y < n; y++ {

@@ -85,6 +85,46 @@ func PlanarSAD(a []uint8, aStride int, b []uint8, bStride, n int) int64 {
 	return sadPlanar(a, aStride, b, bStride, n, 1<<62)
 }
 
+// sqU8 maps a byte to its square: the SWAR SSE kernel computes packed
+// absolute differences 8 pixels at a time, then squares through this
+// table — squaring has no lane-parallel bit trick, but the table turns
+// the per-pixel subtract/abs/multiply chain into one lookup.
+var sqU8 = func() (t [256]int64) {
+	for i := range t {
+		t[i] = int64(i) * int64(i)
+	}
+	return
+}()
+
+// sseRow returns the sum of squared differences of two n-pixel rows:
+// packed |a-b| via absDiffU64, squared bytewise through sqU8.
+func sseRow(a, b []uint8, n int) int64 {
+	var sum int64
+	x := 0
+	for ; x+8 <= n; x += 8 {
+		v := absDiffU64(binary.LittleEndian.Uint64(a[x:]), binary.LittleEndian.Uint64(b[x:]))
+		sum += sqU8[v&0xff] + sqU8[v>>8&0xff] + sqU8[v>>16&0xff] + sqU8[v>>24&0xff] +
+			sqU8[v>>32&0xff] + sqU8[v>>40&0xff] + sqU8[v>>48&0xff] + sqU8[v>>56]
+	}
+	for ; x < n; x++ {
+		d := int64(a[x]) - int64(b[x])
+		sum += d * d
+	}
+	return sum
+}
+
+// PlanarSSE computes the sum of squared errors between an n×n block of a
+// (stride aStride) and an n×n block of b (stride bStride) — the RDO
+// distortion metric. Both blocks must be fully in bounds. Bit-exact with
+// PlanarSSERef.
+func PlanarSSE(a []uint8, aStride int, b []uint8, bStride, n int) int64 {
+	var sum int64
+	for y := 0; y < n; y++ {
+		sum += sseRow(a[y*aStride:], b[y*bStride:], n)
+	}
+	return sum
+}
+
 // avgBlocks overwrites dst[:count] with the per-byte rounding average of
 // dst and src, 8 bytes at a time.
 func avgBlocks(dst, src []uint8, count int) {

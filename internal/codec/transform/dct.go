@@ -6,6 +6,16 @@
 // The H.264-class profile uses 4×4/8×8; the VP9-class profile adds
 // 16×16/32×32 — one of the compression tools that "grow the search space"
 // (paper §2.1).
+//
+// The production Forward/Inverse entry points use the even/odd butterfly
+// decomposition of the DCT basis (basis row k is symmetric for even k and
+// antisymmetric for odd k about the row midpoint), halving the multiply
+// count of both passes. The decomposition only reorders exact integer
+// additions, so it is bit-identical to the direct matrix walk; the direct
+// walks are retained as ForwardScalar/InverseScalar and the differential
+// tests in transform_test.go enforce equality across an exhaustive value
+// sweep. If a rebuilt basis ever loses the symmetry (it is verified
+// entry-by-entry at init), the fast paths fall back to the scalar walks.
 package transform
 
 import "math"
@@ -27,9 +37,18 @@ const basisShift = 12
 
 var cosBasis [MaxSize + 1][]int32
 
+// basisSymmetric[n] records whether the integer-rounded basis satisfies
+// the exact mirror symmetry basis[k][j] == ±basis[k][n-1-j] (+ for even
+// k, − for odd k) that the butterfly fast paths rely on. The float
+// arguments of mirrored entries differ, so the rounded values could in
+// principle disagree by one ulp; checking the table (rather than trusting
+// the math) keeps the fast path provably bit-exact.
+var basisSymmetric [MaxSize + 1]bool
+
 func init() {
 	for _, n := range Sizes {
 		cosBasis[n] = buildBasis(n)
+		basisSymmetric[n] = checkBasisSymmetry(cosBasis[n], n)
 	}
 }
 
@@ -48,12 +67,108 @@ func buildBasis(n int) []int32 {
 	return b
 }
 
+func checkBasisSymmetry(b []int32, n int) bool {
+	for k := 0; k < n; k++ {
+		sign := int32(1)
+		if k%2 == 1 {
+			sign = -1
+		}
+		for j := 0; j < n/2; j++ {
+			if b[k*n+j] != sign*b[k*n+(n-1-j)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Forward applies the 2-D forward transform to an n×n residual block
-// (row-major int32, values in roughly [-255, 255]) in place, producing
-// coefficients at unit scale (the basis scaling is fully removed, so
-// quantization sees natural-magnitude coefficients). Scratch lives on the
-// stack; the function allocates nothing.
+// (row-major int32, values in roughly [-255, 255], |v| < 2^11 required)
+// in place, producing coefficients at unit scale (the basis scaling is
+// fully removed, so quantization sees natural-magnitude coefficients).
+// Scratch lives on the stack; the function allocates nothing. Bit-exact
+// with ForwardScalar.
 func Forward(block []int32, n int) {
+	if !basisSymmetric[n] {
+		ForwardScalar(block, n)
+		return
+	}
+	basis := cosBasis[n]
+	half := n / 2
+	// Row pass: tmp[i][k] = sum_j block[i][j]*basis[k][j]. The butterfly
+	// folds the mirrored half of each input row into even/odd sums, so
+	// each output needs n/2 multiplies. Inputs are bounded by 2^11 and
+	// basis entries by 2^12, so the n/2-term accumulator stays under
+	// 2^11·2^12·2^5 = 2^28: int32 is safe and halves the memory traffic
+	// of the old int64 scratch.
+	var tmpArr [MaxSize * MaxSize]int32
+	tmp := tmpArr[:n*n]
+	var evenArr, oddArr [MaxSize / 2]int32
+	for i := 0; i < n; i++ {
+		row := block[i*n : i*n+n]
+		even := evenArr[:half]
+		odd := oddArr[:half]
+		for j := 0; j < half; j++ {
+			even[j] = row[j] + row[n-1-j]
+			odd[j] = row[j] - row[n-1-j]
+		}
+		out := tmp[i*n : i*n+n]
+		for k := 0; k < n; k++ {
+			brow := basis[k*n : k*n+half]
+			src := even
+			if k%2 == 1 {
+				src = odd
+			}
+			var acc int32
+			for j := 0; j < half; j++ {
+				acc += src[j] * brow[j]
+			}
+			out[k] = acc
+		}
+	}
+	// Column pass: out[k][l] = sum_i basis[k][i]*tmp[i][l], butterflied
+	// over i, then descaled by 2*basisShift. The folded tmp sums fit
+	// int32 (< 2^29); the k-loop accumulator needs int64.
+	const round = int64(1) << (2*basisShift - 1)
+	var teArr, toArr [MaxSize * MaxSize / 2]int32
+	te := teArr[: half*n : half*n]
+	to := toArr[: half*n : half*n]
+	for i := 0; i < half; i++ {
+		a := tmp[i*n : i*n+n]
+		b := tmp[(n-1-i)*n : (n-1-i)*n+n]
+		for l := 0; l < n; l++ {
+			te[i*n+l] = a[l] + b[l]
+			to[i*n+l] = a[l] - b[l]
+		}
+	}
+	var accArr [MaxSize]int64
+	for k := 0; k < n; k++ {
+		acc := accArr[:n]
+		for l := range acc {
+			acc[l] = 0
+		}
+		brow := basis[k*n : k*n+half]
+		src := te
+		if k%2 == 1 {
+			src = to
+		}
+		for i := 0; i < half; i++ {
+			b := int64(brow[i])
+			trow := src[i*n : i*n+n]
+			for l := 0; l < n; l++ {
+				acc[l] += b * int64(trow[l])
+			}
+		}
+		for l := 0; l < n; l++ {
+			block[k*n+l] = int32((acc[l] + round) >> (2 * basisShift))
+		}
+	}
+}
+
+// ForwardScalar is the direct matrix-walk forward transform, retained as
+// the differential-test reference for Forward (and as the fallback if the
+// basis loses its mirror symmetry).
+func ForwardScalar(block []int32, n int) {
 	basis := cosBasis[n]
 	var tmpArr [MaxSize * MaxSize]int64
 	tmp := tmpArr[:n*n]
@@ -96,9 +211,97 @@ func Forward(block []int32, n int) {
 
 // Inverse applies the 2-D inverse transform in place, reconstructing the
 // residual from unit-scale coefficients. Quantized blocks are sparse, so
-// both passes skip zero rows/levels — exact, since skipped terms
-// contribute zero to the integer accumulators.
+// the first pass skips zero levels (exact: skipped terms contribute zero
+// to the integer accumulators) and both passes butterfly the basis
+// symmetry, halving the multiplies of every term that does run. Bit-exact
+// with InverseScalar.
 func Inverse(block []int32, n int) {
+	if !basisSymmetric[n] {
+		InverseScalar(block, n)
+		return
+	}
+	basis := cosBasis[n]
+	half := n / 2
+	var tmpArr [MaxSize * MaxSize]int64
+	tmp := tmpArr[:n*n]
+	var rowLive [MaxSize]bool
+	// Row pass: tmp[k][j] = sum_l block[k][l]*basis[l][j]. Split the sum
+	// by parity of l: E[j] collects even-l terms, O[j] odd-l terms over
+	// the left half; the mirror identities give tmp[k][j]=E+O and
+	// tmp[k][n-1-j]=E−O.
+	var eArr, oArr [MaxSize / 2]int64
+	for k := 0; k < n; k++ {
+		crow := block[k*n : k*n+n]
+		e := eArr[:half]
+		o := oArr[:half]
+		for j := range e {
+			e[j] = 0
+			o[j] = 0
+		}
+		live := false
+		for l := 0; l < n; l++ {
+			c := int64(crow[l])
+			if c == 0 {
+				continue
+			}
+			live = true
+			brow := basis[l*n : l*n+half]
+			dst := e
+			if l%2 == 1 {
+				dst = o
+			}
+			for j := 0; j < half; j++ {
+				dst[j] += c * int64(brow[j])
+			}
+		}
+		rowLive[k] = live
+		if !live {
+			continue
+		}
+		trow := tmp[k*n : k*n+n]
+		for j := 0; j < half; j++ {
+			trow[j] = e[j] + o[j]
+			trow[n-1-j] = e[j] - o[j]
+		}
+	}
+	// Column pass: out[i][j] = sum_k basis[k][i]*tmp[k][j], split by
+	// parity of k, producing output rows i and n-1-i together.
+	const round = int64(1) << (2*basisShift - 1)
+	var evenArr, oddArr [MaxSize]int64
+	for i := 0; i < half; i++ {
+		even := evenArr[:n]
+		odd := oddArr[:n]
+		for j := range even {
+			even[j] = 0
+			odd[j] = 0
+		}
+		for k := 0; k < n; k++ {
+			if !rowLive[k] {
+				continue
+			}
+			b := int64(basis[k*n+i])
+			trow := tmp[k*n : k*n+n]
+			dst := even
+			if k%2 == 1 {
+				dst = odd
+			}
+			for j := 0; j < n; j++ {
+				dst[j] += b * trow[j]
+			}
+		}
+		top := block[i*n : i*n+n]
+		bot := block[(n-1-i)*n : (n-1-i)*n+n]
+		for j := 0; j < n; j++ {
+			top[j] = int32((even[j] + odd[j] + round) >> (2 * basisShift))
+			bot[j] = int32((even[j] - odd[j] + round) >> (2 * basisShift))
+		}
+	}
+}
+
+// InverseScalar is the direct matrix-walk inverse transform, retained as
+// the differential-test reference for Inverse (and as the fallback if the
+// basis loses its mirror symmetry).
+func InverseScalar(block []int32, n int) {
 	basis := cosBasis[n]
 	var tmpArr [MaxSize * MaxSize]int64
 	tmp := tmpArr[:n*n]

@@ -1,0 +1,160 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fast transform/quantize kernels must be bit-identical to their
+// retained scalar references — these tests are the differential gate.
+
+func TestBasisSymmetryHolds(t *testing.T) {
+	// The butterfly fast paths depend on the rounded basis keeping the
+	// DCT mirror symmetry; if this ever fails, Forward/Inverse silently
+	// fall back to scalar, which would be a performance bug worth seeing.
+	for _, n := range Sizes {
+		if !basisSymmetric[n] {
+			t.Errorf("n=%d: integer basis lost mirror symmetry; butterfly disabled", n)
+		}
+	}
+}
+
+func TestForwardMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range Sizes {
+		for trial := 0; trial < 200; trial++ {
+			block := make([]int32, n*n)
+			switch trial % 4 {
+			case 0: // full-range random residual
+				for i := range block {
+					block[i] = int32(rng.Intn(511) - 255)
+				}
+			case 1: // extreme values stress accumulator bounds
+				for i := range block {
+					block[i] = 255
+					if rng.Intn(2) == 0 {
+						block[i] = -255
+					}
+				}
+			case 2: // sparse
+				for k := 0; k < 3; k++ {
+					block[rng.Intn(n*n)] = int32(rng.Intn(511) - 255)
+				}
+			case 3: // structured gradient
+				for i := range block {
+					block[i] = int32((i%n)*8 - (i/n)*8)
+				}
+			}
+			want := append([]int32(nil), block...)
+			ForwardScalar(want, n)
+			got := append([]int32(nil), block...)
+			Forward(got, n)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d trial=%d idx=%d: fast=%d scalar=%d",
+						n, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInverseMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range Sizes {
+		for trial := 0; trial < 200; trial++ {
+			block := make([]int32, n*n)
+			switch trial % 4 {
+			case 0: // dense coefficients
+				for i := range block {
+					block[i] = int32(rng.Intn(2001) - 1000)
+				}
+			case 1: // realistic post-quantization sparsity
+				for k := 0; k < 1+rng.Intn(6); k++ {
+					block[rng.Intn(n*n)] = int32(rng.Intn(201) - 100)
+				}
+			case 2: // DC only
+				block[0] = int32(rng.Intn(8001) - 4000)
+			case 3: // all zero (zero-skip path)
+			}
+			want := append([]int32(nil), block...)
+			InverseScalar(want, n)
+			got := append([]int32(nil), block...)
+			Inverse(got, n)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d trial=%d idx=%d: fast=%d scalar=%d",
+						n, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizeMatchesScalarExhaustive(t *testing.T) {
+	// Every QP × every deadzone the encoder uses × a dense sweep of the
+	// coefficient domain, plus the exact domain boundary. The sweep is
+	// exhaustive over |c| ≤ 4096 (covers every coefficient magnitude a
+	// 32×32 transform of ±255 residual can emit with margin at low QP
+	// granularity) and strided beyond it up to MaxAbsCoeff.
+	var coeffs []int32
+	for c := int32(-4096); c <= 4096; c++ {
+		coeffs = append(coeffs, c)
+	}
+	for c := int32(4099); c <= MaxAbsCoeff; c += 997 {
+		coeffs = append(coeffs, c, -c)
+	}
+	coeffs = append(coeffs, MaxAbsCoeff, -MaxAbsCoeff)
+	for qp := 0; qp <= MaxQP; qp++ {
+		for _, dz := range []int32{1, 4} {
+			got := append([]int32(nil), coeffs...)
+			Quantize(got, qp, dz)
+			want := append([]int32(nil), coeffs...)
+			QuantizeScalar(want, qp, dz)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("qp=%d dz=%d c=%d: fast=%d scalar=%d",
+						qp, dz, coeffs[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkForwardScalar32(b *testing.B) {
+	block := make([]int32, 1024)
+	for i := range block {
+		block[i] = int32(i%29 - 14)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tmp := append([]int32(nil), block...)
+		ForwardScalar(tmp, 32)
+	}
+}
+
+func BenchmarkQuantize32(b *testing.B) {
+	block := make([]int32, 1024)
+	for i := range block {
+		block[i] = int32(i*37%4001 - 2000)
+	}
+	tmp := make([]int32, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(tmp, block)
+		Quantize(tmp, 30, 4)
+	}
+}
+
+func BenchmarkQuantizeScalar32(b *testing.B) {
+	block := make([]int32, 1024)
+	for i := range block {
+		block[i] = int32(i*37%4001 - 2000)
+	}
+	tmp := make([]int32, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(tmp, block)
+		QuantizeScalar(tmp, 30, 4)
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // goleakDirs are the packages that spawn goroutines on the serving
@@ -126,10 +127,111 @@ func checkGoLeak(pass *Pass, f *File, fd *ast.FuncDecl) {
 				joined = true
 			}
 		}
+		if !joined && poolWorkerJoined(pass, sc, g.Call) {
+			joined = true
+		}
 		if !joined {
 			pass.Reportf(g.Pos(),
 				"goroutine is not joined in this function: no Done on a waited WaitGroup, no send/close on a received channel")
 		}
 		return true
 	})
+}
+
+// poolWorkerJoined recognizes the persistent-pool shape: `go x.m()`
+// where method m of x's type defers Done on a WaitGroup field of its
+// receiver, and another method of the same type Waits on that field.
+// The goroutine's lifetime is then owned by the pool value and joined
+// at its close method, not in the spawning constructor — a deliberate
+// idiom (the encoder's tile worker pool), not a leak.
+func poolWorkerJoined(pass *Pass, sc *funcScope, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	t := sc.typeOf(sel.X)
+	if t != nil {
+		t = t.deref()
+	}
+	if t == nil || t.kind != kindNamed {
+		return false
+	}
+	i := strings.LastIndex(t.name, ".")
+	if i < 0 {
+		return false
+	}
+	dir, typ := t.name[:i], t.name[i+1:]
+	workers := pass.Index.funcDecls[dir+"."+typ+"."+sel.Sel.Name]
+	if len(workers) == 0 {
+		return false
+	}
+	field := deferredDoneField(workers[0].decl)
+	if field == "" {
+		return false
+	}
+	// Some other method of the same type must join on that field.
+	for key, decls := range pass.Index.funcDecls {
+		if !strings.HasPrefix(key, dir+"."+typ+".") {
+			continue
+		}
+		for _, fd := range decls {
+			if fd.decl != workers[0].decl && waitsOnField(fd.decl, field) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deferredDoneField returns the receiver field f such that the method
+// body contains `defer recv.f.Done()`, or "" if there is none.
+func deferredDoneField(fd *ast.FuncDecl) string {
+	recv := receiverName(fd)
+	if recv == "" || fd.Body == nil {
+		return ""
+	}
+	field := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if field != "" {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if r, isDone := methodCall(d.Call, "Done"); isDone && strings.HasPrefix(r, recv+".") {
+			field = strings.TrimPrefix(r, recv+".")
+		}
+		return true
+	})
+	return field
+}
+
+// waitsOnField reports whether the method body calls `recv.field.Wait()`.
+func waitsOnField(fd *ast.FuncDecl, field string) bool {
+	recv := receiverName(fd)
+	if recv == "" || fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if c, isCall := n.(*ast.CallExpr); isCall {
+			if r, ok := methodCall(c, "Wait"); ok && r == recv+"."+field {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// receiverName returns the bound receiver identifier of a method.
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
 }

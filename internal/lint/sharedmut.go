@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // The per-reference-slot caches ([N]*video.Frame, [N]*motion.Pyramid
@@ -36,6 +37,16 @@ func init() {
 			"are shared read-only across tile workers without locks",
 		Run: runSharedMut,
 	})
+}
+
+// isResetFunc marks re-constructors (reset/Reset prefix): scratch-reuse
+// resets run at frame barriers — the previous frame's workers have
+// joined and the next frame's jobs are not yet submitted — so their
+// cache-field writes are the same single-owner initialization a
+// constructor performs. Only sharedmut exempts them; hotalloc still
+// sees reset bodies because they run per frame and must not allocate.
+func isResetFunc(name string) bool {
+	return strings.HasPrefix(name, "reset") || strings.HasPrefix(name, "Reset")
 }
 
 // isCacheFieldType reports whether a struct field of this type is a
@@ -148,7 +159,7 @@ func runSharedMut(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if isSetupFunc(fd.Name.Name) {
+			if isSetupFunc(fd.Name.Name) || isResetFunc(fd.Name.Name) {
 				continue
 			}
 			checkSharedMut(pass, f, fd)

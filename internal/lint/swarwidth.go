@@ -12,6 +12,7 @@ import (
 // instead of crashing.
 var swarDirs = []string{
 	"internal/codec/motion",
+	"internal/codec/filter",
 	"internal/bits",
 }
 

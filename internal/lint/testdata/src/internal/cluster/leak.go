@@ -72,3 +72,78 @@ func worker(wg *sync.WaitGroup) {
 }
 
 func background() {}
+
+// --- persistent-pool shapes ---------------------------------------------
+
+// pool is the joinable persistent-pool idiom: workers defer Done on a
+// receiver WaitGroup field that another method of the type Waits on.
+// The pool value owns the goroutine lifetimes and joins them at
+// shutdown, so spawning in the constructor is not a leak.
+type pool struct {
+	jobs chan int
+	join sync.WaitGroup
+}
+
+func startPool(n int) *pool {
+	p := &pool{jobs: make(chan int)}
+	p.join.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.join.Done()
+	for range p.jobs {
+	}
+}
+
+func (p *pool) shutdown() {
+	close(p.jobs)
+	p.join.Wait()
+}
+
+// leakyPool looks the same at the spawn site, but nothing ever Waits
+// on the counter the workers Done: the workers are unjoinable.
+type leakyPool struct {
+	jobs chan int
+	join sync.WaitGroup
+}
+
+func startLeakyPool(n int) *leakyPool {
+	p := &leakyPool{jobs: make(chan int)}
+	for i := 0; i < n; i++ {
+		go p.worker() // want "goroutine is not joined in this function"
+	}
+	return p
+}
+
+func (p *leakyPool) worker() {
+	defer p.join.Done()
+	for range p.jobs {
+	}
+}
+
+// undonePool has the Wait side but its worker never defers Done, so
+// the shutdown Wait cannot observe worker exit.
+type undonePool struct {
+	jobs chan int
+	join sync.WaitGroup
+}
+
+func startUndonePool() *undonePool {
+	p := &undonePool{jobs: make(chan int)}
+	go p.worker() // want "goroutine is not joined in this function"
+	return p
+}
+
+func (p *undonePool) worker() {
+	for range p.jobs {
+	}
+}
+
+func (p *undonePool) shutdown() {
+	close(p.jobs)
+	p.join.Wait()
+}

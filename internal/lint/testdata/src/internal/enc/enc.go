@@ -68,3 +68,20 @@ func suppressedStore(p *pipeline, sc *motion.Scratch) {
 }
 
 func use(sc *motion.Scratch) {}
+
+// poolWorker is the persistent-pool idiom: the worker owns its scratch
+// for its whole lifetime and loans it to each job in turn. The loan
+// never outlives the job call, so nothing here is a finding.
+func poolWorker(jobs chan func(*motion.Scratch)) {
+	sc := &motion.Scratch{}
+	for job := range jobs {
+		job(sc)
+	}
+}
+
+// poolJobEscape is the broken variant of the pool idiom: a job body
+// receives the worker's loaned scratch as its parameter and stores it
+// into state that outlives the job call.
+func poolJobEscape(p *pipeline, sc *motion.Scratch) {
+	p.sc = sc // want "stored into p.sc; scratch buffers are caller-owned"
+}

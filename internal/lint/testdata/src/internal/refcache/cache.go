@@ -31,6 +31,20 @@ func BuildCaches(s *store, f *video.Frame) {
 	s.refs[0] = f
 }
 
+// resetForFrame is a re-constructor (reset prefix): scratch-reuse
+// resets run at frame barriers with no concurrent readers, so cache
+// writes are the same single-owner initialization a constructor does.
+func (s *store) resetForFrame(f *video.Frame, p *motion.Pyramid) {
+	s.refs[0] = f
+	s.refPyr[0] = p
+	s.curPyr = p
+}
+
+// Reset is the exported spelling of the same idiom.
+func (s *store) Reset(f *video.Frame) {
+	s.refs[0] = f
+}
+
 func rotate(s *store, recon *video.Frame) {
 	s.refs[0] = recon // want "write to reference-slot cache s.refs\[0\] outside a constructor"
 }

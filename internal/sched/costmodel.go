@@ -31,6 +31,14 @@ type StepRequest struct {
 	// TargetSeconds is how long the step may take; resource shares are
 	// the sustained rates needed to finish in that time.
 	TargetSeconds float64
+	// Workers is the encoder's intra-step worker-pool size
+	// (codec.Config.Workers / transcode.OutputSpec.Workers). Intra-step
+	// parallelism shortens the nominal completion time by the Amdahl
+	// speedup; 0 or 1 means serial. Must mirror what the step actually
+	// runs with: claiming workers here while encoding serially shrinks
+	// the watchdog deadline below the real completion time and misfires
+	// the repair pipeline.
+	Workers int
 }
 
 // inputPixels returns source pixels in the chunk.
@@ -55,16 +63,37 @@ func (r *StepRequest) outputPixels() float64 {
 	return total * float64(frames)
 }
 
+// encodeParallelFraction is the parallelizable share of an encode step:
+// tile columns, in-loop filter stripes and the restoration scan all run
+// on the encoder's worker pool, while bitstream assembly, reference
+// rotation and rate control stay serial. 0.9 matches the measured
+// scaling curve (EXPERIMENTS.md; BENCH_codec.json "scaling").
+const encodeParallelFraction = 0.9
+
+// ParallelSpeedup is the Amdahl's-law wall-clock speedup of a step
+// encoding with w pool workers: 1/((1-p) + p/w) with p the
+// parallelizable fraction. w <= 1 is serial (speedup 1).
+func ParallelSpeedup(w int) float64 {
+	if w <= 1 {
+		return 1
+	}
+	return 1 / ((1 - encodeParallelFraction) + encodeParallelFraction/float64(w))
+}
+
 // ExpectedStepSeconds is the cost model's nominal completion time for a
 // step: the latency target its resource shares are sized to meet (a
 // step that must decode D pixels/s is charged exactly the millicores to
-// finish in TargetSeconds). Watchdog and hedge deadlines are multiples
-// of this value.
+// finish in TargetSeconds), shortened by the Amdahl speedup when the
+// step encodes with an intra-step worker pool. Watchdog and hedge
+// deadlines are multiples of this value, so the speedup must be the
+// conservative model above, never the ideal w× — an optimistic deadline
+// misfires the watchdog on steps that hit the serial fraction.
 func ExpectedStepSeconds(r *StepRequest) float64 {
-	if r.TargetSeconds > 0 {
-		return r.TargetSeconds
+	t := r.TargetSeconds
+	if t <= 0 {
+		t = 10
 	}
-	return 10
+	return t / ParallelSpeedup(r.Workers)
 }
 
 // SpeedBoostFactor is the encoder throughput multiplier of the brownout

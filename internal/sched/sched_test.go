@@ -193,6 +193,43 @@ func TestSoftwareDecodeShiftsDimensions(t *testing.T) {
 	}
 }
 
+// TestExpectedStepSecondsReflectsWorkers: the Amdahl model must shorten
+// the nominal completion time monotonically with the worker count,
+// never reach the ideal w× (the serial fraction bounds it), and leave
+// serial requests untouched — the watchdog deadline derives from this
+// value, so an optimistic speedup would misfire on real steps.
+func TestExpectedStepSecondsReflectsWorkers(t *testing.T) {
+	base := &StepRequest{InputRes: video.Res720p, ChunkFrames: 150,
+		Outputs: []video.Resolution{video.Res720p}, TargetSeconds: 30}
+	if got := ExpectedStepSeconds(base); got != 30 {
+		t.Fatalf("serial expected seconds %v, want 30", got)
+	}
+	prev := 30.0
+	for _, w := range []int{2, 4, 8} {
+		r := *base
+		r.Workers = w
+		got := ExpectedStepSeconds(&r)
+		if got >= prev {
+			t.Errorf("workers=%d: expected seconds %v did not shrink (prev %v)", w, got, prev)
+		}
+		ideal := 30.0 / float64(w)
+		if got <= ideal {
+			t.Errorf("workers=%d: expected seconds %v at or below ideal %v — model ignores the serial fraction", w, got, ideal)
+		}
+		prev = got
+	}
+	// Speedup saturates at 1/(1-p): ten thousand workers must not drive
+	// the deadline toward zero.
+	r := *base
+	r.Workers = 10000
+	if got, floor := ExpectedStepSeconds(&r), 30*(1-encodeParallelFraction); got < floor*0.99 {
+		t.Errorf("workers=10000: expected seconds %v below the serial-fraction floor %v", got, floor)
+	}
+	if s := ParallelSpeedup(0); s != 1 {
+		t.Errorf("ParallelSpeedup(0) = %v, want 1", s)
+	}
+}
+
 func TestCostModelSwappableAtRuntime(t *testing.T) {
 	wt := vcuType()
 	req := &StepRequest{InputRes: video.Res720p, ChunkFrames: 150,

@@ -30,6 +30,9 @@ type OutputSpec struct {
 	TileColumns int
 	// AltRef enables alternate reference frames (VP9Class).
 	AltRef bool
+	// Workers sizes the encoder's persistent worker pool (0 =
+	// GOMAXPROCS, 1 = inline). The bitstream does not depend on it.
+	Workers int
 }
 
 // Output is one transcoded variant.
@@ -142,17 +145,18 @@ func encoderConfig(spec OutputSpec, fps int) codec.Config {
 		AltRef:      spec.AltRef,
 		RC:          spec.RC,
 		Speed:       spec.Speed,
+		Workers:     spec.Workers,
 		Hardware:    spec.Hardware,
 	}
 }
 
 // MOT transcodes decoded source frames into every output spec with a
 // single shared decode/scale pass (Fig. 2b).
-func MOT(frames []*video.Frame, fps int, specs []OutputSpec) (*Result, error) {
+func MOT(frames []*video.Frame, fps int, specs []OutputSpec) (res *Result, err error) {
 	if len(frames) == 0 {
 		return nil, fmt.Errorf("transcode: no frames")
 	}
-	res := &Result{}
+	res = &Result{}
 	res.DecodedPixels = int64(len(frames)) * int64(frames[0].Pixels())
 
 	type encState struct {
@@ -161,6 +165,18 @@ func MOT(frames []*video.Frame, fps int, specs []OutputSpec) (*Result, error) {
 		spec OutputSpec
 	}
 	encs := make([]*encState, len(specs))
+	// Join every encoder's worker pool on all exits; a Close failure
+	// surfaces unless an earlier error is already on its way out.
+	defer func() {
+		for _, es := range encs {
+			if es == nil {
+				continue
+			}
+			if cerr := es.enc.Close(); cerr != nil && err == nil {
+				res, err = nil, cerr
+			}
+		}
+	}()
 	for i, spec := range specs {
 		enc, err := codec.NewEncoder(encoderConfig(spec, fps))
 		if err != nil {

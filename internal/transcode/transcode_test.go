@@ -49,6 +49,41 @@ func TestMOTProducesAllOutputs(t *testing.T) {
 	}
 }
 
+// TestMOTWorkersByteIdentical: the OutputSpec Workers knob reaches the
+// encoder pool (MOT joins the pools on return) and never changes the
+// emitted bitstream.
+func TestMOTWorkersByteIdentical(t *testing.T) {
+	frames := srcFrames(4)
+	specsAt := func(w int) []OutputSpec {
+		specs := smallSpecs()
+		for i := range specs {
+			specs[i].Workers = w
+			specs[i].TileColumns = 2
+		}
+		return specs
+	}
+	serial, err := MOT(frames, 30, specsAt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := MOT(frames, 30, specsAt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Outputs {
+		a, b := serial.Outputs[i], pooled.Outputs[i]
+		if a.TotalBits != b.TotalBits || len(a.Packets) != len(b.Packets) {
+			t.Fatalf("output %s: %d/%d bits, %d/%d packets across Workers",
+				a.Spec.Name, a.TotalBits, b.TotalBits, len(a.Packets), len(b.Packets))
+		}
+		for j := range a.Packets {
+			if string(a.Packets[j].Data) != string(b.Packets[j].Data) {
+				t.Fatalf("output %s packet %d differs across Workers", a.Spec.Name, j)
+			}
+		}
+	}
+}
+
 func TestMOTDecodesOnceSOTDecodesPerVariant(t *testing.T) {
 	frames := srcFrames(3)
 	specs := smallSpecs()

@@ -6,10 +6,12 @@
 #      (motion SAD/interpolation/search, transform, video downsample),
 #      printed for inspection
 #   2. cmd/vcubench, which re-measures the tracked workloads (whole-frame
-#      720p encode, kernels, quality guards, pyramid-vs-flat BD-rate)
-#      and rewrites BENCH_codec.json at the repository root
+#      720p encode, kernels, quality guards, pyramid-vs-flat BD-rate,
+#      worker-scaling curve at 1/2/4/8 pool workers) and rewrites
+#      BENCH_codec.json at the repository root
 #
-# Pass -quick to skip the BD-rate RD sweep (a few minutes of encodes).
+# Pass -quick to skip the BD-rate RD sweep and the scaling curve
+# (several minutes of encodes).
 set -eu
 
 cd "$(dirname "$0")/.."
