@@ -15,13 +15,17 @@ check:
 bench:
 	./scripts/bench.sh
 
+# LINT_PAR: packages analyzed concurrently (0 = GOMAXPROCS); output is
+# deterministic at any setting.
+LINT_PAR ?= 0
+
 lint:
-	$(GO) run ./cmd/vculint ./...
+	$(GO) run ./cmd/vculint -par $(LINT_PAR) ./...
 
 # Machine-readable lint report, same shape CI uploads from check.sh
-# (diagnostics plus the per-rule timing envelope).
+# (diagnostics plus the per-rule and summary-build timing envelope).
 lint-json:
-	$(GO) run ./cmd/vculint -json -timing ./... >lint_report.json
+	$(GO) run ./cmd/vculint -json -timing -par $(LINT_PAR) ./... >lint_report.json
 
 race:
 	$(GO) test -race $(RACE_PKGS)

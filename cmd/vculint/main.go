@@ -16,6 +16,8 @@
 //	             scripts/check.sh can enforce the lint latency budget
 //	-rules a,b   run only the named analyzers
 //	-list        print registered analyzers and exit
+//	-par N       analyze N packages concurrently (0 = GOMAXPROCS);
+//	             output is deterministic at any worker count
 //
 // Syntactic analyzers (PR 1): determinism, hotalloc, errdrop, bigcopy.
 //
@@ -24,7 +26,8 @@
 //
 //	scratchshare  a *motion.Scratch / *predict.NeighborBuf parameter
 //	              must not escape the callee (stored, returned, sent,
-//	              or captured by a goroutine)
+//	              captured by a goroutine, or passed to a callee that
+//	              transitively lets its parameter escape)
 //	sharedmut     reference-slot frame/pyramid caches are written only
 //	              inside constructor/build functions; everywhere else
 //	              tile workers share them read-only
@@ -34,10 +37,13 @@
 //	              conversions of SWAR lane accumulators
 //	goleak        a go statement in the scheduling/transcode/cluster/
 //	              codec packages must be joined in the spawning
-//	              function (WaitGroup or channel)
+//	              function (WaitGroup or channel); resolved calls whose
+//	              transitive summary spawns an unjoined goroutine are
+//	              flagged at the call site
 //
-// Control-flow/call-graph analyzers (PR 3, built on the per-function
-// CFG in internal/lint/cfg.go and the one-level call summaries in
+// Control-flow/call-graph analyzers (PR 3; PR 8 replaced the one-level
+// summaries with transitive fixed-point summaries over the SCC
+// condensation of the module call graph — see internal/lint/scc.go and
 // internal/lint/callgraph.go):
 //
 //	lockhygiene   path-sensitive: every acquired mutex is released on
@@ -46,18 +52,36 @@
 //	              unlocking an unheld one are flagged
 //	lockorder     two mutex classes acquired in both orders across
 //	              cluster/sched/vcu — the deadlock precondition —
-//	              chased one level through resolved module calls
+//	              chased through any depth of resolved module calls,
+//	              with the discovery chain shown in the message
 //	waitbalance   WaitGroup Add must be guaranteed before the spawn,
 //	              Done must be reached on every path of the spawned
 //	              body (directly or in a `go helper(&wg)` helper), and
 //	              Add inside the spawned goroutine races Wait
 //	heldblock     channel send/receive, blocking select, range over a
-//	              channel, Wait, or a resolved call doing any of these
-//	              while a mutex is held on some path
+//	              channel, Wait, or a resolved call reaching any of
+//	              these through any chain of resolved callees, while a
+//	              mutex is held on some path
+//
+// Resource and capture analyzers (PR 8, built on the transitive
+// summaries):
+//
+//	closecheck    a local built by a constructor that returns a fresh
+//	              Closer-bearing type (codec.NewEncoder, vcu queues)
+//	              must be Closed on every normal exit path once used;
+//	              ownership transfers silence the obligation
+//	parcapture    closures that outlive their loop iteration capturing
+//	              a shared loop variable, and goroutines in loops
+//	              writing captured state without a lock
+//
+// A function whose recursive call cycle hits the summary iteration cap
+// is reported under the pseudo-rule "lintbudget" (its facts stay sound
+// but may be incomplete) rather than silently under-analyzed.
 //
 // Useful selections:
 //
 //	vculint -rules lockorder,waitbalance,heldblock ./...
+//	vculint -par 8 -rules closecheck,parcapture ./...
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 package main
@@ -85,6 +109,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	timing := fs.Bool("timing", false, "report per-rule wall time (with -json: envelope with a timing object)")
 	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	par := fs.Int("par", 0, "packages analyzed concurrently (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -148,7 +173,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		dirs = append(dirs, filepath.ToSlash(rel))
 	}
 
-	diags, report, err := lint.RunReport(lint.Config{Root: root, Analyzers: analyzers, Dirs: dirs})
+	diags, report, err := lint.RunReport(lint.Config{Root: root, Analyzers: analyzers, Dirs: dirs, Workers: *par})
 	if err != nil {
 		fmt.Fprintln(stderr, "vculint:", err)
 		return 2
@@ -192,6 +217,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			}
 			sort.Strings(names)
 			fmt.Fprintf(stdout, "timing: load %.1fms\n", report.LoadMS)
+			fmt.Fprintf(stdout, "timing: summaries %.1fms\n", report.SummaryMS)
 			for _, name := range names {
 				fmt.Fprintf(stdout, "timing: %-13s %.1fms\n", name, report.RulesMS[name])
 			}

@@ -48,6 +48,30 @@ func exprString(e ast.Expr) string {
 	return ""
 }
 
+// mentionsIdent reports whether an identifier named name occurs in n as
+// a value reference. Selector field names do not count (x.name selects a
+// field, it does not reference the variable), so `enc.Close()` mentions
+// enc but `job.enc` does not mention a local called enc.
+func mentionsIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			if mentionsIdent(sel.X, name) {
+				found = true
+			}
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
 // methodCall matches e against a method call pattern recv.<name>() and
 // returns the canonical receiver string. ok is false if e is not a
 // call of that method name or the receiver cannot be canonicalised.

@@ -8,9 +8,11 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -24,6 +26,11 @@ type Config struct {
 	// Dirs restricts analysis to these root-relative directories (and
 	// their subtrees). Nil means the whole tree.
 	Dirs []string
+	// Workers is the number of packages analyzed concurrently; 0 means
+	// GOMAXPROCS. Output is deterministic regardless of the value: each
+	// package's diagnostics are buffered privately and merged in package
+	// order before the final sort.
+	Workers int
 }
 
 // skipDirNames are directory basenames never descended into.
@@ -40,10 +47,14 @@ var skipDirNames = map[string]bool{
 type Timing struct {
 	// LoadMS covers parsing the module and building the symbol index.
 	LoadMS float64 `json:"load_ms"`
+	// SummaryMS covers building the transitive call-graph summaries
+	// (the SCC fixed point), which runs once up front so the parallel
+	// per-package phase reads the call graph without synchronizing.
+	SummaryMS float64 `json:"summary_ms"`
 	// RulesMS maps analyzer name to its total wall time across all
-	// packages. Lazy module-wide work (call-graph summaries, the
-	// lock-order analysis) is billed to whichever rule triggers it
-	// first.
+	// packages (summed across workers, so it can exceed wall time when
+	// Workers > 1). The module-wide lock-order analysis is billed to
+	// "lockorder".
 	RulesMS map[string]float64 `json:"rules_ms"`
 	TotalMS float64            `json:"total_ms"`
 }
@@ -71,17 +82,77 @@ func RunReport(cfg Config) ([]Diagnostic, *Timing, error) {
 	}
 	idx := buildIndex(pkgs)
 	timing.LoadMS = msSince(start)
+	for _, a := range analyzers {
+		timing.RulesMS[a.Name] += 0 // every configured rule appears in the report
+	}
+
+	// Module-wide analyses run eagerly before the fan-out: the workers
+	// then only read the index, so the parallel phase needs no locks.
+	sumStart := time.Now()
+	cg := idx.callGraph()
+	timing.SummaryMS = msSince(sumStart)
+	for _, a := range analyzers {
+		if a.Name == "lockorder" {
+			loStart := time.Now()
+			idx.lockOrderFindings()
+			timing.RulesMS["lockorder"] += msSince(loStart)
+		}
+	}
 
 	diags := parseDiags
+	diags = append(diags, cg.budget...)
+
+	var work []*Package
 	for _, pkg := range pkgs {
 		if cfg.Dirs != nil && !dirMatchesAny(pkg.Dir, cfg.Dirs) {
 			continue
 		}
-		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, Index: idx, analyzer: a, fset: fset, diags: &diags}
-			ruleStart := time.Now()
-			a.Run(pass)
-			timing.RulesMS[a.Name] += msSince(ruleStart)
+		work = append(work, pkg)
+	}
+	type pkgResult struct {
+		diags  []Diagnostic
+		ruleMS map[string]float64
+	}
+	results := make([]pkgResult, len(work))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res := &results[i]
+				res.ruleMS = map[string]float64{}
+				for _, a := range analyzers {
+					pass := &Pass{Pkg: work[i], Index: idx, analyzer: a, fset: fset, diags: &res.diags}
+					ruleStart := time.Now()
+					a.Run(pass)
+					res.ruleMS[a.Name] += msSince(ruleStart)
+				}
+			}
+		}()
+	}
+	for i := range work {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	// Merge in package order: findings are position-sorted below anyway,
+	// but equal-position diagnostics keep a stable package-order tie.
+	for i := range results {
+		diags = append(diags, results[i].diags...)
+		for name, ms := range results[i].ruleMS {
+			timing.RulesMS[name] += ms
 		}
 	}
 
@@ -233,6 +304,7 @@ func importAliases(f *ast.File) map[string]string {
 var pseudoRules = map[string]bool{
 	"parse":         true,
 	"lintdirective": true,
+	"lintbudget":    true,
 	"*":             true,
 }
 

@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"strings"
 )
 
@@ -26,7 +25,9 @@ func init() {
 			"same function: the goroutine must call Done on a WaitGroup " +
 			"that the function Waits on, or send/close a channel the " +
 			"function receives from (or be handed one of those as an " +
-			"argument)",
+			"argument); also flags resolved calls into out-of-scope " +
+			"packages whose transitive summary spawns an unjoined " +
+			"goroutine",
 		Run: runGoLeak,
 	})
 }
@@ -51,88 +52,59 @@ func runGoLeak(pass *Pass) {
 
 func checkGoLeak(pass *Pass, f *File, fd *ast.FuncDecl) {
 	sc := newFuncScope(pass.Index, f, pass.Pkg.Dir, fd)
-
 	// waited: canonical receivers of .Wait() calls anywhere in the
 	// function — WaitGroups the function joins on.
 	// received: canonical channels the function receives from (<-ch,
-	// range ch, select case <-ch).
-	waited := map[string]bool{}
-	received := map[string]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if recv, ok := methodCall(x, "Wait"); ok {
-				waited[recv] = true
-			}
-		case *ast.UnaryExpr:
-			if x.Op == token.ARROW {
-				if s := exprString(x.X); s != "" {
-					received[s] = true
-				}
-			}
-		case *ast.RangeStmt:
-			t := sc.typeOf(x.X)
-			if t != nil && t.kind == kindChan {
-				if s := exprString(x.X); s != "" {
-					received[s] = true
-				}
-			}
-		}
-		return true
-	})
-
-	joins := func(name string) bool { return waited[name] || received[name] }
+	// range ch, select case <-ch). Shared with the spawn summary.
+	waited, received := collectJoins(sc, fd.Body)
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		g, ok := n.(*ast.GoStmt)
 		if !ok {
 			return true
 		}
-		joined := false
-		if lit, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
-			ast.Inspect(lit.Body, func(m ast.Node) bool {
-				if joined {
-					return false
-				}
-				switch y := m.(type) {
-				case *ast.CallExpr:
-					// wg.Done() / close(ch) on a joined handle.
-					if recv, ok := methodCall(y, "Done"); ok && waited[recv] {
-						joined = true
-					}
-					if id, isIdent := y.Fun.(*ast.Ident); isIdent && id.Name == "close" && len(y.Args) == 1 {
-						if received[exprString(y.Args[0])] {
-							joined = true
-						}
-					}
-				case *ast.SendStmt:
-					if received[exprString(y.Chan)] {
-						joined = true
-					}
-				}
-				return true
-			})
-		}
-		// A joined handle passed as an argument (go worker(&wg, ch))
-		// ties the goroutine's lifetime to it as well.
-		for _, arg := range g.Call.Args {
-			if joined {
-				break
-			}
-			e := arg
-			if u, isAddr := e.(*ast.UnaryExpr); isAddr && u.Op == token.AND {
-				e = u.X
-			}
-			if s := exprString(e); s != "" && joins(s) {
-				joined = true
-			}
-		}
-		if !joined && poolWorkerJoined(pass, sc, g.Call) {
-			joined = true
-		}
-		if !joined {
+		if !goStmtJoined(pass.Index, sc, waited, received, g) {
 			pass.Reportf(g.Pos(),
 				"goroutine is not joined in this function: no Done on a waited WaitGroup, no send/close on a received channel")
+		}
+		return true
+	})
+
+	// Transitive leaks: a resolved call whose summary spawns an
+	// unjoined goroutine leaks from here just the same, but the spawn
+	// site lives in a package this rule never visits — report it at the
+	// call. Callees inside the rule's own scope get their direct
+	// finding at the go statement instead, so they are skipped to avoid
+	// double-reporting.
+	cg := pass.Index.callGraph()
+	cls := &opClassifier{sc: sc, idx: pass.Index, f: f, dir: pass.Pkg.Dir, resolveCalls: true}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			key := cls.calleeKey(x)
+			if key == "" {
+				return true
+			}
+			sum := cg.summaries[key]
+			if sum == nil || !sum.spawnsUnjoined {
+				return true
+			}
+			calleeDir := key[:strings.LastIndexByte(key, '.')]
+			if i := strings.IndexByte(calleeDir, '.'); i >= 0 {
+				calleeDir = calleeDir[:i] // "dir.Type.Method": keep dir
+			}
+			if dirMatchesAny(calleeDir, goleakDirs) {
+				return true
+			}
+			via := lockClassDisplay(key)
+			if sum.spawnVia != "" {
+				via += " -> " + sum.spawnVia
+			}
+			pass.Reportf(x.Pos(),
+				"call to %s starts a goroutine that is never joined (spawn reached via %s); the goroutine outlives this function's work item",
+				lockClassDisplay(key), via)
 		}
 		return true
 	})
@@ -144,7 +116,7 @@ func checkGoLeak(pass *Pass, f *File, fd *ast.FuncDecl) {
 // The goroutine's lifetime is then owned by the pool value and joined
 // at its close method, not in the spawning constructor — a deliberate
 // idiom (the encoder's tile worker pool), not a leak.
-func poolWorkerJoined(pass *Pass, sc *funcScope, call *ast.CallExpr) bool {
+func poolWorkerJoined(idx *Index, sc *funcScope, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || len(call.Args) != 0 {
 		return false
@@ -161,7 +133,7 @@ func poolWorkerJoined(pass *Pass, sc *funcScope, call *ast.CallExpr) bool {
 		return false
 	}
 	dir, typ := t.name[:i], t.name[i+1:]
-	workers := pass.Index.funcDecls[dir+"."+typ+"."+sel.Sel.Name]
+	workers := idx.funcDecls[dir+"."+typ+"."+sel.Sel.Name]
 	if len(workers) == 0 {
 		return false
 	}
@@ -170,7 +142,7 @@ func poolWorkerJoined(pass *Pass, sc *funcScope, call *ast.CallExpr) bool {
 		return false
 	}
 	// Some other method of the same type must join on that field.
-	for key, decls := range pass.Index.funcDecls {
+	for key, decls := range idx.funcDecls {
 		if !strings.HasPrefix(key, dir+"."+typ+".") {
 			continue
 		}

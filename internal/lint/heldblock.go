@@ -11,8 +11,9 @@ func init() {
 		Name: "heldblock",
 		Doc: "flags potentially-blocking operations — channel send/receive, " +
 			"blocking select, range over a channel, Wait, or a resolved call " +
-			"that can do any of these — reachable while a mutex is held on " +
-			"some control-flow path",
+			"that can reach any of these through any chain of resolved " +
+			"callees — reachable while a mutex is held on some control-flow " +
+			"path; calls that release the held lock class are exempt",
 		Run: runHeldBlock,
 	})
 }
@@ -92,9 +93,20 @@ func checkHeldBlock(pass *Pass, cg *callGraph, sc *funcScope, f *File, body *ast
 				return
 			}
 			inner := held[len(held)-1]
+			// A lock-management helper that releases the held class
+			// before (or around) its blocking op is not holding the
+			// caller's lock across it; the summary can't order the two,
+			// so degrade to silence rather than accuse the idiom.
+			if inner.class != "" && sum.releases[inner.class] {
+				return
+			}
+			what := sum.blockingWhat
+			if sum.blockingVia != "" {
+				what += " via " + sum.blockingVia
+			}
 			report(op.pos, op.callKey, fmt.Sprintf(
 				"call to %s may block (%s) while %s is held; a blocked holder stalls every other taker of %s",
-				lockClassDisplay(op.callKey), sum.blockingWhat, inner.recv, inner.recv))
+				lockClassDisplay(op.callKey), what, inner.recv, inner.recv))
 		},
 	})
 	if aborted {

@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Index is module-wide symbol information built from a single parse of
@@ -49,13 +50,16 @@ type Index struct {
 	intConsts map[string]intConst
 
 	// cg caches the call-graph summaries (callgraph.go), built lazily by
-	// the first rule that needs interprocedural facts.
-	cg *callGraph
+	// the first rule that needs interprocedural facts. The sync.Once
+	// makes the lazy path safe under the parallel driver (which also
+	// pre-builds it eagerly to keep the hot path contention-free).
+	cg     *callGraph
+	cgOnce sync.Once
 
 	// lockOrder caches the module-wide lock-order analysis
 	// (lockorder.go): it is a whole-program property, computed once and
 	// then reported per owning package.
-	lockOrderDone bool
+	lockOrderOnce sync.Once
 	lockOrder     []lockOrderFinding
 }
 

@@ -137,6 +137,12 @@ func TestLockOrderFixture(t *testing.T)   { runFixture(t, "lockorder", "internal
 func TestHeldBlockFixture(t *testing.T)   { runFixture(t, "heldblock", "internal/vcu/held") }
 func TestWaitBalanceFixture(t *testing.T) { runFixture(t, "waitbalance", "internal/vcu/fanout") }
 
+// The transitive-summary rules (this PR): closecheck's positives sit
+// behind a two-deep constructor wrapper and parcapture's negatives pin
+// the Go 1.22 per-iteration loop semantics.
+func TestCloseCheckFixture(t *testing.T) { runFixture(t, "closecheck", "internal/vcu/closer") }
+func TestParCaptureFixture(t *testing.T) { runFixture(t, "parcapture", "internal/vcu/parcap") }
+
 // TestRunReportTiming verifies the per-rule wall-time report: every
 // configured analyzer is billed, and the totals are sane.
 func TestRunReportTiming(t *testing.T) {

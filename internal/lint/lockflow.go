@@ -35,8 +35,10 @@ type lockOp struct {
 	// class is the module-wide lock identity "pkgdir.Type.field"; ""
 	// when the receiver's type does not resolve to a module type.
 	class string
-	// callKey is the symbol-index key of a resolved module callee.
+	// callKey is the symbol-index key of a resolved module callee, and
+	// call its site (for positional argument mapping in summaries).
 	callKey string
+	call    *ast.CallExpr
 	// what describes a blocking op for messages ("channel send", ...).
 	what string
 	pos  token.Pos
@@ -183,11 +185,15 @@ func (c *opClassifier) nodeOps(g *cfg, n ast.Node, out *[]lockOp) {
 		// defer recv.Unlock() / defer recv.RUnlock(), directly or inside
 		// a deferred function literal.
 		appendDeferRelease := func(call *ast.CallExpr) {
+			class := ""
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				class = c.lockClassOf(sel.X)
+			}
 			if recv, ok := methodCall(call, "Unlock"); ok {
-				*out = append(*out, lockOp{kind: opDeferRelease, recv: recv, rw: false, pos: call.Pos()})
+				*out = append(*out, lockOp{kind: opDeferRelease, recv: recv, rw: false, class: class, pos: call.Pos()})
 			}
 			if recv, ok := methodCall(call, "RUnlock"); ok {
-				*out = append(*out, lockOp{kind: opDeferRelease, recv: recv, rw: true, pos: call.Pos()})
+				*out = append(*out, lockOp{kind: opDeferRelease, recv: recv, rw: true, class: class, pos: call.Pos()})
 			}
 		}
 		appendDeferRelease(node.Call)
@@ -224,6 +230,15 @@ func (c *opClassifier) nodeOps(g *cfg, n ast.Node, out *[]lockOp) {
 		case *ast.CallExpr:
 			sel, ok := mm.Fun.(*ast.SelectorExpr)
 			if !ok {
+				// Same-package free-function call (helper()): resolvable
+				// through the index even without a selector.
+				if c.resolveCalls {
+					if _, isIdent := mm.Fun.(*ast.Ident); isIdent {
+						if key := c.calleeKey(mm); key != "" {
+							*out = append(*out, lockOp{kind: opCall, callKey: key, call: mm, pos: mm.Pos()})
+						}
+					}
+				}
 				return true
 			}
 			recvStr := exprString(sel.X)
@@ -257,7 +272,7 @@ func (c *opClassifier) nodeOps(g *cfg, n ast.Node, out *[]lockOp) {
 			default:
 				if c.resolveCalls {
 					if key := c.calleeKey(mm); key != "" {
-						*out = append(*out, lockOp{kind: opCall, callKey: key, pos: mm.Pos()})
+						*out = append(*out, lockOp{kind: opCall, callKey: key, call: mm, pos: mm.Pos()})
 					}
 				}
 			}

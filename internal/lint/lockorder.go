@@ -13,7 +13,8 @@ func init() {
 		Doc: "detects inconsistent mutex acquisition order across the cluster/" +
 			"sched/vcu packages — two lock classes taken in both orders on " +
 			"some pair of paths is the classic deadlock precondition; " +
-			"acquisitions are chased one level through resolved module calls",
+			"acquisitions are chased transitively through every chain of " +
+			"resolved module calls via the fixed-point summaries",
 		Run: runLockOrder,
 	})
 }
@@ -56,24 +57,29 @@ type lockOrderSite struct {
 	pkg *Package
 	f   *File
 	pos token.Pos
-	// via is the resolved callee key for edges discovered through a
-	// call's summary; "" for direct acquisitions.
+	// via is the display call chain for edges discovered through a
+	// call's transitive summary ("sched.helper -> sched.lockBoth"); ""
+	// for direct acquisitions.
 	via string
 }
 
 // lockOrderFindings runs the module-wide acquisition-order analysis
 // once per Index. For every function in scope it walks the lock paths
 // collecting directed class edges "A held when B acquired" — directly,
-// and one level through resolved calls via the call-graph summaries —
+// and through resolved calls via the transitive call-graph summaries
+// (any depth of resolved callees, with the discovery chain shown) —
 // then reports every site of an edge that participates in a cycle.
 // Functions whose exploration aborts contribute no edges (silence);
 // unknown lock classes and unresolved callees likewise contribute
 // nothing.
 func (idx *Index) lockOrderFindings() []lockOrderFinding {
-	if idx.lockOrderDone {
-		return idx.lockOrder
-	}
-	idx.lockOrderDone = true
+	idx.lockOrderOnce.Do(func() {
+		idx.lockOrder = idx.computeLockOrderFindings()
+	})
+	return idx.lockOrder
+}
+
+func (idx *Index) computeLockOrderFindings() []lockOrderFinding {
 	cg := idx.callGraph()
 
 	type edgeKey struct{ from, to string }
@@ -139,7 +145,8 @@ func (idx *Index) lockOrderFindings() []lockOrderFinding {
 								if h.class == "" || h.class == to {
 									continue
 								}
-								from, s := h.class, lockOrderSite{pkg: fd.pkg, f: fd.file, pos: op.pos, via: op.callKey}
+								from := h.class
+								s := lockOrderSite{pkg: fd.pkg, f: fd.file, pos: op.pos, via: viaChain(op.callKey, sum.acquiresVia[to])}
 								toCl := to
 								pending = append(pending, func() { addSite(from, toCl, s) })
 							}
@@ -230,11 +237,10 @@ func (idx *Index) lockOrderFindings() []lockOrderFinding {
 					lockClassDisplay(e.to), lockClassDisplay(e.from), counter)
 			} else {
 				msg = fmt.Sprintf("lock order inversion: call to %s acquires %s while %s is held, but %s (deadlock risk)",
-					lockClassDisplay(s.via), lockClassDisplay(e.to), lockClassDisplay(e.from), counter)
+					s.via, lockClassDisplay(e.to), lockClassDisplay(e.from), counter)
 			}
 			findings = append(findings, lockOrderFinding{pkg: s.pkg, pos: s.pos, msg: msg})
 		}
 	}
-	idx.lockOrder = findings
 	return findings
 }

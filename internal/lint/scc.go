@@ -1,0 +1,98 @@
+package lint
+
+// Tarjan strongly-connected-component condensation of the module call
+// graph. The summary engine (callgraph.go) processes components in the
+// order Tarjan emits them — every component is emitted only after every
+// component it can reach — so a bottom-up pass sees each callee's final
+// summary before any caller outside the callee's own component, and only
+// recursive cycles need fixed-point iteration.
+
+// sccGraph is the input: node i's out-edges are edges[i].
+type sccGraph struct {
+	n     int
+	edges [][]int
+}
+
+// condense returns the strongly connected components of g in reverse
+// topological order of the condensation (callees before callers). The
+// node order inside each component follows discovery order, which is
+// deterministic for a deterministic edge order.
+func (g *sccGraph) condense() [][]int {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps   [][]int
+		stack   []int
+		counter int
+	)
+
+	// Iterative Tarjan: frame.ei is the next out-edge to explore, so the
+	// walk resumes mid-node after returning from a child.
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{v: root}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			v := fr.v
+			if fr.ei == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for fr.ei < len(g.edges[v]) {
+				w := g.edges[v][fr.ei]
+				fr.ei++
+				if index[w] == unvisited {
+					work = append(work, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished: pop its component if it is a root.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				// Reverse to discovery order for deterministic iteration.
+				for i, j := 0, len(comp)-1; i < j; i, j = i+1, j-1 {
+					comp[i], comp[j] = comp[j], comp[i]
+				}
+				comps = append(comps, comp)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comps
+}

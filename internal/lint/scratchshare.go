@@ -22,9 +22,10 @@ func init() {
 		Doc: "flags escaping *motion.Scratch / *predict.NeighborBuf " +
 			"parameters: returning the parameter, storing it into a " +
 			"struct field or composite literal, sending it on a channel, " +
-			"or capturing it in a go statement. Scratch buffers are " +
-			"caller-owned loans; an escape lets two encode contexts " +
-			"share one buffer",
+			"capturing it in a go statement, or passing it to a resolved " +
+			"callee that (transitively) lets its parameter escape. " +
+			"Scratch buffers are caller-owned loans; an escape lets two " +
+			"encode contexts share one buffer",
 		Run: runScratchShare,
 	})
 }
@@ -80,6 +81,18 @@ func checkScratchEscapes(pass *Pass, f *File, fd *ast.FuncDecl) {
 	if len(tracked) == 0 {
 		return
 	}
+
+	// go-statement calls are reported by the GoStmt case below; the
+	// call-site escape check must not double-report them.
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goCalls[g.Call] = true
+		}
+		return true
+	})
+	cg := pass.Index.callGraph()
+	cls := &opClassifier{sc: newFuncScope(pass.Index, f, pass.Pkg.Dir, fd), idx: pass.Index, f: f, dir: pass.Pkg.Dir, resolveCalls: true}
 
 	trackedIdent := func(e ast.Expr) (string, string, bool) {
 		for {
@@ -145,6 +158,37 @@ func checkScratchEscapes(pass *Pass, f *File, fd *ast.FuncDecl) {
 						"*%s parameter %s captured in a composite literal; scratch buffers are caller-owned and must not escape",
 						scratchDisplayName(q), name)
 				}
+			}
+		case *ast.CallExpr:
+			// Handing the loan to a helper is fine — unless the helper
+			// (or anything it resolves into, any depth down) leaks it.
+			if goCalls[st] {
+				return true
+			}
+			key := cls.calleeKey(st)
+			if key == "" {
+				return true
+			}
+			sum := cg.summaries[key]
+			if sum == nil || len(sum.paramEscapes) == 0 ||
+				sum.variadic || st.Ellipsis.IsValid() || len(st.Args) != sum.paramCount {
+				return true
+			}
+			for i, arg := range st.Args {
+				name, q, ok := trackedIdent(arg)
+				if !ok {
+					continue
+				}
+				chain, escapes := sum.paramEscapes[i]
+				if !escapes {
+					continue
+				}
+				if _, isScratch := sum.scratchParams[i]; !isScratch {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"*%s parameter %s passed to %s, which lets it escape (via %s); scratch buffers are caller-owned and must not escape",
+					scratchDisplayName(q), name, lockClassDisplay(key), viaChain(key, chain))
 			}
 		case *ast.GoStmt:
 			reported := false

@@ -5,7 +5,11 @@
 // the dataflow layer to type the range operand.
 package cluster
 
-import "sync"
+import (
+	"sync"
+
+	"openvcu/internal/pump"
+)
 
 func fanOutJoined(n int) {
 	var wg sync.WaitGroup
@@ -72,6 +76,19 @@ func worker(wg *sync.WaitGroup) {
 }
 
 func background() {}
+
+// deepDetach reaches a spawn two calls away in an out-of-scope package
+// (pump.Relay -> pump.startPump -> go): the go statement is invisible
+// to this rule's direct scan, so only the transitive summary can
+// charge the leak to this caller.
+func deepDetach(ch chan int) {
+	pump.Relay(ch) // want "starts a goroutine that is never joined"
+}
+
+// deepDrain calls the synchronous sibling: no spawn anywhere below.
+func deepDrain(ch chan int) {
+	pump.DrainNow(ch)
+}
 
 // --- persistent-pool shapes ---------------------------------------------
 

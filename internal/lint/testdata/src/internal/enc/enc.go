@@ -69,6 +69,30 @@ func suppressedStore(p *pipeline, sc *motion.Scratch) {
 
 func use(sc *motion.Scratch) {}
 
+// --- transitive escape chain ---------------------------------------------
+
+// stashDeep is the only function that stores the loan directly.
+func stashDeep(p *pipeline, sc *motion.Scratch) {
+	p.sc = sc // want "stored into p.sc; scratch buffers are caller-owned"
+}
+
+// passDeep1 forwards the loan into the leak one call down.
+func passDeep1(p *pipeline, sc *motion.Scratch) {
+	stashDeep(p, sc) // want "lets it escape \(via enc.stashDeep\)"
+}
+
+// passDeep2 is two calls from the store: passDeep1 has no direct
+// escape, so a one-level summary sees nothing here — only the
+// transitive summary carries the escape fact up the chain.
+func passDeep2(p *pipeline, sc *motion.Scratch) {
+	passDeep1(p, sc) // want "lets it escape \(via enc.passDeep1 -> enc.stashDeep\)"
+}
+
+// forwardOnly2 forwards through a chain that never stores: silent.
+func forwardOnly2(sc *motion.Scratch) {
+	passThrough(sc)
+}
+
 // poolWorker is the persistent-pool idiom: the worker owns its scratch
 // for its whole lifetime and loans it to each job in turn. The loan
 // never outlives the job call, so nothing here is a finding.

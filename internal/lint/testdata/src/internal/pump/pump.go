@@ -1,0 +1,25 @@
+// Package pump is a helper fixture for the transitive goleak check. It
+// sits outside the goleak rule's package scope, so its spawn sites get
+// no direct findings — a caller in a scoped package can only learn
+// about them through the transitive call-graph summaries.
+package pump
+
+// startPump spawns a forwarding goroutine that nothing ever joins.
+func startPump(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Relay is the two-deep wrapper: it has no go statement of its own, so
+// a one-level summary of Relay is empty.
+func Relay(ch chan int) {
+	startPump(ch)
+}
+
+// DrainNow drains synchronously: nothing spawns, nothing to report.
+func DrainNow(ch chan int) {
+	for range ch {
+	}
+}

@@ -1,0 +1,159 @@
+// Package closer is a closecheck-analyzer fixture: a local built by a
+// constructor that (transitively) returns a fresh Closer-bearing type
+// must be Closed on every normal exit path once it has been used. The
+// two-deep constructor wrapper openTraced makes the positives invisible
+// to a one-level engine: only the fixed-point summary knows its result
+// is a fresh Session.
+package closer
+
+import "errors"
+
+// Session is the fixture's closable resource.
+type Session struct {
+	open bool
+}
+
+// Close releases the session.
+func (s *Session) Close() error {
+	s.open = false
+	return nil
+}
+
+// Ping uses the session.
+func (s *Session) Ping() error {
+	if !s.open {
+		return errors.New("closed")
+	}
+	return nil
+}
+
+// NewSession is the fresh constructor.
+func NewSession() (*Session, error) {
+	return &Session{open: true}, nil
+}
+
+// openTraced is a pure pass-through two calls from the fixture's
+// positives: its own body has no composite literal, so only the
+// transitive closerResults fact marks its result as caller-owned.
+func openTraced() (*Session, error) {
+	return NewSession()
+}
+
+// leakOnErrorPath closes on the happy path only: the Ping error return
+// leaks the session.
+func leakOnErrorPath() error {
+	s, err := openTraced() // want "not Closed on every path"
+	if err != nil {
+		return err
+	}
+	if perr := s.Ping(); perr != nil {
+		return perr
+	}
+	return s.Close()
+}
+
+// neverClosed uses the session and never closes it anywhere.
+func neverClosed() error {
+	s, err := NewSession() // want "not Closed on every path"
+	if err != nil {
+		return err
+	}
+	return s.Ping()
+}
+
+// deferClosed is the canonical accepted shape: the error-path return
+// before the defer is fine because the session is unused there.
+func deferClosed() error {
+	s, err := NewSession()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return s.Ping()
+}
+
+// namedReturnDefer is the error-joining idiom from the encode path: the
+// deferred literal closes and folds the close error into the named
+// return.
+func namedReturnDefer() (err error) {
+	s, serr := openTraced()
+	if serr != nil {
+		return serr
+	}
+	defer func() {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return s.Ping()
+}
+
+// transferred hands ownership to the caller: the obligation moves with
+// the value (and transferred itself becomes a traced constructor).
+func transferred() (*Session, error) {
+	s, err := NewSession()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// holder outlives any one call.
+type holder struct {
+	s *Session
+}
+
+// stored moves the session into longer-lived state: ownership
+// transfer, not a leak chargeable to this function.
+func stored(h *holder) error {
+	s, err := NewSession()
+	if err != nil {
+		return err
+	}
+	h.s = s
+	return nil
+}
+
+// closeHelper closes its parameter on every path, so calls to it
+// discharge the obligation.
+func closeHelper(s *Session) error {
+	return s.Close()
+}
+
+// closedViaHelper closes through the helper on both exits.
+func closedViaHelper() error {
+	s, err := openTraced()
+	if err != nil {
+		return err
+	}
+	if perr := s.Ping(); perr != nil {
+		_ = closeHelper(s)
+		return perr
+	}
+	return closeHelper(s)
+}
+
+// suppressedLeak documents a session that deliberately lives to
+// process exit.
+func suppressedLeak() error {
+	//lint:ignore closecheck fixture session intentionally lives to process exit
+	s, err := NewSession()
+	if err != nil {
+		return err
+	}
+	return s.Ping()
+}
+
+// reassigned is overwritten later: the single-assignment tracking no
+// longer covers the value, so the analysis degrades to silence.
+func reassigned() error {
+	s, err := NewSession()
+	if err != nil {
+		return err
+	}
+	s, err = NewSession()
+	if err != nil {
+		return err
+	}
+	return s.Close()
+}

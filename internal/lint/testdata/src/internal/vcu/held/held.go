@@ -70,3 +70,29 @@ func (m *mailbox) badCallBlocks() {
 	defer m.mu.Unlock()
 	m.flush() // want "may block"
 }
+
+// level2 blocks on a receive; level1 is a pure pass-through with no
+// channel operation of its own.
+func (m *mailbox) level2() {
+	m.n = <-m.ch
+}
+
+func (m *mailbox) level1() {
+	m.level2()
+}
+
+// badCallBlocksDeep reaches the receive two calls down: a one-level
+// summary of level1 is empty, so only the transitive fixed point fires.
+func (m *mailbox) badCallBlocksDeep() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.level1() // want "may block.*level2"
+}
+
+// goodCallDeepAfterUnlock makes the same deep call lock-free.
+func (m *mailbox) goodCallDeepAfterUnlock() {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+	m.level1()
+}

@@ -1,0 +1,57 @@
+// Two-deep inversion: HostThenLane reaches Lane.mu only through
+// mid -> bottom. mid has no direct acquisition, so a one-level summary
+// sees nothing at the HostThenLane call site — only the transitive
+// fixed-point summary carries bottom's acquisition up through mid.
+package ordering
+
+import "sync"
+
+// Host models the machine-level registration lock.
+type Host struct {
+	mu    sync.Mutex
+	lanes int
+}
+
+// Lane models one submission lane.
+type Lane struct {
+	mu   sync.Mutex
+	busy bool
+}
+
+// bottom is the only function that touches Lane.mu directly.
+func bottom(l *Lane) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.busy = true
+}
+
+// mid is a pure pass-through: no locks of its own.
+func mid(l *Lane) {
+	bottom(l)
+}
+
+// HostThenLane takes Host.mu, then reaches Lane.mu two calls down.
+func HostThenLane(h *Host, l *Lane) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.lanes++
+	mid(l) // want "lock order inversion"
+}
+
+// LaneThenHost takes the opposite order directly.
+func LaneThenHost(h *Host, l *Lane) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h.mu.Lock() // want "lock order inversion"
+	h.lanes--
+	h.mu.Unlock()
+}
+
+// ConsistentDeep uses the same chain but never holds Host.mu across
+// it: consistent order, no finding.
+func ConsistentDeep(h *Host, l *Lane) {
+	h.mu.Lock()
+	h.lanes++
+	h.mu.Unlock()
+	mid(l)
+}

@@ -1,0 +1,54 @@
+// Package recur exercises the fixed-point iteration of the summary
+// engine: a self-recursive function and a mutually-recursive pair whose
+// interprocedural facts (acquired lock classes) must converge inside
+// their strongly connected components.
+package recur
+
+import "sync"
+
+// R carries the self-recursion lock.
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+// selfLock recurses while acquiring the lock each level; the fixed
+// point must converge with acquires = {R.mu} and no cap hit.
+func selfLock(r *R, n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+	selfLock(r, n-1)
+}
+
+// S carries two distinct lock classes for the mutual pair.
+type S struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+	n   int
+}
+
+// mutualA locks amu, releases it, then descends into mutualB: neither
+// lock is ever held across the recursive call, so there is no ordering
+// edge — but both functions transitively acquire both classes.
+func mutualA(s *S, n int) {
+	s.amu.Lock()
+	s.n++
+	s.amu.Unlock()
+	if n > 0 {
+		mutualB(s, n-1)
+	}
+}
+
+// mutualB is the other half of the cycle with its own lock class.
+func mutualB(s *S, n int) {
+	s.bmu.Lock()
+	s.n--
+	s.bmu.Unlock()
+	if n > 0 {
+		mutualA(s, n-1)
+	}
+}

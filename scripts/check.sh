@@ -7,11 +7,14 @@
 #   3. vculint       project-specific analyzers (internal/lint):
 #                    determinism, hotalloc, errdrop, bigcopy, the
 #                    dataflow rules scratchshare, sharedmut, swarwidth,
-#                    goleak, and the CFG/call-graph rules lockhygiene,
-#                    lockorder, waitbalance, heldblock; the JSON report
-#                    (with per-rule timing) is written to
-#                    lint_report.json either way, and the suite must
-#                    finish inside its wall-time budget
+#                    goleak, the CFG/call-graph rules lockhygiene,
+#                    lockorder, waitbalance, heldblock, and the
+#                    transitive-summary rules closecheck, parcapture;
+#                    packages are analyzed in parallel (-par 0 =
+#                    GOMAXPROCS) with deterministic output; the JSON
+#                    report (with per-rule and summary-build timing) is
+#                    written to lint_report.json either way, and the
+#                    suite must finish inside its wall-time budget
 #   4. go build      the whole module
 #   5. go test       the whole module
 #   6. go test -race the concurrent packages
@@ -52,7 +55,7 @@ check_fmt() {
 # budget so the suite never becomes the slow step of the gate.
 LINT_BUDGET_MS=15000
 check_lint() {
-    if ! go run ./cmd/vculint -json -timing ./... >lint_report.json; then
+    if ! go run ./cmd/vculint -json -timing -par "${LINT_PAR:-0}" ./... >lint_report.json; then
         echo "vculint findings (lint_report.json):" >&2
         cat lint_report.json >&2
         return 1
