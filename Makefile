@@ -5,7 +5,7 @@
 GO ?= go
 RACE_PKGS = ./internal/sched ./internal/transcode ./internal/cluster ./internal/codec ./internal/video
 
-.PHONY: check lint lint-json race build test fmt bench chaos fuzz overload
+.PHONY: check lint lint-json race build test fmt bench chaos fuzz overload autoscale
 
 check:
 	./scripts/check.sh
@@ -44,6 +44,15 @@ chaos:
 overload:
 	OVERLOAD_LONG=1 $(GO) test -race -v -run 'TestOverload|TestAdmission|TestBrownout|TestHedgeGuard|TestLiveDeadline|TestRegionSheds' ./internal/cluster
 	$(GO) test -race -v -run 'TestGoodput|TestSLOVs|TestOverloadCurves' ./internal/fleetsim
+
+# Autoscaling verification: the controller-interaction game-day (the
+# autoscaler and the brownout ladder sharing the backlog signal without
+# oscillating), the capacity-model units and the sched resize
+# primitives under -race, plus the fleetsim cost-vs-SLO frontier. The
+# tier-1 gate runs the game-day and determinism check as its smoke.
+autoscale:
+	$(GO) test -race -v -run 'TestAutoscale|TestCapacityModel|TestPredictedQueue|TestRequiredWorkers|TestBrownoutHolds|TestRebalanceStands|TestDrainBeforeRemove|TestCancelDrain|TestActivateAfterRetire|TestScaleFromZero|TestStaleRelease' ./internal/cluster ./internal/sched
+	$(GO) test -race -v -run 'TestCostVsSLOFrontier|TestFrontierDeterministic' ./internal/fleetsim
 
 # Extended decoder fuzzing (the gate runs a 10s smoke).
 fuzz:

@@ -18,8 +18,9 @@ func main() {
 	fig9c := flag.Bool("fig9c", false, "Figure 9c only")
 	fig10 := flag.Bool("fig10", false, "Figure 10 only")
 	overload := flag.Bool("overload", false, "overload curves only (goodput vs offered load, SLO vs fleet loss)")
+	autoscale := flag.Bool("autoscale", false, "autoscaling cost-vs-SLO frontier only")
 	flag.Parse()
-	all := !*fig8 && !*fig9a && !*fig9b && !*fig9c && !*fig10 && !*overload
+	all := !*fig8 && !*fig9a && !*fig9b && !*fig9c && !*fig10 && !*overload && !*autoscale
 	cfg := fleetsim.DefaultConfig()
 
 	if all || *fig8 {
@@ -85,6 +86,20 @@ func main() {
 				s.HostsLost, s.LiveSLO, s.BatchShedFraction*100, s.Overflowed)
 		}
 		fmt.Println("(live attainment degrades far more slowly than capacity)")
+	}
+	if all || *autoscale {
+		if all {
+			fmt.Println()
+		}
+		fmt.Println("== Autoscaling: cost-vs-SLO frontier (diurnal + 2x spike trace) ==")
+		fmt.Printf("%-10s %6s %10s %9s %8s %8s %10s\n",
+			"policy", "rho*", "cost (wh)", "x oracle", "liveSLO", "resizes", "conflicts")
+		for _, p := range fleetsim.CostVsSLOFrontier(fleetsim.DefaultFrontierConfig()) {
+			fmt.Printf("%-10s %6.1f %10.1f %9.2f %8.3f %8d %10d\n",
+				p.Policy, p.TargetUtil, p.CostWorkerHours, p.CostVsOracle,
+				p.LiveSLO, p.Resizes, p.ConflictTicks)
+		}
+		fmt.Println("(the autoscaled park tracks the trace near oracle cost; the static park pays peak around the clock)")
 	}
 }
 

@@ -1,0 +1,161 @@
+package cluster
+
+import "math"
+
+// This file is the analyzer half of the autoscaling control loop
+// (ROADMAP item 1, modeled on the collector → analyzer → optimizer →
+// actuator pipeline of workload-variant autoscalers): an M/M/1/k-style
+// queueing capacity model fitted online from the cluster's own
+// telemetry. The collector samples offered load, completions, busy
+// workers and backlog each tick; the model keeps exponentially-weighted
+// estimates of the step arrival rate λ and the per-worker throughput μ,
+// and answers the optimizer's question — how many workers hold the SLO
+// at the current arrival rate?
+//
+// μ is an *aggregate* per-worker service rate (completions per busy
+// worker per second), not a single-server rate: a VCU worker runs many
+// steps concurrently across its capacity dimensions, and measuring
+// throughput per busy worker absorbs that concurrency without modeling
+// it. The queueing term then treats n workers as one M/M/1 server of
+// rate n·μ with the admission bound k as the buffer — pessimistic in
+// shape but deterministic, cheap, and accurate enough to size a park.
+
+// CapacitySample is one collector observation over a control period.
+type CapacitySample struct {
+	// OfferedPerSec is the transcode-step demand rate over the window:
+	// admissions plus sheds per second (shed demand is still demand).
+	OfferedPerSec float64
+	// CompletedPerSec is the transcode-step completion rate.
+	CompletedPerSec float64
+	// BusyWorkers is the instantaneous count of non-idle active workers.
+	BusyWorkers int
+	// Backlog is the eligible transcode backlog at sample time.
+	Backlog int
+}
+
+// CapacityModel is the fitted queueing model. All state is a pure
+// function of the observation sequence — no wall clock, no global rand —
+// so the control loop stays deterministic per seed.
+type CapacityModel struct {
+	// gain is the EWMA weight of a new observation (0 < gain ≤ 1).
+	gain float64
+	// lambda is the estimated step arrival rate, steps/sec.
+	lambda float64
+	// mu is the estimated per-worker throughput, steps/sec. Seeded from
+	// the configured nominal step time so a cold park can size its first
+	// scale-up before it has served anything.
+	mu float64
+	// queueBound is the admission bound k (0 = unbounded): the model
+	// never predicts a deeper steady-state queue than admission allows.
+	queueBound int
+	// seen marks that at least one arrival observation happened (the
+	// first observation snaps λ instead of blending with the zero prior).
+	seen bool
+	// residualPPM is the latest |predicted − observed| backlog residual,
+	// in parts-per-million of the larger of the two — the model-fit
+	// gauge surfaced in AutoscaleStats.
+	residualPPM int64
+}
+
+// NewCapacityModel returns a model with EWMA gain g (clamped into
+// (0, 1]) and a per-worker service-time prior of priorStepSeconds.
+func NewCapacityModel(g, priorStepSeconds float64, queueBound int) *CapacityModel {
+	if g <= 0 || g > 1 {
+		g = 0.3
+	}
+	if priorStepSeconds <= 0 {
+		priorStepSeconds = 10
+	}
+	return &CapacityModel{gain: g, mu: 1 / priorStepSeconds, queueBound: queueBound}
+}
+
+// Observe folds one collector sample into the λ and μ estimates.
+func (m *CapacityModel) Observe(s CapacitySample) {
+	if !m.seen {
+		m.lambda = s.OfferedPerSec
+		m.seen = true
+	} else {
+		m.lambda += m.gain * (s.OfferedPerSec - m.lambda)
+	}
+	// μ updates only from windows that actually served work: an idle
+	// window says nothing about service speed.
+	if s.BusyWorkers > 0 && s.CompletedPerSec > 0 {
+		obs := s.CompletedPerSec / float64(s.BusyWorkers)
+		m.mu += m.gain * (obs - m.mu)
+	}
+}
+
+// SetArrivalRate overrides the λ estimate — the oracle analyzer, fed
+// the true arrival rate from the workload trace instead of the EWMA.
+func (m *CapacityModel) SetArrivalRate(perSec float64) {
+	m.lambda = perSec
+	m.seen = true
+}
+
+// ArrivalRate returns the current λ estimate (steps/sec).
+func (m *CapacityModel) ArrivalRate() float64 { return m.lambda }
+
+// ServiceRate returns the current per-worker μ estimate (steps/sec).
+func (m *CapacityModel) ServiceRate() float64 { return m.mu }
+
+// RequiredWorkers is the optimizer's sizing answer: the smallest worker
+// count that (a) holds utilization λ/(n·μ) at or below targetUtil —
+// the steady-state headroom that keeps queueing delay inside the SLO —
+// plus (b) enough extra workers to burn the current excess backlog down
+// inside burndownSeconds. Never below 1 when there is any demand.
+func (m *CapacityModel) RequiredWorkers(targetUtil float64, backlog int, burndownSeconds float64) int {
+	if targetUtil <= 0 || targetUtil > 1 {
+		targetUtil = 0.7
+	}
+	if m.mu <= 0 {
+		return 1
+	}
+	offered := m.lambda / m.mu // offered load in erlangs
+	n := int(math.Ceil(offered / targetUtil))
+	if n < 1 {
+		n = 1
+	}
+	// Burn-down term: steady state explains PredictedQueue(n) of the
+	// backlog; the rest is a transient the park must absorb.
+	if excess := float64(backlog) - m.PredictedQueue(n); excess > 0 && burndownSeconds > 0 {
+		n += int(math.Ceil(excess / (m.mu * burndownSeconds)))
+	}
+	return n
+}
+
+// PredictedQueue is the model's expected steady-state queue length with
+// n active workers: the M/M/1 Lq = ρ²/(1−ρ) at ρ = λ/(n·μ), saturated
+// near ρ=1 and capped at the admission bound k (M/M/1/k: the queue
+// physically cannot exceed what admission lets in).
+func (m *CapacityModel) PredictedQueue(n int) float64 {
+	if n < 1 || m.mu <= 0 {
+		n = 1
+	}
+	rho := m.lambda / (float64(n) * m.mu)
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > 0.999 {
+		rho = 0.999
+	}
+	lq := rho * rho / (1 - rho)
+	if m.queueBound > 0 && lq > float64(m.queueBound) {
+		lq = float64(m.queueBound)
+	}
+	return lq
+}
+
+// UpdateResidual records the model-fit residual for n active workers
+// against the observed backlog: |Lq(n) − observed| over max(both, 1),
+// in PPM. A residual near 1e6 means the model is badly wrong about the
+// queue it predicts — the honesty gauge for the frontier experiments.
+func (m *CapacityModel) UpdateResidual(n, observedBacklog int) int64 {
+	pred := m.PredictedQueue(n)
+	obs := float64(observedBacklog)
+	denom := math.Max(math.Max(pred, obs), 1)
+	m.residualPPM = int64(math.Abs(pred-obs) / denom * 1e6)
+	return m.residualPPM
+}
+
+// ResidualPPM returns the latest model-fit residual gauge.
+func (m *CapacityModel) ResidualPPM() int64 { return m.residualPPM }

@@ -1,0 +1,96 @@
+package cluster
+
+import "testing"
+
+// Unit tests for the M/M/1/k capacity model: the analyzer must size a
+// park correctly from clean samples before the closed loop gets to use
+// it against a live cluster.
+
+func TestCapacityModelSizing(t *testing.T) {
+	m := NewCapacityModel(1, 10, 0) // gain 1: estimates snap to samples
+	// 2 steps/sec offered, each worker serves 0.5 steps/sec → 4 erlangs.
+	m.Observe(CapacitySample{OfferedPerSec: 2, CompletedPerSec: 2, BusyWorkers: 4})
+	if got := m.ArrivalRate(); got != 2 {
+		t.Fatalf("lambda %v, want 2", got)
+	}
+	if got := m.ServiceRate(); got != 0.5 {
+		t.Fatalf("mu %v, want 0.5", got)
+	}
+	// At target utilization 0.8 the park needs ceil(4/0.8) = 5 workers.
+	if got := m.RequiredWorkers(0.8, 0, 0); got != 5 {
+		t.Fatalf("required %d, want 5", got)
+	}
+	// A backlog transient adds burn-down capacity: 30 excess steps over
+	// 60s at μ=0.5 needs one more worker.
+	withBacklog := m.RequiredWorkers(0.8, 30, 60)
+	if withBacklog <= 5 {
+		t.Fatalf("backlog burn-down added nothing: %d", withBacklog)
+	}
+}
+
+func TestCapacityModelIdleWindowsDoNotCorruptMu(t *testing.T) {
+	m := NewCapacityModel(0.5, 10, 0)
+	m.Observe(CapacitySample{OfferedPerSec: 1, CompletedPerSec: 1, BusyWorkers: 2})
+	mu := m.ServiceRate()
+	// An idle window carries no service-rate information.
+	m.Observe(CapacitySample{OfferedPerSec: 0, CompletedPerSec: 0, BusyWorkers: 0})
+	if m.ServiceRate() != mu {
+		t.Fatalf("idle window moved mu %v -> %v", mu, m.ServiceRate())
+	}
+	// But it does decay lambda toward the observed zero.
+	if m.ArrivalRate() >= 1 {
+		t.Fatalf("lambda did not decay: %v", m.ArrivalRate())
+	}
+}
+
+func TestCapacityModelFirstObservationSnaps(t *testing.T) {
+	m := NewCapacityModel(0.1, 10, 0)
+	m.Observe(CapacitySample{OfferedPerSec: 5})
+	// With gain 0.1 a zero prior would leave lambda at 0.5; the first
+	// observation must snap so a cold controller sizes correctly.
+	if m.ArrivalRate() != 5 {
+		t.Fatalf("first observation blended with the zero prior: %v", m.ArrivalRate())
+	}
+}
+
+func TestPredictedQueueCappedAtAdmissionBound(t *testing.T) {
+	m := NewCapacityModel(1, 10, 16)
+	m.Observe(CapacitySample{OfferedPerSec: 100, CompletedPerSec: 1, BusyWorkers: 1})
+	// ρ saturates near 1, but the queue physically cannot exceed what
+	// admission lets in.
+	if got := m.PredictedQueue(1); got > 16 {
+		t.Fatalf("predicted queue %v exceeds admission bound 16", got)
+	}
+}
+
+func TestCapacityModelResidual(t *testing.T) {
+	m := NewCapacityModel(1, 10, 0)
+	m.Observe(CapacitySample{OfferedPerSec: 1, CompletedPerSec: 1, BusyWorkers: 2})
+	// Near-fit: a lightly loaded park predicts a near-zero queue and
+	// observes zero — the residual stays small (the denominator floor of
+	// one step keeps tiny absolute misses from reading as total misses).
+	if got := m.UpdateResidual(10, 0); got > 100000 {
+		t.Fatalf("residual %d on an idle queue, want near 0", got)
+	}
+	// Total miss: model predicts ~0, observation says 50 → residual ~1e6.
+	if got := m.UpdateResidual(10, 50); got < 900000 {
+		t.Fatalf("residual %d on a 50-step miss, want near 1e6", got)
+	}
+	if m.ResidualPPM() == 0 {
+		t.Fatal("residual gauge not retained")
+	}
+}
+
+func TestRequiredWorkersScaleToZero(t *testing.T) {
+	m := NewCapacityModel(1, 10, 0)
+	m.Observe(CapacitySample{OfferedPerSec: 1, CompletedPerSec: 1, BusyWorkers: 1})
+	if got := m.RequiredWorkers(0.7, 0, 60); got < 1 {
+		t.Fatalf("required %d with live demand", got)
+	}
+	// Demand gone: the model still asks for the floor worker — the
+	// config's MinWorkers, not the model, decides scale-to-zero.
+	m.SetArrivalRate(0)
+	if got := m.RequiredWorkers(0.7, 0, 60); got != 1 {
+		t.Fatalf("required %d with zero demand, want 1", got)
+	}
+}

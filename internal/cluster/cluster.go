@@ -233,6 +233,11 @@ type Config struct {
 	// brownout controller and the hedge backlog guard. The zero value
 	// disables all of them (the pre-overload unbounded queue).
 	Overload OverloadConfig
+	// Autoscale configures the closed-loop capacity controller that
+	// resizes the active worker park to the arrival rate. The zero
+	// value (Period == 0) disables it: the park stays statically
+	// provisioned.
+	Autoscale AutoscaleConfig
 	// Seed drives the deterministic pseudo-random integrity sampling.
 	Seed uint64
 }
@@ -297,6 +302,17 @@ type Stats struct {
 	// HedgesSuppressed counts straggler hedges skipped by the backlog
 	// guard (a hedge must not amplify an overload).
 	HedgesSuppressed int64
+	// QueueHighWater (gauge) is the deepest the work queue has been —
+	// the saturation signal instantaneous backlog cannot show between
+	// samples. Aggregates by max.
+	QueueHighWater int64
+	// PoolUtilPPM (gauge) is per-pool worker utilization — busy active
+	// workers over active workers, in parts-per-million — indexed by
+	// sched.UseCase (with pools disabled everything counts as upload).
+	// Aggregates by max.
+	PoolUtilPPM [2]int64
+	// Autoscale counts capacity-controller outcomes.
+	Autoscale AutoscaleStats
 	// Failures buckets step failures by typed error class (§4.4 "fault
 	// correlation").
 	Failures FailureClasses
@@ -332,6 +348,15 @@ func (s *Stats) Accumulate(o Stats) {
 	s.BrownoutUps += o.BrownoutUps
 	s.BrownoutDowns += o.BrownoutDowns
 	s.HedgesSuppressed += o.HedgesSuppressed
+	if o.QueueHighWater > s.QueueHighWater {
+		s.QueueHighWater = o.QueueHighWater
+	}
+	for i := range s.PoolUtilPPM {
+		if o.PoolUtilPPM[i] > s.PoolUtilPPM[i] {
+			s.PoolUtilPPM[i] = o.PoolUtilPPM[i]
+		}
+	}
+	s.Autoscale.accumulate(o.Autoscale)
 	s.Failures.Stop += o.Failures.Stop
 	s.Failures.Transient += o.Failures.Transient
 	s.Failures.Deadline += o.Failures.Deadline
@@ -420,6 +445,8 @@ type Cluster struct {
 	dispatchMore bool
 	// poolOf assigns each VCU to a logical pool when pools are enabled.
 	poolOf map[int]sched.UseCase
+	// as is the autoscaling control loop, nil when disabled.
+	as *autoscaler
 
 	hostsInRepair int
 	// inRepair tracks which hosts are currently in the repair workflow
@@ -442,6 +469,10 @@ type clusterWorker struct {
 	// refused marks workers whose golden check failed: the VCU is
 	// quarantined until fault management disables it.
 	refused bool
+	// parked marks workers the autoscaler holds out of the active park
+	// (retired, not serving, not billed). Distinct from sched draining:
+	// a parked worker's shrink already completed.
+	parked bool
 	// generation counts worker restarts on this VCU.
 	generation int
 }
@@ -509,6 +540,7 @@ func buildCluster(cfg Config, eng *sim.Engine) *Cluster {
 	}
 	c.scheduleFaultScan()
 	c.scheduleBrownout()
+	c.setupAutoscale()
 	return c
 }
 
@@ -535,6 +567,11 @@ func (c *Cluster) rebalancePools() {
 			backlog[stepPool(s)]++
 		}
 	}
+	// While an autoscaler drain is in flight in a pool, the rebalancer
+	// stands down for that pool: two worker-moving mechanisms acting on
+	// one pool in the same tick would thrash (the rebalancer pulling
+	// workers in while the autoscaler drains them out).
+	drains := c.drainingPools()
 	// Iterate pools in fixed priority order, not map order: idle
 	// workers are first-come-first-served, so map order would decide
 	// which pool wins them and make rebalancing nondeterministic.
@@ -543,12 +580,22 @@ func (c *Cluster) rebalancePools() {
 		if need == 0 {
 			continue
 		}
+		if drains[pool] {
+			c.Stats.Autoscale.RebalanceStandDowns++
+			continue
+		}
 		moved := 0
 		for _, cw := range c.workers {
 			if moved >= need {
 				break
 			}
 			if c.poolOf[cw.vcu.ID] == pool || !cw.sw.Idle() || cw.refused || cw.vcu.Disabled() {
+				continue
+			}
+			// Autoscaled-out (or not-yet-serving) workers are not
+			// rebalance candidates, and a pool the autoscaler is draining
+			// keeps its remaining workers.
+			if cw.parked || cw.sw.Draining() || cw.sw.Warming() || drains[c.poolOf[cw.vcu.ID]] {
 				continue
 			}
 			// Only take from a pool with no backlog of its own.
@@ -620,6 +667,9 @@ func (c *Cluster) enqueue(s *Step) {
 		}
 	}
 	c.queue = append(c.queue, s)
+	if n := int64(len(c.queue)); n > c.Stats.QueueHighWater {
+		c.Stats.QueueHighWater = n
+	}
 }
 
 // QueueLen returns the ready-queue length.
@@ -1175,6 +1225,9 @@ func (c *Cluster) requeueAfter(s *Step, d time.Duration) {
 	s.State = StepFailed // parked in backoff
 	s.eligibleAt = c.Eng.Now() + d
 	c.queue = append(c.queue, s)
+	if n := int64(len(c.queue)); n > c.Stats.QueueHighWater {
+		c.Stats.QueueHighWater = n
+	}
 	c.Eng.Schedule(d, func() {
 		if s.State == StepFailed {
 			s.State = StepReady
@@ -1266,6 +1319,13 @@ func (c *Cluster) readmitHost(h *vcu.Host) {
 		c.startWorker(cw)
 		if cw.refused {
 			c.Stats.ReadmitRejections++
+		}
+		if cw.parked {
+			// ResetCapacity cleared the stopped flag; an autoscaler-parked
+			// worker must not silently rejoin the park through the repair
+			// path — re-retire it (idle post-reset, so this cannot fail).
+			cw.sw.BeginDrain()
+			cw.sw.TryRetire()
 		}
 	}
 	c.dispatch()

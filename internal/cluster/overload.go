@@ -145,11 +145,16 @@ func (c *Cluster) eligibleBacklog() int {
 
 // availableWorkers counts workers currently able to accept work — the
 // denominator of the brownout load signal, so capacity loss (chaos,
-// repair) raises the signal exactly like a demand spike does.
+// repair, an autoscaler shrink) raises the signal exactly like a
+// demand spike does. Parked, draining and warming workers are excluded:
+// none of them can take a reservation right now.
 func (c *Cluster) availableWorkers() int {
 	n := 0
 	for _, cw := range c.workers {
 		if cw.refused || cw.vcu.Disabled() || cw.host.Disabled() {
+			continue
+		}
+		if cw.parked || cw.sw.Draining() || cw.sw.Warming() {
 			continue
 		}
 		n++
@@ -293,11 +298,23 @@ func (c *Cluster) brownoutTick() {
 	signal := float64(c.eligibleBacklog()) / float64(workers)
 	switch {
 	case signal >= ov.BrownoutEnter && c.degradeLevel < transcode.DegradeFloor:
+		if c.as != nil && !c.as.oracle() && c.as.resizeInFlight() {
+			// Priority protocol with the autoscaler: a resize is still
+			// settling (drains or warmups pending), so the backlog
+			// transient is the resize's own doing and already being acted
+			// on — raising the degradation ladder now would double-treat
+			// one signal. Lowering (restoring quality) stays allowed.
+			c.Stats.Autoscale.ConflictTicks++
+			break
+		}
 		c.degradeLevel++
 		c.Stats.BrownoutUps++
 	case signal <= ov.BrownoutExit && c.degradeLevel > transcode.DegradeNone:
 		c.degradeLevel--
 		c.Stats.BrownoutDowns++
+	}
+	if c.as != nil {
+		c.updateUtilizationGauges()
 	}
 	c.dispatch()
 }

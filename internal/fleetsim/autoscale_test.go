@@ -1,0 +1,86 @@
+package fleetsim
+
+import "testing"
+
+// TestCostVsSLOFrontier is the experiment-level acceptance check: the
+// autoscaled park tracks the diurnal+spike trace within 20% of the
+// oracle-provisioned cost while holding live SLO ≥ 0.95, and every
+// policy sits where the frontier says it should — oracle cheapest,
+// static most expensive, the sweep in between.
+func TestCostVsSLOFrontier(t *testing.T) {
+	cfg := DefaultFrontierConfig()
+	pts := CostVsSLOFrontier(cfg)
+	if len(pts) != 2+len(cfg.TargetUtils) {
+		t.Fatalf("got %d points, want %d", len(pts), 2+len(cfg.TargetUtils))
+	}
+	oracle, static := pts[0], pts[1]
+	if oracle.Policy != "oracle" || static.Policy != "static" {
+		t.Fatalf("unexpected point order: %s, %s", oracle.Policy, static.Policy)
+	}
+
+	var def FrontierPoint // the production design point, ρ*=0.7
+	for _, p := range pts[2:] {
+		if p.Policy != "autoscale" {
+			t.Fatalf("unexpected policy %q in sweep", p.Policy)
+		}
+		if p.TargetUtil == 0.7 {
+			def = p
+		}
+		// Every autoscaled point lies between the oracle and the static
+		// park: tracking demand always beats peak provisioning, and
+		// nothing beats perfect foresight.
+		if p.CostWorkerHours <= oracle.CostWorkerHours {
+			t.Fatalf("autoscale ρ*=%.1f (%.1f wh) undercut the oracle (%.1f wh)",
+				p.TargetUtil, p.CostWorkerHours, oracle.CostWorkerHours)
+		}
+		if p.CostWorkerHours >= static.CostWorkerHours {
+			t.Fatalf("autoscale ρ*=%.1f (%.1f wh) cost more than the static park (%.1f wh)",
+				p.TargetUtil, p.CostWorkerHours, static.CostWorkerHours)
+		}
+		if p.Resizes == 0 {
+			t.Fatalf("autoscale ρ*=%.1f never resized", p.TargetUtil)
+		}
+	}
+
+	// The acceptance criterion: the design point holds live SLO ≥ 0.95
+	// within 20% of oracle cost.
+	if def.Policy == "" {
+		t.Fatal("sweep does not include the ρ*=0.7 design point")
+	}
+	if def.LiveSLO < 0.95 {
+		t.Fatalf("design point live SLO %.3f < 0.95", def.LiveSLO)
+	}
+	if def.CostVsOracle > 1.2 {
+		t.Fatalf("design point cost %.2f× oracle, want ≤ 1.2×", def.CostVsOracle)
+	}
+
+	// The frontier is a real trade-off: the conservative end buys SLO
+	// with cost (more headroom than the aggressive end).
+	lo, hi := pts[2], pts[len(pts)-1]
+	if lo.CostWorkerHours <= hi.CostWorkerHours {
+		t.Fatalf("ρ*=%.1f (%.1f wh) not costlier than ρ*=%.1f (%.1f wh)",
+			lo.TargetUtil, lo.CostWorkerHours, hi.TargetUtil, hi.CostWorkerHours)
+	}
+
+	t.Logf("frontier (cost in worker-hours, ×oracle):")
+	for _, p := range pts {
+		t.Logf("  %-10s ρ*=%.1f  cost=%6.1f (%.2fx)  liveSLO=%.3f  resizes=%d conflicts=%d",
+			p.Policy, p.TargetUtil, p.CostWorkerHours, p.CostVsOracle,
+			p.LiveSLO, p.Resizes, p.ConflictTicks)
+	}
+}
+
+// TestFrontierDeterministic: the whole experiment is reproducible —
+// byte-identical points per config.
+func TestFrontierDeterministic(t *testing.T) {
+	a := CostVsSLOFrontier(DefaultFrontierConfig())
+	b := CostVsSLOFrontier(DefaultFrontierConfig())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frontier point %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

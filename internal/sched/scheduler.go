@@ -16,6 +16,14 @@ type Worker struct {
 	capacity  Resources
 	available Resources
 	stopped   bool
+	// draining refuses new reservations while in-flight work finishes —
+	// the first half of a drain-before-remove shrink. A draining worker
+	// retires (stops) only once it is idle.
+	draining bool
+	// warming refuses reservations while a freshly activated worker pays
+	// its cold-start penalty — the scale-from-zero warmup gate. The
+	// owner clears it when the warmup elapses.
+	warming bool
 }
 
 // NewWorker returns a worker with the type's full capacity available.
@@ -53,10 +61,12 @@ func (w *Worker) Stopped() bool {
 }
 
 // tryReserve atomically claims need if it fits and the worker is running.
+// Draining and warming workers refuse: one is on its way out, the other
+// not yet serving.
 func (w *Worker) tryReserve(need Resources) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.stopped || !w.available.Fits(need) {
+	if w.stopped || w.draining || w.warming || !w.available.Fits(need) {
 		return false
 	}
 	w.available.Sub(need)
@@ -84,6 +94,79 @@ func (w *Worker) ResetCapacity() {
 	defer w.mu.Unlock()
 	w.available = w.capacity.Clone()
 	w.stopped = false
+	w.draining = false
+	w.warming = false
+}
+
+// BeginDrain starts a drain-before-remove shrink: the worker refuses
+// new reservations while its in-flight work finishes. Call TryRetire
+// once the work has released to complete the removal.
+func (w *Worker) BeginDrain() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.stopped {
+		w.draining = true
+	}
+}
+
+// CancelDrain returns a draining worker to service without retiring it
+// (a scale-down decision reversed before the drain completed).
+func (w *Worker) CancelDrain() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.draining = false
+}
+
+// Draining reports whether the worker is refusing new work ahead of
+// retirement.
+func (w *Worker) Draining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// TryRetire stops the worker if it is idle: the second half of
+// drain-before-remove. It fails while reservations are still held, so
+// in-flight steps always finish on the capacity they reserved.
+func (w *Worker) TryRetire() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return true
+	}
+	if !w.available.Equal(w.capacity) {
+		return false
+	}
+	w.stopped = true
+	w.draining = false
+	return true
+}
+
+// Activate returns a retired worker to service with full capacity — the
+// scale-up primitive. Stale releases from reservations granted before
+// retirement are absorbed by the Release clamp, as with ResetCapacity.
+func (w *Worker) Activate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.available = w.capacity.Clone()
+	w.stopped = false
+	w.draining = false
+}
+
+// SetWarming flips the cold-start warmup gate: a warming worker is
+// active (its capacity is committed) but refuses reservations until the
+// owner clears the flag.
+func (w *Worker) SetWarming(v bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.warming = v
+}
+
+// Warming reports whether the worker is inside its activation warmup.
+func (w *Worker) Warming() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.warming
 }
 
 // stop marks the worker stopped; fails if it is not idle.

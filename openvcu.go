@@ -255,6 +255,19 @@ type ClassStats = cluster.ClassStats
 // DefaultOverloadConfig returns production-like overload settings.
 func DefaultOverloadConfig() OverloadConfig { return cluster.DefaultOverloadConfig() }
 
+// AutoscaleConfig arms the closed-loop capacity controller: an
+// M/M/1/k-fitted sizing model actuating drain-before-remove park
+// resizes under hysteresis bands and a priority protocol against the
+// brownout ladder. The zero value disables it.
+type AutoscaleConfig = cluster.AutoscaleConfig
+
+// AutoscaleStats counts capacity-controller outcomes (resizes, drains,
+// cold starts, conflict ticks, the cost integral).
+type AutoscaleStats = cluster.AutoscaleStats
+
+// DefaultAutoscaleConfig returns production-like control settings.
+func DefaultAutoscaleConfig() AutoscaleConfig { return cluster.DefaultAutoscaleConfig() }
+
 // DegradeLevel is a rung of the brownout degradation ladder.
 type DegradeLevel = transcode.DegradeLevel
 

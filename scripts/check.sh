@@ -20,8 +20,12 @@
 #   6. go test -race the concurrent packages
 #   7. overload smoke  the deterministic overload game-day: bounded
 #                    queue, live SLO, hedge guard, byte-identical stats
-#   8. bench smoke   kernel benchmarks compile and run (1 iteration)
-#   9. fuzz smoke    10s of FuzzDecode over the checked-in corpus
+#   8. autoscale smoke  the controller-interaction game-day: the
+#                    autoscaler tracks a diurnal+spike trace with zero
+#                    flips against the brownout ladder, byte-identical
+#                    per seed
+#   9. bench smoke   kernel benchmarks compile and run (1 iteration)
+#  10. fuzz smoke    10s of FuzzDecode over the checked-in corpus
 #
 # Every PR must leave this script exiting 0.
 set -u
@@ -86,6 +90,12 @@ step "go test -race (concurrent packages)" go test -race $RACE_PKGS
 # `make overload` runs the long multi-cycle variant.
 step "overload smoke (deterministic game-day)" go test \
     -run 'TestOverloadGameDay|TestOverloadDeterministic' ./internal/cluster
+# Autoscale smoke: the autoscaler×brownout game-day (zero controller
+# oscillation, live SLO held while the park resizes) plus its
+# seed-stability check. `make autoscale` runs the full suite with the
+# frontier experiment under -race.
+step "autoscale smoke (controller game-day)" go test \
+    -run 'TestAutoscaleGameDay|TestAutoscaleDeterministic' ./internal/cluster
 # Kernel packages only: the root codec package's whole-frame benchmarks
 # are minutes-long and belong to scripts/bench.sh, not the gate.
 step "bench smoke (kernel packages)" go test -run=NONE -bench=. -benchtime=1x \
