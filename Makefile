@@ -5,7 +5,7 @@
 GO ?= go
 RACE_PKGS = ./internal/sched ./internal/transcode ./internal/cluster ./internal/codec ./internal/video
 
-.PHONY: check lint lint-json race build test fmt bench chaos fuzz overload autoscale
+.PHONY: check lint lint-json race build test fmt bench chaos fuzz overload autoscale audit
 
 check:
 	./scripts/check.sh
@@ -53,6 +53,17 @@ overload:
 autoscale:
 	$(GO) test -race -v -run 'TestAutoscale|TestCapacityModel|TestPredictedQueue|TestRequiredWorkers|TestBrownoutHolds|TestRebalanceStands|TestDrainBeforeRemove|TestCancelDrain|TestActivateAfterRetire|TestScaleFromZero|TestStaleRelease' ./internal/cluster ./internal/sched
 	$(GO) test -race -v -run 'TestCostVsSLOFrontier|TestFrontierDeterministic' ./internal/fleetsim
+
+# Silent-corruption defense verification: the audit game-day (an
+# intermittent corrupter demoted, convicted and recalled with zero
+# false convictions), the hedge-laundering regression, the container
+# chunk-checksum tamper tests, all under -race, plus the fleetsim
+# escapes-vs-audit-budget frontier. The tier-1 gate runs the game-day
+# and determinism check as its smoke.
+audit:
+	$(GO) test -race -v -run 'TestAudit|TestHedgeDoesNotLaunderCorruption|TestIntermittent|TestExtendedCheck|TestRegionAuditRollUp|TestAccumulateAuditStats' ./internal/cluster ./internal/vcu
+	$(GO) test -race -v -run 'TestChunkChecksum' ./internal/container
+	$(GO) test -race -v -run 'TestEscapesVsAuditBudgetFrontier|TestAuditFrontierDeterministic' ./internal/fleetsim
 
 # Extended decoder fuzzing (the gate runs a 10s smoke).
 fuzz:

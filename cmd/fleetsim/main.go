@@ -19,8 +19,9 @@ func main() {
 	fig10 := flag.Bool("fig10", false, "Figure 10 only")
 	overload := flag.Bool("overload", false, "overload curves only (goodput vs offered load, SLO vs fleet loss)")
 	autoscale := flag.Bool("autoscale", false, "autoscaling cost-vs-SLO frontier only")
+	audit := flag.Bool("audit", false, "escapes-vs-audit-budget frontier only")
 	flag.Parse()
-	all := !*fig8 && !*fig9a && !*fig9b && !*fig9c && !*fig10 && !*overload && !*autoscale
+	all := !*fig8 && !*fig9a && !*fig9b && !*fig9c && !*fig10 && !*overload && !*autoscale && !*audit
 	cfg := fleetsim.DefaultConfig()
 
 	if all || *fig8 {
@@ -100,6 +101,19 @@ func main() {
 				p.LiveSLO, p.Resizes, p.ConflictTicks)
 		}
 		fmt.Println("(the autoscaled park tracks the trace near oracle cost; the static park pays peak around the clock)")
+	}
+	if all || *audit {
+		if all {
+			fmt.Println()
+		}
+		fmt.Println("== Audit: escapes vs audit budget (intermittent corrupter, 1-in-2 duty cycle) ==")
+		fmt.Printf("%-8s %8s %8s %8s %9s %10s\n",
+			"budget", "escapes", "audits", "found", "recalled", "convicted")
+		for _, p := range fleetsim.EscapesVsAuditBudget(fleetsim.DefaultAuditFrontierConfig()) {
+			fmt.Printf("%-8.2f %8d %8d %8d %9d %10d\n",
+				p.Budget, p.Escapes, p.Audited, p.AuditFailures, p.Recalled, p.Convictions)
+		}
+		fmt.Println("(a few percent of completions re-verified corners the corrupter admission screening cannot catch)")
 	}
 }
 

@@ -51,6 +51,12 @@ type ChaosConfig struct {
 	// VCUFaults and HostCrashes are the event counts per class.
 	VCUFaults   int
 	HostCrashes int
+	// IntermittentCorruption adds the sixth fault class — the
+	// telemetry-silent duty-cycle corrupter — to the rotation. Opt-in:
+	// it is invisible to the fault scan and survivable only with the
+	// output auditor armed (Config.Audit), so schedules generated for
+	// auditor-less clusters keep the five always-detectable classes.
+	IntermittentCorruption bool
 }
 
 // chaosRand is the harness's own xorshift64 stream, independent of the
@@ -88,10 +94,12 @@ func (r *chaosRand) lowBiased(n int) int {
 }
 
 // GenerateChaos produces a deterministic fault schedule. Device faults
-// rotate through all five fault classes so every run exercises
-// fail-stop, corruption, hang, slowdown and transient errors; none are
-// Persistent, so every fault is repairable and steady-state capacity
-// can recover. Events are emitted in increasing At order.
+// rotate through the fault classes so every run exercises fail-stop,
+// always-on corruption, hang, slowdown and transient errors — plus
+// intermittent (duty-cycle) corruption when IntermittentCorruption is
+// set; none are Persistent, so every fault is repairable and
+// steady-state capacity can recover. Events are emitted in increasing
+// At order.
 func GenerateChaos(cfg ChaosConfig) []ChaosEvent {
 	r := &chaosRand{s: cfg.Seed*0x9e3779b97f4a7c15 + 1}
 	total := cfg.VCUFaults + cfg.HostCrashes
@@ -104,6 +112,11 @@ func GenerateChaos(cfg ChaosConfig) []ChaosEvent {
 		{Mode: vcu.FaultHang},
 		{Mode: vcu.FaultSlow, SlowFactor: 32},
 		{Mode: vcu.FaultTransient, FailProb: 0.5, RecoverOps: 16},
+	}
+	if cfg.IntermittentCorruption {
+		// The marginal device: telemetry-silent, passes golden screening,
+		// corrupts every 16th op — only the output auditor can catch it.
+		specs = append(specs, vcu.FaultSpec{Mode: vcu.FaultCorrupt, DutyCycle: 16})
 	}
 	events := make([]ChaosEvent, 0, total)
 	step := cfg.Window / time.Duration(total)

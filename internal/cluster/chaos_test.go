@@ -9,10 +9,10 @@ import (
 )
 
 // chaosScenario builds the standard chaos run: a multi-host cluster
-// with consistent hashing, hedging, the watchdog and the full
-// repair→readmit lifecycle on, a seeded fault schedule covering every
-// fault class plus host crashes, and a stream of uploads submitted
-// across the fault window.
+// with consistent hashing, hedging, the watchdog, the output auditor
+// and the full repair→readmit lifecycle on, a seeded fault schedule
+// covering every fault class plus host crashes, and a stream of
+// uploads submitted across the fault window.
 func chaosScenario(seed uint64, videos, vcuFaults, hostCrashes int,
 	window time.Duration) (*Cluster, []*Graph, *int) {
 	cfg := DefaultConfig(4)
@@ -20,16 +20,18 @@ func chaosScenario(seed uint64, videos, vcuFaults, hostCrashes int,
 	cfg.AffinitySize = 8
 	cfg.HedgeMultiplier = 4
 	cfg.RepairLatency = 15 * time.Minute
+	cfg.Audit = DefaultAuditConfig()
 	cfg.Seed = seed
 	c := New(cfg)
 
 	events := GenerateChaos(ChaosConfig{
-		Seed:        seed,
-		Window:      window,
-		Hosts:       cfg.Hosts,
-		VCUsPerHost: cfg.Params.VCUsPerHost(),
-		VCUFaults:   vcuFaults,
-		HostCrashes: hostCrashes,
+		Seed:                   seed,
+		Window:                 window,
+		Hosts:                  cfg.Hosts,
+		VCUsPerHost:            cfg.Params.VCUsPerHost(),
+		VCUFaults:              vcuFaults,
+		HostCrashes:            hostCrashes,
+		IntermittentCorruption: true,
 	})
 	c.ApplyChaos(events)
 
@@ -114,12 +116,20 @@ func TestChaosInvariants(t *testing.T) {
 	if c.Stats.HostsSentToRepair > 0 && c.Stats.HostsReadmitted == 0 {
 		t.Fatal("hosts went to repair but none were readmitted")
 	}
+	// Invariant 5: bounded recall blast radius. A conviction recalls at
+	// most the device's taint window, no matter how long the corrupter
+	// served before the auditor cornered it.
+	if max := int64(c.aud.cfg.MaxTaintWindow); c.Stats.Audit.RecallWindowMax > max {
+		t.Fatalf("recall blast radius %d exceeds taint window %d",
+			c.Stats.Audit.RecallWindowMax, max)
+	}
 	t.Logf("chaos summary: %d videos, %d device faults, %d host crashes", videos, vcuFaults, crashes)
 	t.Logf("  watchdog fires=%d hedges=%d/%d won", c.Stats.WatchdogFires,
 		c.Stats.HedgesWon, c.Stats.HedgesLaunched)
 	t.Logf("  repair: sent=%d readmitted=%d rejected-vcus=%d healthy-hosts=%d/%d",
 		c.Stats.HostsSentToRepair, c.Stats.HostsReadmitted,
 		c.Stats.ReadmitRejections, c.HealthyHosts(), c.cfg.Hosts)
+	t.Logf("  audit: %+v", c.Stats.Audit)
 	t.Logf("  failures by class: %+v", c.Stats.Failures)
 }
 

@@ -31,6 +31,10 @@ var (
 	// errIntegrity marks a chunk caught by the high-level integrity
 	// checks of §4.4.
 	errIntegrity = errors.New("cluster: chunk failed integrity verification")
+	// errRecalled marks a completed-but-unshipped step voided by the
+	// output auditor — either its own audit failed, or its producing
+	// device was convicted and its taint window recalled.
+	errRecalled = errors.New("cluster: step recalled by output audit")
 )
 
 // StepKind is the type of work a step performs. Transcoding runs on VCU
@@ -92,6 +96,17 @@ type Step struct {
 	liveExecs int
 	// hedged marks that a hedge was launched for the current generation.
 	hedged bool
+	// hedgeWon marks that the winning execution was the hedge copy —
+	// the auditor samples these at an elevated rate, because corrupted
+	// ops complete fast and are over-represented among hedge winners.
+	hedgeWon bool
+	// completedAt/completedOn record the completing time and device of
+	// a hardware transcode step, for audit sampling and taint windows.
+	completedAt time.Duration
+	completedOn int
+	// audited marks the step's output as already re-verified by the
+	// online auditor (once per completion; a recall clears it).
+	audited bool
 	// OverflowPlaced records that at least one placement of this step
 	// fell outside its video's consistent-hash affinity set (the set
 	// had no capacity). The chaos harness excludes such steps from the
@@ -238,6 +253,11 @@ type Config struct {
 	// value (Period == 0) disables it: the park stays statically
 	// provisioned.
 	Autoscale AutoscaleConfig
+	// Audit configures the online output auditor — the continuous
+	// fleet-health layer of §4.4 that catches what admission screening
+	// cannot (intermittent silent corruption). The zero value
+	// (Budget == 0) disables it.
+	Audit AuditConfig
 	// Seed drives the deterministic pseudo-random integrity sampling.
 	Seed uint64
 }
@@ -302,6 +322,11 @@ type Stats struct {
 	// HedgesSuppressed counts straggler hedges skipped by the backlog
 	// guard (a hedge must not amplify an overload).
 	HedgesSuppressed int64
+	// HedgesVetoed counts hedge settlements where a corrupted
+	// first-finisher was caught by the verification-aware settlement
+	// check and yielded to its still-running sibling — the fix for
+	// fast-corruption laundering through first-wins hedging.
+	HedgesVetoed int64
 	// QueueHighWater (gauge) is the deepest the work queue has been —
 	// the saturation signal instantaneous backlog cannot show between
 	// samples. Aggregates by max.
@@ -313,6 +338,9 @@ type Stats struct {
 	PoolUtilPPM [2]int64
 	// Autoscale counts capacity-controller outcomes.
 	Autoscale AutoscaleStats
+	// Audit counts output-auditor outcomes: samples, trust-ladder
+	// transitions, recalls and their blast radius.
+	Audit AuditStats
 	// Failures buckets step failures by typed error class (§4.4 "fault
 	// correlation").
 	Failures FailureClasses
@@ -348,6 +376,7 @@ func (s *Stats) Accumulate(o Stats) {
 	s.BrownoutUps += o.BrownoutUps
 	s.BrownoutDowns += o.BrownoutDowns
 	s.HedgesSuppressed += o.HedgesSuppressed
+	s.HedgesVetoed += o.HedgesVetoed
 	if o.QueueHighWater > s.QueueHighWater {
 		s.QueueHighWater = o.QueueHighWater
 	}
@@ -357,6 +386,7 @@ func (s *Stats) Accumulate(o Stats) {
 		}
 	}
 	s.Autoscale.accumulate(o.Autoscale)
+	s.Audit.accumulate(o.Audit)
 	s.Failures.Stop += o.Failures.Stop
 	s.Failures.Transient += o.Failures.Transient
 	s.Failures.Deadline += o.Failures.Deadline
@@ -365,6 +395,7 @@ func (s *Stats) Accumulate(o Stats) {
 	s.Failures.Restart += o.Failures.Restart
 	s.Failures.Memory += o.Failures.Memory
 	s.Failures.Integrity += o.Failures.Integrity
+	s.Failures.Recalled += o.Failures.Recalled
 	s.Failures.Other += o.Failures.Other
 	for i := range s.Classes {
 		s.Classes[i].Admitted += o.Classes[i].Admitted
@@ -388,6 +419,7 @@ type FailureClasses struct {
 	Restart   int64 // worker restarted under the step
 	Memory    int64 // device DRAM exhaustion (vcu.ErrMemoryExhausted)
 	Integrity int64 // integrity-check rejections
+	Recalled  int64 // audit recalls (errRecalled)
 	Other     int64 // anything unclassified
 }
 
@@ -414,6 +446,8 @@ func (fc *FailureClasses) count(err error) {
 		fc.Memory++
 	case errors.Is(err, errIntegrity):
 		fc.Integrity++
+	case errors.Is(err, errRecalled):
+		fc.Recalled++
 	default:
 		fc.Other++
 	}
@@ -447,6 +481,8 @@ type Cluster struct {
 	poolOf map[int]sched.UseCase
 	// as is the autoscaling control loop, nil when disabled.
 	as *autoscaler
+	// aud is the online output auditor, nil when disabled.
+	aud *auditor
 
 	hostsInRepair int
 	// inRepair tracks which hosts are currently in the repair workflow
@@ -475,6 +511,19 @@ type clusterWorker struct {
 	parked bool
 	// generation counts worker restarts on this VCU.
 	generation int
+
+	// Output-auditor state (internal/cluster/audit.go). trust is the
+	// device's audit-derived trust score in (0, 1]; demoted restricts
+	// the device to batch work; convicted quarantines it entirely until
+	// the extended soak exonerates it (soakPasses consecutive clean
+	// soaks) or condemns it. produced is the taint window: hardware
+	// steps completed here since the device's last clean audit, capped
+	// at MaxTaintWindow.
+	trust      float64
+	demoted    bool
+	convicted  bool
+	soakPasses int
+	produced   []*Step
 }
 
 // New builds a cluster with cfg.Hosts hosts on a fresh engine.
@@ -503,7 +552,7 @@ func buildCluster(cfg Config, eng *sim.Engine) *Cluster {
 		host := vcu.NewHost(eng, h, cfg.Params)
 		c.Hosts = append(c.Hosts, host)
 		for _, v := range host.VCUs {
-			cw := &clusterWorker{sw: sched.NewWorker(v.ID, c.workerType), vcu: v, host: host}
+			cw := &clusterWorker{sw: sched.NewWorker(v.ID, c.workerType), vcu: v, host: host, trust: 1}
 			c.startWorker(cw)
 			c.scheduler.AddWorker(cw.sw)
 			c.workers = append(c.workers, cw)
@@ -541,6 +590,7 @@ func buildCluster(cfg Config, eng *sim.Engine) *Cluster {
 	c.scheduleFaultScan()
 	c.scheduleBrownout()
 	c.setupAutoscale()
+	c.setupAudit()
 	return c
 }
 
@@ -796,6 +846,12 @@ func (c *Cluster) placeTranscode(s *Step, avoidVCU int) (*clusterWorker, *sched.
 			s.triedVCUs[w.ID] || w.ID == avoidVCU {
 			return true
 		}
+		// Audit ladder: a convicted device is quarantined outright; a
+		// demoted device only serves batch work (limits the blast
+		// radius of further corruption to the most replayable class).
+		if cw.convicted || (cw.demoted && c.classOf(s) != sched.PriorityBatch) {
+			return true
+		}
 		if c.poolOf != nil && c.poolOf[w.ID] != stepPool(s) {
 			return true
 		}
@@ -905,8 +961,22 @@ func (c *Cluster) runTranscode(s *Step, cw *clusterWorker, a *sched.Assignment, 
 			c.execFailed(s, cw, err)
 			return
 		}
+		if corrupted && s.liveExecs > 1 && c.rand() < c.cfg.IntegrityCheckProb {
+			// Verification-aware settlement: corrupted ops complete
+			// fast, so under pure first-wins they systematically beat
+			// their healthy sibling and launder corruption into hedge
+			// winners. A first-finisher that fails the settlement-time
+			// integrity screen yields to the still-running copy instead
+			// of settling (the screen is the same imperfect check as
+			// completion's, so some corruption still slips past to the
+			// assembly and audit layers).
+			s.liveExecs--
+			c.Stats.HedgesVetoed++
+			return
+		}
 		s.execGen++ // settle: void the sibling and both watchdogs
 		s.liveExecs = 0
+		s.hedgeWon = isHedge
 		if isHedge {
 			c.Stats.HedgesWon++
 		}
@@ -1051,13 +1121,8 @@ func (c *Cluster) execFailed(s *Step, cw *clusterWorker, err error) {
 func (c *Cluster) assembleVerify(s *Step) bool {
 	bad := c.verifyChunks(s.graph)
 	if len(bad) == 0 {
-		// Tampered chunks that still decode to the right shape escape.
-		for _, st := range s.graph.Steps {
-			if st.Kind == StepTranscode && st.Corrupted && !st.escapeCounted {
-				st.escapeCounted = true
-				c.Stats.CorruptionsEscaped++
-			}
-		}
+		// Tampered chunks that still decode to the right shape ship —
+		// completeStep counts them escaped at the delivery boundary.
 		return false
 	}
 	c.Stats.CorruptionsCaught += int64(len(bad))
@@ -1099,7 +1164,9 @@ func (c *Cluster) completeStep(s *Step, cw *clusterWorker, corrupted bool) {
 			c.failStep(s, cw, errIntegrity)
 			return
 		}
-		c.Stats.CorruptionsEscaped++
+		// Slipped past the inline screen; an escape is only counted
+		// when the chunk actually ships (graph assembly), so the
+		// auditor's recalls can still prevent it.
 		s.Corrupted = true
 	}
 	s.State = StepDone
@@ -1112,8 +1179,28 @@ func (c *Cluster) completeStep(s *Step, cw *clusterWorker, corrupted bool) {
 		if w := c.liveWindow(s); w == 0 || c.Eng.Now() <= s.admittedAt+w {
 			cs.SLOMet++
 		}
+		if c.aud != nil && cw != nil && !s.Software {
+			c.auditObserve(s, cw)
+		}
+	}
+	if s.Kind == StepAssemble && s.graph != nil {
+		// The delivery boundary: chunks the assemble step packaged are
+		// out of recall reach. Corruption still aboard has escaped.
+		c.countShippedEscapes(s.graph)
 	}
 	c.stepResolved(s)
+}
+
+// countShippedEscapes counts, once per step, corrupted chunks that
+// passed the delivery boundary — the quantity the audit budget buys
+// down (§4.4 "the system will have bad video chunks escape").
+func (c *Cluster) countShippedEscapes(g *Graph) {
+	for _, st := range g.Steps {
+		if st.Kind == StepTranscode && st.Corrupted && !st.escapeCounted {
+			st.escapeCounted = true
+			c.Stats.CorruptionsEscaped++
+		}
+	}
 }
 
 // stepResolved propagates a step reaching a terminal state (done, or
@@ -1145,8 +1232,14 @@ func (c *Cluster) stepResolved(s *Step) {
 			}
 		}
 	}
-	if g.remain == 0 && g.OnDone != nil {
-		g.OnDone(g)
+	if g.remain == 0 {
+		if !g.Shed {
+			// Graphs without an assemble boundary ship on resolution.
+			c.countShippedEscapes(g)
+		}
+		if g.OnDone != nil {
+			g.OnDone(g)
+		}
 	}
 	c.dispatch()
 }
@@ -1253,6 +1346,11 @@ func (c *Cluster) scheduleFaultScan() {
 func (c *Cluster) faultScan() {
 	for _, cw := range c.workers {
 		t := cw.vcu.Telemetry
+		// The scan sees only what the firmware reports. An always-on
+		// corrupter trips the threshold through its ECC trail and
+		// attributed OpsCorrupted; an intermittent (duty-cycle)
+		// corrupter reports neither — it is invisible here, and
+		// catching it is the output auditor's job (audit.go).
 		faults := t.OpsFailed + t.OpsCorrupted + t.ECCErrors + t.OpsTimedOut
 		if !cw.vcu.Disabled() && faults >= c.cfg.DisableFaultThreshold {
 			cw.vcu.Disable()
@@ -1315,6 +1413,16 @@ func (c *Cluster) readmitHost(h *vcu.Host) {
 		if cw == nil {
 			continue
 		}
+		// Repair replaces the board, so the audit record resets with the
+		// hardware: trust restored, conviction spent, taint window gone.
+		// A persistent intermittent escape will pass golden re-screening
+		// and has to be convicted again — exactly the recidivism the
+		// paper's continuous-health argument predicts.
+		cw.trust = 1
+		cw.demoted = false
+		cw.convicted = false
+		cw.soakPasses = 0
+		cw.produced = nil
 		cw.sw.ResetCapacity()
 		c.startWorker(cw)
 		if cw.refused {

@@ -151,7 +151,7 @@ func (c *Cluster) eligibleBacklog() int {
 func (c *Cluster) availableWorkers() int {
 	n := 0
 	for _, cw := range c.workers {
-		if cw.refused || cw.vcu.Disabled() || cw.host.Disabled() {
+		if cw.refused || cw.convicted || cw.vcu.Disabled() || cw.host.Disabled() {
 			continue
 		}
 		if cw.parked || cw.sw.Draining() || cw.sw.Warming() {

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"bytes"
+
 	"openvcu/internal/codec"
 	"openvcu/internal/codec/rc"
 	"openvcu/internal/transcode"
@@ -70,6 +72,43 @@ func (c *Cluster) realEncode(s *Step, corrupted bool) error {
 	}
 	s.Packets = pkts
 	return nil
+}
+
+// auditVerifyReal is the real-pixels deep re-check behind one audit
+// sample: re-run the step's encode from its deterministic source as a
+// trusted reference (ConstQP hardware encodes are byte-reproducible)
+// and compare the stored packets byte for byte. Strictly stronger than
+// the structural decode check at assembly — corruption that decodes to
+// the right shape still differs from the reference — which is what lets
+// the auditor catch escapes the delivery-path checks cannot, at a cost
+// too high to pay on more than a budgeted sample.
+func (c *Cluster) auditVerifyReal(st *Step) bool {
+	if st.execReq == nil {
+		return true
+	}
+	rp := c.cfg.RealPixels
+	frames := c.chunkFrames(st)
+	res, err := transcode.SOT(frames, 30, transcode.OutputSpec{
+		Name:       "audit-ref",
+		Resolution: video.Resolution{Name: "real", Width: rp.Width, Height: rp.Height},
+		Profile:    st.execReq.Profile,
+		Speed:      2,
+		Hardware:   true,
+		RC:         rc.Config{Mode: rc.ModeConstQP, BaseQP: rp.QP},
+	})
+	if err != nil {
+		return false
+	}
+	ref := res.Outputs[0].Packets
+	if len(ref) != len(st.Packets) {
+		return false
+	}
+	for i := range ref {
+		if !bytes.Equal(ref[i].Data, st.Packets[i].Data) {
+			return false
+		}
+	}
+	return true
 }
 
 // verifyChunks runs the real integrity checks over a graph's transcode

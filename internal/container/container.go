@@ -1,9 +1,9 @@
 // Package container implements the lightweight bitstream container the
 // video platform moves between services: a stream header plus length- and
-// checksum-framed packets. The per-packet CRC and the stream-level frame
-// count are the "high-level integrity checks (i.e., video length must
-// match the input)" the paper uses to bound corruption blast radius
-// (§4.4).
+// checksum-framed packets. The per-packet CRC, the chunk-level CRC in
+// the index footer, and the stream-level frame count are the
+// "high-level integrity checks (i.e., video length must match the
+// input)" the paper uses to bound corruption blast radius (§4.4).
 package container
 
 import (
@@ -37,6 +37,9 @@ type Writer struct {
 	frames int
 	pos    int64
 	index  []IndexEntry
+	// chunkCRC accumulates the current chunk's payload checksum; it is
+	// mirrored into the chunk's index entry as packets arrive.
+	chunkCRC uint32
 }
 
 // NewWriter returns a Writer over w.
@@ -80,7 +83,14 @@ func (cw *Writer) WritePacket(p codec.Packet) error {
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(p.Data))
 	buf = append(buf, p.Data...)
 	if p.Keyframe {
+		// A keyframe opens a new closed-GOP chunk; its chunk-level CRC
+		// accumulates from here.
 		cw.index = append(cw.index, IndexEntry{Offset: cw.pos, DisplayIdx: p.DisplayIdx})
+		cw.chunkCRC = 0
+	}
+	if len(cw.index) > 0 {
+		cw.chunkCRC = crc32.Update(cw.chunkCRC, crc32.IEEETable, p.Data)
+		cw.index[len(cw.index)-1].CRC = cw.chunkCRC
 	}
 	n, err := cw.w.Write(buf)
 	cw.pos += int64(n)

@@ -2,6 +2,8 @@ package container
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"io"
 	"testing"
 
@@ -181,6 +183,94 @@ func TestChunkIndexRandomAccess(t *testing.T) {
 	}
 	if _, err := ir.ReadChunk(5); err == nil {
 		t.Fatal("out-of-range chunk accepted")
+	}
+}
+
+// indexedTestStream writes a 3-chunk indexed container and returns its
+// bytes.
+func indexedTestStream(t *testing.T) []byte {
+	t.Helper()
+	frames := video.NewSource(video.SourceConfig{
+		Width: 64, Height: 64, Seed: 9, Detail: 0.5, Motion: 1}).Frames(9)
+	res, err := codec.EncodeSequence(codec.Config{
+		Profile: codec.VP9Class, Width: 64, Height: 64, GOPLength: 3,
+		RC: rc.Config{BaseQP: 35}}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.WriteHeader(StreamInfo{Profile: codec.VP9Class, Width: 64, Height: 64,
+		FPS: 30, FrameCount: len(frames)})
+	for _, p := range res.Packets {
+		_ = w.WritePacket(p)
+	}
+	if err := w.WriteIndex(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChunkChecksumRoundTrip: the chunk-level CRCs written into the
+// index footer verify on read for every chunk of a clean stream.
+func TestChunkChecksumRoundTrip(t *testing.T) {
+	data := indexedTestStream(t)
+	ir, err := OpenIndexed(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ir.Chunks() {
+		if e.CRC == 0 {
+			t.Fatalf("chunk at offset %d has no checksum", e.Offset)
+		}
+	}
+	if err := ir.VerifyChunks(); err != nil {
+		t.Fatalf("clean stream failed chunk verification: %v", err)
+	}
+}
+
+// TestChunkChecksumCatchesConsistentTamper models the §4.4 silent
+// corrupter at rest: a tamper that rewrites a packet payload AND its
+// own per-packet CRC is self-consistent, so packet framing and a
+// sequential ReadAll both pass — only the chunk-level checksum in the
+// index footer still pins the chunk to what the writer emitted.
+func TestChunkChecksumCatchesConsistentTamper(t *testing.T) {
+	data := indexedTestStream(t)
+	ir, err := OpenIndexed(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the middle chunk's keyframe packet: flip a payload
+	// byte, then recompute the packet's own CRC so the per-packet check
+	// passes. Packet layout after the entry offset: 4B size, flags, QP,
+	// 4B display index, 4B CRC, payload.
+	off := ir.Chunks()[1].Offset
+	size := int64(binary.BigEndian.Uint32(data[off : off+4]))
+	data[off+14+size/2] ^= 0x40
+	binary.BigEndian.PutUint32(data[off+10:off+14],
+		crc32.ChecksumIEEE(data[off+14:off+14+size]))
+
+	// The per-packet layer is blind to the consistent tamper.
+	if _, _, err := NewReader(bytes.NewReader(data)).ReadAll(); err != nil {
+		t.Fatalf("sequential read should pass per-packet checks: %v", err)
+	}
+	// The chunk layer is not.
+	ir, err = OpenIndexed(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.ReadChunk(1); err == nil {
+		t.Fatal("self-consistent tamper not caught by chunk checksum")
+	}
+	if err := ir.VerifyChunks(); err == nil {
+		t.Fatal("VerifyChunks missed the tampered chunk")
+	}
+	// Untouched chunks still verify.
+	if _, err := ir.ReadChunk(0); err != nil {
+		t.Fatalf("untampered chunk 0 failed: %v", err)
+	}
+	if _, err := ir.ReadChunk(2); err != nil {
+		t.Fatalf("untampered chunk 2 failed: %v", err)
 	}
 }
 

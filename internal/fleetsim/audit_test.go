@@ -1,0 +1,51 @@
+package fleetsim
+
+import "testing"
+
+// TestEscapesVsAuditBudgetFrontier checks the frontier's shape: the
+// undefended baseline leaks, a ≤5% budget cuts escapes ≥10× and
+// convicts the corrupter, every point completes its full workload, and
+// no point spends more audits than its budget's share of completions.
+func TestEscapesVsAuditBudgetFrontier(t *testing.T) {
+	cfg := DefaultAuditFrontierConfig()
+	pts := EscapesVsAuditBudget(cfg)
+	if len(pts) != len(cfg.Budgets) {
+		t.Fatalf("%d points for %d budgets", len(pts), len(cfg.Budgets))
+	}
+	base := pts[0]
+	if base.Budget != 0 || base.Audited != 0 {
+		t.Fatalf("first point is not the undefended baseline: %+v", base)
+	}
+	if base.Escapes < 10 {
+		t.Fatalf("baseline leaked only %d escapes — corrupter too benign", base.Escapes)
+	}
+	for _, p := range pts {
+		if p.Completed != cfg.Videos {
+			t.Fatalf("budget %.2f completed %d/%d videos", p.Budget, p.Completed, cfg.Videos)
+		}
+		if p.Budget >= 0.05 {
+			if p.Escapes*10 > base.Escapes {
+				t.Fatalf("budget %.2f: escapes %d -> %d, less than 10x reduction",
+					p.Budget, base.Escapes, p.Escapes)
+			}
+			if p.Convictions == 0 {
+				t.Fatalf("budget %.2f never convicted the corrupter: %+v", p.Budget, p)
+			}
+		}
+	}
+}
+
+// TestAuditFrontierDeterministic: the sweep is an experiment, not a
+// flaky sample — identical configs produce identical frontiers.
+func TestAuditFrontierDeterministic(t *testing.T) {
+	cfg := DefaultAuditFrontierConfig()
+	cfg.Videos = 40
+	cfg.Budgets = []float64{0, 0.05}
+	a := EscapesVsAuditBudget(cfg)
+	b := EscapesVsAuditBudget(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -75,6 +75,15 @@ type FaultSpec struct {
 	// a manufacturing escape. Repair does not clear it, so the device
 	// must fail golden re-screening and stay quarantined.
 	Persistent bool
+	// DutyCycle makes FaultCorrupt intermittent: only every
+	// DutyCycle-th op inside the fault window corrupts (1-in-N), and
+	// the corruption is silent — no ECC signature — so the device
+	// deterministically passes burn-in and one-shot golden screening.
+	// This is the §4.4 marginal-device/aging model that admission
+	// gates provably cannot catch; only extended soak or online output
+	// auditing can. 0 or 1 means every op corrupts (the classic
+	// always-on black-holer, which does leave an ECC trail).
+	DutyCycle int64
 }
 
 // DefaultSlowFactor is the latency inflation of a throttled device when

@@ -1,0 +1,125 @@
+package vcu
+
+import (
+	"testing"
+
+	"openvcu/internal/sim"
+)
+
+// runOne submits a single encode op and runs the engine to completion,
+// returning whether the output was corrupted.
+func runOne(eng *sim.Engine, q *Queue) bool {
+	var corr bool
+	_ = q.RunOnCore(encOp(1e5, func(_ error, c bool) { corr = c }))
+	eng.Run()
+	return corr
+}
+
+func TestIntermittentCorruptionDutyCycle(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	v.InjectFaultSpec(FaultSpec{Mode: FaultCorrupt, DutyCycle: 4})
+	q := v.OpenQueue()
+	var pattern []bool
+	for i := 0; i < 12; i++ {
+		pattern = append(pattern, runOne(eng, q))
+	}
+	// Exactly every 4th op corrupts; the first three are clean, which
+	// is why a short admission task passes.
+	for i, corr := range pattern {
+		want := (i+1)%4 == 0
+		if corr != want {
+			t.Fatalf("op %d: corrupted=%v want %v (pattern %v)", i+1, corr, want, pattern)
+		}
+	}
+	// The marginal path is silent: no ECC trail and no attributed
+	// OpsCorrupted, unlike the always-on black-holer — device telemetry
+	// alone can never convict it, which is the auditor's reason to exist.
+	if v.Telemetry.ECCErrors != 0 || v.Telemetry.OpsCorrupted != 0 {
+		t.Fatalf("intermittent corruption left a telemetry trail: ecc=%d corrupted=%d",
+			v.Telemetry.ECCErrors, v.Telemetry.OpsCorrupted)
+	}
+}
+
+func TestIntermittentPassesAdmissionScreening(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	v.InjectFaultSpec(FaultSpec{Mode: FaultCorrupt, DutyCycle: 16, Persistent: true})
+	if !v.Faulty() {
+		t.Fatal("intermittent fault not armed")
+	}
+	// Deterministically passes burn-in and golden screening every time:
+	// the manufacturing escape that motivates online auditing.
+	for i := 0; i < 5; i++ {
+		if !v.BurnIn() {
+			t.Fatalf("burn-in %d caught the intermittent corrupter", i)
+		}
+		if !v.GoldenCheck() {
+			t.Fatalf("golden check %d caught the intermittent corrupter", i)
+		}
+	}
+	// The always-on variant is still caught at admission.
+	w := New(eng, 1, DefaultParams())
+	w.InjectFault(FaultCorrupt, 0)
+	if w.BurnIn() || w.GoldenCheck() {
+		t.Fatal("always-on corrupter passed admission screening")
+	}
+}
+
+func TestExtendedCheckWalksTheDutyCycle(t *testing.T) {
+	eng := sim.NewEngine()
+	v := New(eng, 0, DefaultParams())
+	v.InjectFaultSpec(FaultSpec{Mode: FaultCorrupt, DutyCycle: 8})
+	// A probe at least one duty cycle long always straddles a corrupt
+	// slot: the soak catches what the one-shot golden check cannot.
+	if v.ExtendedCheck(8) {
+		t.Fatal("full-cycle soak missed the intermittent corrupter")
+	}
+	// Short probes can land between slots — but consecutive passes
+	// advance the op counter, so the ladder's K-consecutive-passes
+	// requirement still corners the fault.
+	w := New(eng, 1, DefaultParams())
+	w.InjectFaultSpec(FaultSpec{Mode: FaultCorrupt, DutyCycle: 8})
+	passes, failed := 0, false
+	for i := 0; i < 4; i++ {
+		if w.ExtendedCheck(3) {
+			passes++
+		} else {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatalf("4 consecutive 3-op soaks (12 ops) never crossed an 8-op duty cycle")
+	}
+	if passes == 0 {
+		t.Fatal("expected at least one short probe to land between duty slots")
+	}
+}
+
+func TestExtendedCheckOtherModes(t *testing.T) {
+	eng := sim.NewEngine()
+	healthy := New(eng, 0, DefaultParams())
+	for i := 0; i < 5; i++ {
+		if !healthy.ExtendedCheck(64) {
+			t.Fatal("healthy device failed the extended soak: false conviction")
+		}
+	}
+	stopped := New(eng, 1, DefaultParams())
+	stopped.InjectFault(FaultStop, 0)
+	if stopped.ExtendedCheck(64) {
+		t.Fatal("fail-stop device passed the extended soak")
+	}
+	// A transient fault that self-clears inside the probe window passes:
+	// the soak exonerates recovered devices.
+	trans := New(eng, 2, DefaultParams())
+	trans.InjectFaultSpec(FaultSpec{Mode: FaultTransient, FailProb: 1, RecoverOps: 10})
+	if !trans.ExtendedCheck(64) {
+		t.Fatal("recovered transient failed the extended soak")
+	}
+	disabled := New(eng, 3, DefaultParams())
+	disabled.Disable()
+	if disabled.ExtendedCheck(64) {
+		t.Fatal("disabled device passed the extended soak")
+	}
+}

@@ -107,6 +107,11 @@ type VCU struct {
 type Telemetry struct {
 	OpsCompleted int64
 	OpsFailed    int64
+	// OpsCorrupted counts corruption the firmware can attribute to
+	// itself — the ECC-paired always-on black-holing mode. The silent
+	// intermittent path (FaultSpec.DutyCycle) by definition reports
+	// nothing here: its corruption is only observable downstream, by
+	// the cluster's integrity checks and output auditor.
 	OpsCorrupted int64
 	// OpsTimedOut counts watchdog deadline expiries charged back to the
 	// device by the cluster (ChargeTimeout); it is how hung and slowed
@@ -382,6 +387,10 @@ func (v *VCU) opCost(op *Op) (float64, float64) {
 func (v *VCU) execute(op *Op) {
 	coreSec, bytes := v.opCost(op)
 	corrupted := false
+	// silent marks corruption the firmware cannot attribute (the
+	// intermittent marginal path): it reaches the op's Done callback but
+	// leaves no trace in Telemetry — invisible to fault management.
+	silent := false
 	var failErr error
 	faulty := v.Faulty()
 	v.opsStarted++
@@ -391,6 +400,22 @@ func (v *VCU) execute(op *Op) {
 			failErr = v.deviceErr(ErrDeviceStop)
 			coreSec *= 0.05 // fails fast
 		case FaultCorrupt:
+			if d := v.fault.DutyCycle; d > 1 {
+				// Intermittent (1-in-N) corrupter: only the duty slots
+				// corrupt, and silently — no ECC trail, no OpsCorrupted
+				// report — so device telemetry alone can never convict
+				// it. opsStarted was just incremented, so the first op
+				// in the fault window is slot 1: the first N-1 ops are
+				// clean, which is exactly why a short golden task at
+				// admission passes.
+				if (v.opsStarted-v.faultAfter)%d != 0 {
+					break
+				}
+				corrupted = true
+				silent = true
+				coreSec *= 0.5
+				break
+			}
 			corrupted = true
 			coreSec *= 0.5 // failing-but-fast: the black-holing hazard
 			v.Telemetry.ECCErrors++
@@ -434,7 +459,7 @@ func (v *VCU) execute(op *Op) {
 			v.Telemetry.OpsFailed++
 		} else {
 			v.Telemetry.OpsCompleted++
-			if corrupted {
+			if corrupted && !silent {
 				v.Telemetry.OpsCorrupted++
 			}
 			switch op.Kind {
@@ -509,7 +534,7 @@ func (v *VCU) BurnIn() bool {
 		for bit := 0; bit < 64; bit++ {
 			wrote := p ^ (1 << uint(bit))
 			read := wrote
-			if v.Faulty() {
+			if v.Faulty() && !v.intermittent() {
 				read ^= 1 << uint(bit%8) // stuck bit in a faulty chip
 			}
 			if read != wrote {
@@ -521,14 +546,61 @@ func (v *VCU) BurnIn() bool {
 	return true
 }
 
+// intermittent reports whether the armed fault is a duty-cycle (1-in-N)
+// corrupter — the manufacturing-escape/aging model whose off-duty ops
+// are bit-exact, so a single short screening task cannot catch it.
+func (v *VCU) intermittent() bool {
+	return v.fault.Mode == FaultCorrupt && v.fault.DutyCycle > 1
+}
+
 // GoldenCheck runs the short deterministic "golden" transcoding tasks a
 // worker executes across every core before accepting work (§4.4). It
 // reports false if the VCU produces wrong output — relying, as the paper
-// does, on the cores' deterministic behavior.
+// does, on the cores' deterministic behavior. An intermittent duty-cycle
+// corrupter deterministically PASSES: the one-shot task lands on an
+// off-duty op, which is the whole point of the §4.4 deployment story —
+// admission screening is not fleet health, and catching such a device is
+// the online auditor's job (internal/cluster/audit.go).
 func (v *VCU) GoldenCheck() bool {
 	v.Reset()
 	if v.disabled {
 		return false
 	}
-	return !v.Faulty()
+	return !v.Faulty() || v.intermittent()
+}
+
+// ExtendedCheck is the extended-soak re-screening pass of the conviction
+// ladder: n back-to-back golden tasks with output comparison, long
+// enough to walk an intermittent corrupter through its duty cycle. It
+// advances the device op counter, so consecutive passes probe
+// consecutive windows — K clean passes in a row is the quarantine-exit
+// criterion, since any single pass can still straddle the cycle. A
+// healthy (or recovered-transient) device always passes; any other
+// armed fault fails the soak.
+func (v *VCU) ExtendedCheck(n int64) bool {
+	v.Reset()
+	if v.disabled {
+		return false
+	}
+	if n <= 0 {
+		n = 1
+	}
+	start := v.opsStarted
+	v.opsStarted += n
+	if !v.Faulty() { // also clears a recovered transient
+		return true
+	}
+	if !v.intermittent() {
+		return false
+	}
+	// The intermittent corrupter fails the soak iff a duty slot lands
+	// inside the probe window (start, start+n]: slots sit at
+	// faultAfter+d, faultAfter+2d, ...
+	d := v.fault.DutyCycle
+	a := start - v.faultAfter
+	if a < 0 {
+		a = 0
+	}
+	b := v.opsStarted - v.faultAfter
+	return b/d == a/d
 }

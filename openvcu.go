@@ -268,6 +268,21 @@ type AutoscaleStats = cluster.AutoscaleStats
 // DefaultAutoscaleConfig returns production-like control settings.
 func DefaultAutoscaleConfig() AutoscaleConfig { return cluster.DefaultAutoscaleConfig() }
 
+// AuditConfig arms the online output auditor: a budgeted fraction of
+// completed steps is re-verified after the fact, sampling biased toward
+// low-trust devices, with a demote → convict → soak ladder and
+// taint-window recall for devices whose output fails re-verification.
+// The zero value disables auditing.
+type AuditConfig = cluster.AuditConfig
+
+// AuditStats counts auditor outcomes (audits, corruptions caught and
+// escaped, recalls, demotions, convictions, soak results).
+type AuditStats = cluster.AuditStats
+
+// DefaultAuditConfig returns production-like audit settings (5% of
+// completions re-verified).
+func DefaultAuditConfig() AuditConfig { return cluster.DefaultAuditConfig() }
+
 // DegradeLevel is a rung of the brownout degradation ladder.
 type DegradeLevel = transcode.DegradeLevel
 

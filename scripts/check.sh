@@ -24,8 +24,12 @@
 #                    autoscaler tracks a diurnal+spike trace with zero
 #                    flips against the brownout ladder, byte-identical
 #                    per seed
-#   9. bench smoke   kernel benchmarks compile and run (1 iteration)
-#  10. fuzz smoke    10s of FuzzDecode over the checked-in corpus
+#   9. audit smoke   the silent-corruption game-day: an intermittent
+#                    corrupter convicted at a 5% audit budget with ≥10×
+#                    fewer escapes, zero false convictions, bounded
+#                    recall, byte-identical stats
+#  10. bench smoke   kernel benchmarks compile and run (1 iteration)
+#  11. fuzz smoke    10s of FuzzDecode over the checked-in corpus
 #
 # Every PR must leave this script exiting 0.
 set -u
@@ -96,6 +100,12 @@ step "overload smoke (deterministic game-day)" go test \
 # frontier experiment under -race.
 step "autoscale smoke (controller game-day)" go test \
     -run 'TestAutoscaleGameDay|TestAutoscaleDeterministic' ./internal/cluster
+# Audit smoke: the silent-corruption game-day (escapes collapse at a 5%
+# budget, the corrupter walks the demote→convict→soak ladder, healthy
+# devices stay trusted) plus its seed-stability check. `make audit`
+# runs the full suite with the frontier experiment under -race.
+step "audit smoke (corruption game-day)" go test \
+    -run 'TestAuditGameDay|TestAuditDeterministic' ./internal/cluster
 # Kernel packages only: the root codec package's whole-frame benchmarks
 # are minutes-long and belong to scripts/bench.sh, not the gate.
 step "bench smoke (kernel packages)" go test -run=NONE -bench=. -benchtime=1x \
